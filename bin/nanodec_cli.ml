@@ -1,0 +1,403 @@
+(* Command-line interface to the nanodec design flow.
+
+   Subcommands:
+   - evaluate   evaluate one decoder design and print the full report
+   - sweep      sweep code families x lengths, print the table and winner
+   - codes      print a code family's word sequence and transition spectrum
+   - trace      print the fabrication trace (litho/doping passes) of a cave
+   - figures    print the reproduction data of the paper's figures
+   - headlines  print the paper's headline numbers, measured vs reported *)
+
+open Cmdliner
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_mspt
+open Nanodec
+
+(* --- shared argument parsers --- *)
+
+let code_type_conv =
+  let parse s =
+    match Codebook.of_name s with
+    | Some ct -> Ok ct
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown code type %S (TC|GC|BGC|HC|AHC)" s))
+  in
+  Arg.conv (parse, Codebook.pp)
+
+let code_type_arg =
+  let doc = "Code family: TC, GC, BGC, HC or AHC." in
+  Arg.(value & opt code_type_conv Codebook.Balanced_gray
+       & info [ "c"; "code" ] ~docv:"CODE" ~doc)
+
+let length_arg =
+  let doc = "Code length M (doping regions per nanowire)." in
+  Arg.(value & opt int 10 & info [ "m"; "length" ] ~docv:"M" ~doc)
+
+let radix_arg =
+  let doc = "Logic valence n (2 = binary, 3 = ternary, ...)." in
+  Arg.(value & opt int 2 & info [ "n"; "radix" ] ~docv:"N" ~doc)
+
+let wires_arg =
+  let doc = "Nanowires per half cave." in
+  Arg.(value & opt int 20 & info [ "w"; "wires" ] ~docv:"WIRES" ~doc)
+
+let raw_bits_arg =
+  let doc = "Raw crossbar density in crosspoints (default 16 kB = 131072)." in
+  Arg.(value & opt int (16 * 1024 * 8) & info [ "raw-bits" ] ~docv:"BITS" ~doc)
+
+let count_arg =
+  let doc = "Number of code words to print." in
+  Arg.(value & opt int 16 & info [ "k"; "count" ] ~docv:"COUNT" ~doc)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable debug logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let make_spec code_type code_length radix n_wires raw_bits =
+  let base = { Design.default_spec with Design.raw_bits } in
+  Design.spec ~base ~radix ~n_wires ~code_type ~code_length ()
+
+(* --- evaluate --- *)
+
+let evaluate_cmd =
+  let run verbose code_type code_length radix n_wires raw_bits =
+    setup_logging verbose;
+    match
+      Codebook.validate_length ~radix ~length:code_length code_type
+    with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+    | Ok () ->
+      let report = Design.evaluate (make_spec code_type code_length radix n_wires raw_bits) in
+      Format.printf "%a@." Design.pp_report report
+  in
+  let term =
+    Term.(const run $ verbose_arg $ code_type_arg $ length_arg $ radix_arg
+          $ wires_arg $ raw_bits_arg)
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate one decoder design (yield, area, Phi, Sigma).")
+    term
+
+(* --- sweep --- *)
+
+let objective_conv =
+  let parse = function
+    | "yield" -> Ok Optimizer.Max_yield
+    | "area" -> Ok Optimizer.Min_bit_area
+    | "fabrication" -> Ok Optimizer.Min_fabrication
+    | "variability" -> Ok Optimizer.Min_variability
+    | s -> Error (`Msg (Printf.sprintf "unknown objective %S" s))
+  in
+  let print ppf o =
+    Format.pp_print_string ppf
+      (match o with
+      | Optimizer.Max_yield -> "yield"
+      | Optimizer.Min_bit_area -> "area"
+      | Optimizer.Min_fabrication -> "fabrication"
+      | Optimizer.Min_variability -> "variability")
+  in
+  Arg.conv (parse, print)
+
+let sweep_cmd =
+  let run verbose objective radix n_wires raw_bits =
+    setup_logging verbose;
+    let spec =
+      Design.spec
+        ~base:{ Design.default_spec with Design.raw_bits }
+        ~radix ~n_wires ~code_type:Codebook.Balanced_gray ~code_length:10 ()
+    in
+    let reports = Optimizer.sweep ~spec () in
+    print_endline Design.report_header;
+    List.iter (fun r -> print_endline (Design.report_row r)) reports;
+    let winner = Optimizer.best ~spec objective in
+    Format.printf "@.winner:@.%a@." Design.pp_report winner;
+    print_endline "\npareto front (yield vs bit area):";
+    List.iter
+      (fun r -> print_endline ("  " ^ Design.report_row r))
+      (Optimizer.pareto_yield_area reports)
+  in
+  let objective_arg =
+    let doc = "Objective: yield, area, fabrication or variability." in
+    Arg.(value & opt objective_conv Optimizer.Min_bit_area
+         & info [ "o"; "objective" ] ~docv:"OBJ" ~doc)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ objective_arg $ radix_arg $ wires_arg
+          $ raw_bits_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the design space and pick the best decoder.")
+    term
+
+(* --- codes --- *)
+
+let codes_cmd =
+  let run code_type code_length radix count =
+    match Codebook.validate_length ~radix ~length:code_length code_type with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+    | Ok () ->
+      let omega = Codebook.space_size ~radix ~length:code_length code_type in
+      Printf.printf "%s, n=%d, M=%d: %d code words\n"
+        (Codebook.long_name code_type) radix code_length omega;
+      let words =
+        Codebook.sequence ~radix ~length:code_length ~count code_type
+      in
+      List.iteri
+        (fun i w ->
+          let transitions =
+            if i = 0 then ""
+            else
+              Printf.sprintf "  (%d transitions)"
+                (Word.hamming_distance (List.nth words (i - 1)) w)
+          in
+          Printf.printf "%3d  %s%s\n" i (Word.to_string w) transitions)
+        words;
+      let spectrum = Balanced_gray.transition_spectrum ~cyclic:false words in
+      print_string "transition spectrum per digit:";
+      Array.iter (Printf.printf " %d") spectrum;
+      print_newline ()
+  in
+  let term =
+    Term.(const run $ code_type_arg $ length_arg $ radix_arg $ count_arg)
+  in
+  Cmd.v
+    (Cmd.info "codes" ~doc:"Print a code family's word sequence and spectrum.")
+    term
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run code_type code_length radix n_wires =
+    match Codebook.validate_length ~radix ~length:code_length code_type with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+    | Ok () ->
+      let pattern =
+        Pattern.of_codebook ~radix ~length:code_length ~n_wires code_type
+      in
+      let levels =
+        Nanodec_physics.Vt_levels.make ~radix ()
+      in
+      let h d = Nanodec_physics.Vt_levels.doping_of_digit levels d /. 1e18 in
+      let d, s = Doping.of_pattern ~h pattern in
+      Format.printf "pattern matrix P:@.%a@." Pattern.pp pattern;
+      Format.printf "final doping D [1e18 cm^-3]:@.%a@." Fmatrix.pp
+        (Fmatrix.map (fun x -> Float.round (x *. 100.) /. 100.) d);
+      Format.printf "step doping S [1e18 cm^-3]:@.%a@." Fmatrix.pp
+        (Fmatrix.map (fun x -> Float.round (x *. 100.) /. 100.) s);
+      let passes = Process.passes_of_step_matrix s in
+      Printf.printf "fabrication: Phi = %d lithography/doping passes\n"
+        (List.length passes);
+      List.iteri
+        (fun i pass ->
+          let regions =
+            String.concat ","
+              (List.filteri
+                 (fun j _ -> pass.Process.mask.(j))
+                 (List.init code_length string_of_int))
+          in
+          Printf.printf
+            "  pass %2d: after wire %d, dose %+.2f e18 on regions {%s}\n"
+            (i + 1) pass.Process.after_wire pass.Process.dose regions)
+        passes;
+      Format.printf "variability nu:@.%a@." Imatrix.pp
+        (Variability.nu_matrix pattern);
+      Printf.printf "||Sigma||_1 = %.1f sigma_T^2\n"
+        (float_of_int (Imatrix.sum (Variability.nu_matrix pattern)));
+      let estimate = Cost_model.of_pattern ~h pattern in
+      Format.printf "fab economics: %a@." Cost_model.pp estimate;
+      (match Feasibility.check (Fmatrix.scale 1e18 s) with
+      | Ok () -> print_endline "dose plan: feasible within default limits"
+      | Error violations ->
+        Printf.printf "dose plan: %d violations\n" (List.length violations);
+        List.iter
+          (fun violation ->
+            Format.printf "  %a@." Feasibility.pp_violation violation)
+          violations)
+  in
+  let wires_small =
+    let doc = "Nanowires in the traced half cave." in
+    Arg.(value & opt int 4 & info [ "w"; "wires" ] ~docv:"WIRES" ~doc)
+  in
+  let term =
+    Term.(const run $ code_type_arg $ length_arg $ radix_arg $ wires_small)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the full fabrication trace (P, D, S, passes, Sigma).")
+    term
+
+(* --- figures / headlines --- *)
+
+let figures_cmd =
+  let run which =
+    match which with
+    | "fig5" ->
+      List.iter
+        (fun (p : Figures.fig5_point) ->
+          Printf.printf "n=%d %s M=%d Phi=%d\n" p.radix
+            (Codebook.name p.code_type) p.code_length p.phi)
+        (Figures.fig5 ())
+    | "fig6" ->
+      List.iter
+        (fun (s : Figures.fig6_surface) ->
+          Printf.printf "%s L=%d mean_nu=%.2f max_std=%.2f\n"
+            (Codebook.name s.code_type) s.code_length s.mean_nu s.max_std)
+        (Figures.fig6 ())
+    | "fig7" ->
+      List.iter
+        (fun (p : Figures.fig7_point) ->
+          Printf.printf "%s M=%d yield=%.3f\n" (Codebook.name p.code_type)
+            p.code_length p.crossbar_yield)
+        (Figures.fig7 ())
+    | "fig8" ->
+      List.iter
+        (fun (p : Figures.fig8_point) ->
+          Printf.printf "%s M=%d bit_area=%.1f\n" (Codebook.name p.code_type)
+            p.code_length p.bit_area)
+        (Figures.fig8 ())
+    | "multivalued" ->
+      List.iter
+        (fun (p : Figures.multivalued_point) ->
+          Printf.printf "n=%d %s M=%d Phi=%d yield=%.4f bit_area=%.1f\n"
+            p.radix (Codebook.name p.code_type) p.code_length p.phi
+            p.crossbar_yield p.bit_area)
+        (Figures.multivalued_designs ())
+    | s ->
+      Format.eprintf "error: unknown figure %S (fig5..fig8, multivalued)@." s;
+      exit 1
+  in
+  let which_arg =
+    let doc = "Which figure: fig5, fig6, fig7, fig8 or multivalued." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Print one figure's reproduction data.")
+    Term.(const run $ which_arg)
+
+let headlines_cmd =
+  let run () = Format.printf "%a@." Figures.pp_headlines (Figures.headlines ()) in
+  Cmd.v
+    (Cmd.info "headlines"
+       ~doc:"Print the paper's headline numbers, measured vs reported.")
+    Term.(const run $ const ())
+
+(* --- export --- *)
+
+let export_cmd =
+  let run dir =
+    Export.write_all ~dir;
+    Printf.printf
+      "wrote fig5..fig8 + sweep CSVs and fig5/fig7/fig8 gnuplot scripts to %s/\n"
+      dir
+  in
+  let dir_arg =
+    let doc = "Output directory for CSV files." in
+    Arg.(value & opt string "results" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export every reproduction dataset as CSV.")
+    Term.(const run $ dir_arg)
+
+(* --- ablate --- *)
+
+let ablate_cmd =
+  let run () =
+    List.iter
+      (fun series -> Format.printf "%a@.@." Ablation.pp series)
+      (Ablation.all ())
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Sweep platform parameters and check the BGC-beats-TC conclusion.")
+    Term.(const run $ const ())
+
+(* --- baseline --- *)
+
+let baseline_cmd =
+  let run omega group_size =
+    let a = Nanodec_crossbar.Stochastic.analyze ~omega ~group_size in
+    Format.printf "%a@." Nanodec_crossbar.Stochastic.pp a;
+    Printf.printf "stochastic loss vs deterministic MSPT: %.1f%%\n"
+      (100. *. Nanodec_crossbar.Stochastic.stochastic_loss ~omega ~group_size)
+  in
+  let omega_arg =
+    let doc = "Code space size." in
+    Arg.(value & opt int 16 & info [ "omega" ] ~docv:"OMEGA" ~doc)
+  in
+  let group_arg =
+    let doc = "Wires per contact group." in
+    Arg.(value & opt int 16 & info [ "g"; "group" ] ~docv:"G" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Compare against the stochastic-assembly decoder baseline.")
+    Term.(const run $ omega_arg $ group_arg)
+
+(* --- memory --- *)
+
+let memory_cmd =
+  let run code_type code_length raw_bits seed =
+    match Codebook.validate_length ~radix:2 ~length:code_length code_type with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+    | Ok () ->
+      let cave =
+        { Nanodec_crossbar.Cave.default_config with
+          Nanodec_crossbar.Cave.code_type; code_length }
+      in
+      let config = { Nanodec_crossbar.Array_sim.cave; raw_bits } in
+      let memory =
+        Nanodec_crossbar.Memory.create (Rng.create ~seed) config
+      in
+      let remap = Nanodec_crossbar.Remap.build memory in
+      Printf.printf
+        "sampled crossbar: %dx%d, %d usable crosspoints (%.1f%% yield)\n"
+        (Nanodec_crossbar.Memory.n_rows memory)
+        (Nanodec_crossbar.Memory.n_cols memory)
+        (Nanodec_crossbar.Memory.usable_crosspoints memory)
+        (100. *. Nanodec_crossbar.Memory.realized_yield memory);
+      Printf.printf "logical capacity: %d bytes (%d bytes under SECDED)\n"
+        (Nanodec_crossbar.Remap.capacity_bytes remap)
+        (Nanodec_crossbar.Ecc.protected_capacity_bytes remap);
+      let payload = "nanodec memory self-test" in
+      Nanodec_crossbar.Ecc.store remap payload;
+      let data, corrected, uncorrectable =
+        Nanodec_crossbar.Ecc.load remap ~length:(String.length payload)
+      in
+      Printf.printf
+        "ECC round trip: %s (corrected %d, uncorrectable %d)\n"
+        (if String.equal data payload then "ok" else "CORRUPT")
+        corrected uncorrectable
+  in
+  let seed_arg =
+    let doc = "Defect-map sampling seed." in
+    Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let term =
+    Term.(const run $ code_type_arg $ length_arg $ raw_bits_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "memory"
+       ~doc:"Sample a defective crossbar memory and self-test the remap/ECC stack.")
+    term
+
+let main_cmd =
+  let doc = "MSPT nanowire-decoder design flow (DAC 2009 reproduction)." in
+  Cmd.group
+    (Cmd.info "nanodec" ~version:"1.0.0" ~doc)
+    [ evaluate_cmd; sweep_cmd; codes_cmd; trace_cmd; figures_cmd; headlines_cmd;
+      export_cmd; ablate_cmd; baseline_cmd; memory_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,75 @@
+(* Design-space explorer: every decoder design at a glance.
+
+   Run with: dune exec examples/design_space.exe
+
+   Sweeps all five code families over lengths 4..12, prints the report
+   table, renders the yield-vs-bit-area plane as an ASCII scatter with the
+   Pareto front marked, and shows the per-objective winners. *)
+
+open Nanodec
+open Nanodec_codes
+open Nanodec_crossbar
+
+let () =
+  print_endline "== full design-space sweep (paper platform) ==\n";
+  let reports = Optimizer.sweep () in
+  print_endline Design.report_header;
+  List.iter (fun r -> print_endline (Design.report_row r)) reports;
+
+  let front = Optimizer.pareto_yield_area reports in
+  let on_front r = List.memq r front in
+
+  (* ASCII scatter: x = bit area (log-ish bins), y = crossbar yield. *)
+  print_endline "\ncrossbar yield vs bit area ('o' design, '#' Pareto front):";
+  let width = 64
+  and height = 16 in
+  let min_area =
+    List.fold_left (fun acc r -> Float.min acc r.Design.bit_area) infinity reports
+  in
+  let max_area =
+    List.fold_left (fun acc r -> Float.max acc r.Design.bit_area) 0. reports
+  in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun r ->
+      let x =
+        int_of_float
+          (log (r.Design.bit_area /. min_area)
+          /. log (max_area /. min_area)
+          *. float_of_int (width - 1))
+      in
+      let y =
+        height - 1 - int_of_float (r.Design.crossbar_yield *. float_of_int (height - 1))
+      in
+      let y = Stdlib.max 0 (Stdlib.min (height - 1) y)
+      and x = Stdlib.max 0 (Stdlib.min (width - 1) x) in
+      grid.(y).(x) <- (if on_front r then '#' else 'o'))
+    reports;
+  Array.iteri
+    (fun row line ->
+      let yield_label =
+        100. *. float_of_int (height - 1 - row) /. float_of_int (height - 1)
+      in
+      Printf.printf "%5.0f%% |%s|\n" yield_label (String.init width (Array.get line)))
+    grid;
+  Printf.printf "       %-30.0f%30.0f nm^2/bit (log scale)\n" min_area max_area;
+
+  print_endline "\nPareto front (no design is both higher-yield and denser):";
+  List.iter (fun r -> print_endline ("  " ^ Design.report_row r)) front;
+
+  print_endline "\nper-objective winners:";
+  List.iter
+    (fun (label, objective) ->
+      let w = Optimizer.best objective in
+      let c = w.Design.spec.Design.cave in
+      Printf.printf "  %-20s %s M=%d  (Y^2=%.3f, %.0f nm^2/bit, Phi=%d)\n"
+        label
+        (Codebook.name c.Cave.code_type)
+        c.Cave.code_length w.Design.crossbar_yield w.Design.bit_area
+        w.Design.phi)
+    [
+      ("max yield:", Optimizer.Max_yield);
+      ("min bit area:", Optimizer.Min_bit_area);
+      ("min fabrication:", Optimizer.Min_fabrication);
+      ("min variability:", Optimizer.Min_variability);
+    ]

@@ -1,0 +1,95 @@
+(* Fabrication trace: the paper's worked examples (Section 4) end to end.
+
+   Run with: dune exec examples/fabrication_trace.exe
+
+   Walks the exact matrices of Examples 1-6: pattern P, threshold voltages
+   V, final doping D, step doping S, fabrication complexity Phi and
+   variability Sigma — first for the tree-code pattern, then for the Gray
+   variant that the paper uses to demonstrate the savings.  Finally runs
+   the process simulator to show the individual lithography/doping passes
+   and verify that executing them rebuilds D. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_mspt
+
+let pattern_of rows = Pattern.of_words (List.map (Word.of_string ~radix:3) rows)
+
+(* The paper's example mapping: digits 0,1,2 <-> V_T 0.1,0.3,0.5 V <->
+   doping 2,4,9 x 10^18 cm^-3. *)
+let vt_of_digit d = 0.1 +. (0.2 *. float_of_int d)
+
+let show_pattern name p =
+  Format.printf "%s =@.%a@.@." name Pattern.pp p
+
+let show_f name m = Format.printf "%s =@.%a@.@." name Fmatrix.pp m
+let show_i name m = Format.printf "%s =@.%a@.@." name Imatrix.pp m
+
+let analyse label p =
+  Printf.printf "=== %s ===\n" label;
+  show_pattern "pattern matrix P" p;
+  let v =
+    Imatrix.map_to_fmatrix vt_of_digit (Pattern.to_matrix p)
+  in
+  show_f "threshold voltages V [V]" v;
+  let d, s = Doping.of_pattern ~h:Doping.paper_example_h p in
+  show_f "final doping D [1e18 cm^-3]" d;
+  show_f "step doping S [1e18 cm^-3]" s;
+  let phi = Complexity.phi_per_step p in
+  print_string "phi per step:";
+  Array.iter (Printf.printf " %d") phi;
+  Printf.printf "   => Phi = %d\n" (Complexity.total p);
+  show_i "\ndoping-operation counts nu" (Variability.nu_matrix p);
+  Printf.printf "||Sigma||_1 = %.0f sigma_T^2\n\n"
+    (Variability.sigma_norm1 ~sigma_t:1. p);
+  (d, s)
+
+let () =
+  print_endline
+    "== the paper's worked examples: N = 3 nanowires, M = 4 regions, \
+     ternary logic ==\n";
+
+  (* Examples 1-4: tree-code pattern. *)
+  let tree = pattern_of [ "0121"; "0220"; "1012" ] in
+  let d, s = analyse "tree-code pattern (Examples 1-4)" tree in
+
+  (* Example 5-6: the Gray variant avoids the forbidden transition
+     0220 => 1012 (4 digits change) by using 1210 instead (2 digits). *)
+  let gray = pattern_of [ "0121"; "0220"; "1210" ] in
+  let _ = analyse "Gray variant (Examples 5-6)" gray in
+
+  print_endline "== executing the fabrication on a virtual half cave ==\n";
+  let passes = Process.passes_of_step_matrix s in
+  Printf.printf "the tree-code pattern needs %d lithography/doping passes:\n"
+    (List.length passes);
+  List.iteri
+    (fun i pass ->
+      let regions =
+        List.filteri (fun j _ -> pass.Process.mask.(j)) [ "0"; "1"; "2"; "3" ]
+      in
+      Printf.printf "  pass %d: after defining wire %d, implant %+g e18 into \
+                     regions {%s}\n"
+        (i + 1) pass.Process.after_wire pass.Process.dose
+        (String.concat "," regions))
+    passes;
+  let wafer = Process.run ~n_wires:3 ~n_regions:4 passes in
+  Printf.printf "\nre-running the passes reproduces D exactly: %b\n"
+    (Fmatrix.approx_equal ~eps:1e-9 wafer d);
+  let hits = Process.hit_counts ~n_wires:3 ~n_regions:4 passes in
+  Printf.printf "and the per-region implant counts equal nu: %b\n"
+    (Imatrix.equal hits (Variability.nu_matrix tree));
+
+  print_endline "\n== what that means in fab time ==\n";
+  let show label pattern =
+    Format.printf "%-12s %a@." label Cost_model.pp
+      (Cost_model.of_pattern ~h:Doping.paper_example_h pattern)
+  in
+  show "tree order:" tree;
+  show "Gray order:" gray;
+  Printf.printf "relative time saving: %.1f%%\n"
+    (100. *. Cost_model.compare_patterns ~h:Doping.paper_example_h tree gray);
+
+  print_endline
+    "\nsummary: rearranging the same three code words in Gray order cut \
+     Phi from 9 to 7 passes\nand ||Sigma||_1 from 22 to 18 sigma_T^2 — \
+     the mechanism behind the paper's 17% / 18% headlines."

@@ -1,0 +1,118 @@
+exception Search_exhausted
+
+let node_budget = 5_000_000
+let max_search_space = 2048
+
+(* Revolving-door order on k-subsets of {0..n-1} (Nijenhuis & Wilf):
+   R(n,k) = R(n-1,k) followed by the reverse of R(n-1,k-1) with element
+   n-1 added; consecutive subsets differ by exactly one exchange. *)
+let rec revolving_door n k =
+  if k = 0 then [ [] ]
+  else if k = n then [ List.init n (fun i -> i) ]
+  else
+    let keep = revolving_door (n - 1) k in
+    let extend =
+      List.rev_map (fun subset -> subset @ [ n - 1 ]) (revolving_door (n - 1) (k - 1))
+    in
+    keep @ extend
+
+let binary_arranged ~length =
+  let k = Hot_code.multiplicity ~radix:2 ~length in
+  let word_of_subset subset =
+    let digits = Array.make length 0 in
+    List.iter (fun position -> digits.(position) <- 1) subset;
+    Word.make ~radix:2 digits
+  in
+  List.map word_of_subset (revolving_door length k)
+
+(* General radix: Hamiltonian path on the distance-2 graph, Warnsdorff
+   ordering (fewest onward moves first). *)
+let searched_arranged ~radix ~length =
+  let space = Array.of_list (Hot_code.all ~radix ~length) in
+  let omega = Array.length space in
+  if omega > max_search_space then raise Search_exhausted;
+  let adjacent = Array.make_matrix omega omega false in
+  for a = 0 to omega - 1 do
+    for b = a + 1 to omega - 1 do
+      if Word.hamming_distance space.(a) space.(b) = 2 then begin
+        adjacent.(a).(b) <- true;
+        adjacent.(b).(a) <- true
+      end
+    done
+  done;
+  let neighbours = Array.init omega (fun a ->
+      Array.of_list
+        (List.filter (fun b -> adjacent.(a).(b)) (List.init omega (fun b -> b))))
+  in
+  let visited = Array.make omega false in
+  let path = Array.make omega 0 in
+  let expansions = ref 0 in
+  let free_degree v =
+    Array.fold_left
+      (fun acc u -> if visited.(u) then acc else acc + 1)
+      0 neighbours.(v)
+  in
+  let rec extend depth current =
+    incr expansions;
+    if !expansions > node_budget then raise Search_exhausted;
+    if depth = omega then true
+    else begin
+      let candidates =
+        Array.of_list
+          (List.filter (fun v -> not visited.(v))
+             (Array.to_list neighbours.(current)))
+      in
+      let keyed = Array.map (fun v -> (free_degree v, v)) candidates in
+      Array.sort Stdlib.compare keyed;
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < Array.length keyed do
+        let _, v = keyed.(!i) in
+        visited.(v) <- true;
+        path.(depth) <- v;
+        if extend (depth + 1) v then found := true else visited.(v) <- false;
+        incr i
+      done;
+      !found
+    end
+  in
+  visited.(0) <- true;
+  path.(0) <- 0;
+  if not (extend 1 0) then raise Search_exhausted;
+  Array.to_list (Array.map (fun i -> space.(i)) path)
+
+(* Both outcomes are memoised: a failed search burns its whole budget and
+   would otherwise be re-run on every sweep. *)
+let memo : (int * int, Word.t array option) Hashtbl.t = Hashtbl.create 8
+
+let all_array ~radix ~length =
+  match Hashtbl.find_opt memo (radix, length) with
+  | Some (Some a) -> a
+  | Some None -> raise Search_exhausted
+  | None ->
+    (match
+       if radix = 2 then binary_arranged ~length
+       else searched_arranged ~radix ~length
+     with
+    | sequence ->
+      let a = Array.of_list sequence in
+      Hashtbl.add memo (radix, length) (Some a);
+      a
+    | exception Search_exhausted ->
+      Hashtbl.add memo (radix, length) None;
+      raise Search_exhausted)
+
+let all ~radix ~length = Array.to_list (all_array ~radix ~length)
+
+let words ~radix ~length ~count =
+  if count < 0 then invalid_arg "Arranged_hot.words: negative count";
+  let a = all_array ~radix ~length in
+  let omega = Array.length a in
+  List.init count (fun i -> a.(i mod omega))
+
+let is_arranged ws =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Word.hamming_distance a b = 2 && check rest
+  in
+  check ws

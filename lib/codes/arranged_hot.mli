@@ -1,0 +1,28 @@
+(** Arranged hot codes (paper, Section 5.2).
+
+    An arranged hot code (AHC) is a hot-code space reordered so that
+    successive words differ in the minimum possible number of digits — two,
+    since digit counts are fixed (one position gains the value another
+    loses).  The paper finds such arrangements by exhaustive search on
+    spaces of up to ~100 words; here:
+
+    {ul
+    {- for [radix = 2] we use the revolving-door combination Gray code
+       (Nijenhuis–Wilf), which is exact, O(Ω) and works for any length;}
+    {- for larger radices we run a backtracking Hamiltonian-path search on
+       the distance-2 graph of the space, with a node budget.}} *)
+
+exception Search_exhausted
+(** Raised when the general-radix search cannot cover the space (budget
+    exceeded, or more than ~2000 words).  The binary revolving-door path
+    never raises. *)
+
+val all : radix:int -> length:int -> Word.t list
+(** The full hot-code space in arranged order: a permutation of
+    {!Hot_code.all} in which successive words are at Hamming distance 2. *)
+
+val words : radix:int -> length:int -> count:int -> Word.t list
+(** First [count] arranged words, cycling past the space size. *)
+
+val is_arranged : Word.t list -> bool
+(** Whether all successive pairs are at Hamming distance exactly 2. *)

@@ -1,0 +1,102 @@
+open Nanodec_numerics
+
+type objective = [ `Transitions | `Sigma ]
+
+let cost_of_array objective words =
+  let n = Array.length words in
+  let total = ref 0. in
+  for k = 0 to n - 2 do
+    let t = float_of_int (Word.hamming_distance words.(k) words.(k + 1)) in
+    let weight =
+      match objective with
+      | `Transitions -> 1.
+      (* A transition at step k adds one doping hit to wires 0..k. *)
+      | `Sigma -> float_of_int (k + 1)
+    in
+    total := !total +. (weight *. t)
+  done;
+  !total
+
+let cost objective words = cost_of_array objective (Array.of_list words)
+
+(* Cost delta of reversing the segment [i..j] (2-opt move): only the two
+   boundary transitions change. *)
+let reversal_delta objective words i j =
+  let n = Array.length words in
+  let edge a b weight_index =
+    if a < 0 || b >= n then 0.
+    else
+      let weight =
+        match objective with
+        | `Transitions -> 1.
+        | `Sigma -> float_of_int (weight_index + 1)
+      in
+      weight *. float_of_int (Word.hamming_distance words.(a) words.(b))
+  in
+  let before = edge (i - 1) i (i - 1) +. edge j (j + 1) j in
+  let after = edge (i - 1) j (i - 1) +. edge i (j + 1) j in
+  (* For `Sigma, reversing the interior also reweights interior
+     transitions; recompute those exactly. *)
+  match objective with
+  | `Transitions -> after -. before
+  | `Sigma ->
+    let interior_before = ref 0.
+    and interior_after = ref 0. in
+    for k = i to j - 1 do
+      let t = float_of_int (Word.hamming_distance words.(k) words.(k + 1)) in
+      interior_before := !interior_before +. (float_of_int (k + 1) *. t);
+      (* After reversal, the transition between original positions k, k+1
+         sits between new positions (i + j - k - 1) and (i + j - k). *)
+      interior_after := !interior_after +. (float_of_int (i + j - k) *. t)
+    done;
+    after -. before +. !interior_after -. !interior_before
+
+let reverse_segment words i j =
+  let lo = ref i
+  and hi = ref j in
+  while !lo < !hi do
+    let tmp = words.(!lo) in
+    words.(!lo) <- words.(!hi);
+    words.(!hi) <- tmp;
+    incr lo;
+    decr hi
+  done
+
+let optimize ?(steps = 20_000) ?(initial_temperature = 2.) rng objective words =
+  match words with
+  | [] | [ _ ] -> words
+  | _ ->
+    let current = Array.of_list words in
+    let n = Array.length current in
+    let best = Array.copy current in
+    let current_cost = ref (cost_of_array objective current) in
+    let best_cost = ref !current_cost in
+    for step = 0 to steps - 1 do
+      let i = Rng.int rng n in
+      let j = Rng.int rng n in
+      let i, j = (Stdlib.min i j, Stdlib.max i j) in
+      if i < j then begin
+        let delta = reversal_delta objective current i j in
+        let temperature =
+          initial_temperature
+          *. (1. -. (float_of_int step /. float_of_int steps))
+          +. 1e-9
+        in
+        let accept =
+          delta <= 0. || Rng.float rng < exp (-.delta /. temperature)
+        in
+        if accept then begin
+          reverse_segment current i j;
+          current_cost := !current_cost +. delta;
+          if !current_cost < !best_cost then begin
+            best_cost := !current_cost;
+            Array.blit current 0 best 0 n
+          end
+        end
+      end
+    done;
+    Array.to_list best
+
+let improvement objective ~before ~after =
+  let b = cost objective before in
+  if b = 0. then 0. else (b -. cost objective after) /. b

@@ -1,0 +1,36 @@
+(** Heuristic code-space arrangement optimiser.
+
+    Section 5 of the paper derives optimal arrangements analytically for
+    tree codes (the Gray code) and finds them exhaustively for hot codes
+    (the AHC).  This module generalises both: given {e any} set of code
+    words, local search (simulated annealing over reversal moves, i.e.
+    2-opt) minimises one of the paper's fabrication costs:
+
+    {ul
+    {- [`Transitions] — the plain digit-transition count Φ is monotone in
+       (Proposition 5);}
+    {- [`Sigma] — the exact variability objective
+       {m ‖Σ‖₁/σ_T² = N·M + Σ_k (k+1)·t_k}, which weights early
+       transitions more (they hit every wire below them).}}
+
+    The search only permutes the given words; it never invents new ones. *)
+
+type objective = [ `Transitions | `Sigma ]
+
+val cost : objective -> Word.t list -> float
+(** The optimised quantity; [`Transitions] is the integer transition count,
+    [`Sigma] the weighted sum above (excluding the constant [N·M]). *)
+
+val optimize :
+  ?steps:int ->
+  ?initial_temperature:float ->
+  Nanodec_numerics.Rng.t ->
+  objective ->
+  Word.t list ->
+  Word.t list
+(** [optimize rng objective words] returns a permutation of [words] whose
+    cost is never above the input's.  Deterministic given the generator.
+    Default 20 000 annealing steps. *)
+
+val improvement : objective -> before:Word.t list -> after:Word.t list -> float
+(** Relative cost reduction, in [0, 1). *)

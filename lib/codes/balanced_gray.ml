@@ -1,0 +1,192 @@
+exception Search_exhausted
+
+(* Documented search reach: binary spaces to 64 words (base length 6) and
+   a safety margin beyond; higher radices to 32 words.  Larger spaces were
+   measured to exhaust the budget, so they fail fast instead of burning
+   restarts * node_budget expansions. *)
+let max_space ~radix = if radix = 2 then 4096 else 32
+let node_budget = 2_000_000
+let restarts = 4
+
+(* Digits of [index] in base [radix], msd first. *)
+let digits_of_index ~radix ~base_len index =
+  let digits = Array.make base_len 0 in
+  let rec fill j rest =
+    if j >= 0 then begin
+      digits.(j) <- rest mod radix;
+      fill (j - 1) (rest / radix)
+    end
+  in
+  fill (base_len - 1) index;
+  digits
+
+(* Per-digit transition-count cap that still allows a balanced cycle.  In
+   the binary hypercube every digit's cycle count is even, so the cap is
+   the even ceiling of t/m; otherwise ceil(t/m) + 1. *)
+let transition_cap ~radix ~base_len ~space =
+  let per_digit = float_of_int space /. float_of_int base_len in
+  if radix = 2 then begin
+    let cap = int_of_float (ceil per_digit) in
+    let cap = if cap mod 2 = 0 then cap else cap + 1 in
+    (* The even cap must leave room for the remaining digits to stay within
+       spread 2; widen by 2 when the even rounding is exact but the total
+       does not divide evenly. *)
+    if cap * base_len < space then cap + 2 else cap
+  end
+  else int_of_float (ceil per_digit) + 1
+
+let spread counts =
+  Array.fold_left Stdlib.max counts.(0) counts
+  - Array.fold_left Stdlib.min counts.(0) counts
+
+(* Exact backtracking search for a balanced Gray (Hamiltonian) cycle.
+   [salt] perturbs the tie-breaking between equally-balanced digit
+   positions, so exhausted attempts can be retried on a different part of
+   the search tree. *)
+let search_once ~radix ~base_len ~salt =
+  let space = Tree_code.size ~radix ~base_len in
+  if space > max_space ~radix then raise Search_exhausted;
+  let places =
+    Array.init base_len (fun j ->
+        let rec pow acc k = if k = 0 then acc else pow (acc * radix) (k - 1) in
+        pow 1 (base_len - 1 - j))
+  in
+  let cap = transition_cap ~radix ~base_len ~space in
+  let visited = Array.make space false in
+  let path = Array.make space 0 in
+  let counts = Array.make base_len 0 in
+  let expansions = ref 0 in
+  let digit_at index j = index / places.(j) mod radix in
+  (* Move ordering: balance first (lowest transition count), then a
+     salt-dependent tie break. *)
+  let tie j = (j + salt) * 2654435761 mod 104729 in
+  let candidate_positions () =
+    let order = Array.init base_len (fun j -> j) in
+    Array.sort
+      (fun a b -> Stdlib.compare (counts.(a), tie a) (counts.(b), tie b))
+      order;
+    order
+  in
+  let rec extend depth current =
+    incr expansions;
+    if !expansions > node_budget then raise Search_exhausted;
+    if depth = space then begin
+      (* Close the cycle back to word 0: the closing edge must change one
+         digit and keep the spectrum balanced. *)
+      let closing = ref None in
+      for j = 0 to base_len - 1 do
+        if digit_at current j <> 0 then
+          closing := (match !closing with None -> Some j | Some _ -> Some (-1))
+      done;
+      match !closing with
+      | Some j when j >= 0 && counts.(j) < cap ->
+        counts.(j) <- counts.(j) + 1;
+        let ok = spread counts <= 2 in
+        if not ok then counts.(j) <- counts.(j) - 1;
+        ok
+      | Some _ | None -> false
+    end
+    else begin
+      let order = candidate_positions () in
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < base_len do
+        let j = order.(!i) in
+        if counts.(j) < cap then begin
+          let d = digit_at current j in
+          let v = ref 0 in
+          while (not !found) && !v < radix do
+            if !v <> d then begin
+              let next = current + ((!v - d) * places.(j)) in
+              if not visited.(next) then begin
+                visited.(next) <- true;
+                counts.(j) <- counts.(j) + 1;
+                path.(depth) <- next;
+                if extend (depth + 1) next then found := true
+                else begin
+                  visited.(next) <- false;
+                  counts.(j) <- counts.(j) - 1
+                end
+              end
+            end;
+            incr v
+          done
+        end;
+        incr i
+      done;
+      !found
+    end
+  in
+  visited.(0) <- true;
+  path.(0) <- 0;
+  if not (extend 1 0) then raise Search_exhausted;
+  Array.map (fun index -> digits_of_index ~radix ~base_len index) path
+
+let search ~radix ~base_len =
+  let rec attempt salt =
+    if salt >= restarts then raise Search_exhausted
+    else
+      match search_once ~radix ~base_len ~salt with
+      | cycle -> cycle
+      | exception Search_exhausted -> attempt (salt + 1)
+  in
+  attempt 0
+
+(* Exhausted searches are as expensive as successful ones (the full
+   backtracking budget); memoise both outcomes. *)
+let memo : (int * int, int array array option) Hashtbl.t = Hashtbl.create 8
+
+let cycle_digits ~radix ~base_len =
+  if radix < 2 then invalid_arg "Balanced_gray.cycle: radix must be >= 2";
+  if base_len < 1 then invalid_arg "Balanced_gray.cycle: base_len must be >= 1";
+  match Hashtbl.find_opt memo (radix, base_len) with
+  | Some (Some c) -> c
+  | Some None -> raise Search_exhausted
+  | None ->
+    (match search ~radix ~base_len with
+    | c ->
+      Hashtbl.add memo (radix, base_len) (Some c);
+      c
+    | exception Search_exhausted ->
+      Hashtbl.add memo (radix, base_len) None;
+      raise Search_exhausted)
+
+let cycle ~radix ~base_len =
+  Array.to_list
+    (Array.map (fun digits -> Word.make ~radix digits)
+       (cycle_digits ~radix ~base_len))
+
+let words ~radix ~base_len ~count =
+  if count < 0 then invalid_arg "Balanced_gray.words: negative count";
+  let c = cycle_digits ~radix ~base_len in
+  let omega = Array.length c in
+  List.init count (fun i -> Word.make ~radix c.(i mod omega))
+
+let reflected_words ~radix ~base_len ~count =
+  List.map Word.reflect (words ~radix ~base_len ~count)
+
+let transition_spectrum ~cyclic ws =
+  match ws with
+  | [] | [ _ ] -> [||]
+  | first :: _ ->
+    let spectrum = Array.make (Word.length first) 0 in
+    let record a b =
+      List.iter (fun j ->
+          if Word.get a j <> Word.get b j then
+            spectrum.(j) <- spectrum.(j) + 1)
+        (List.init (Word.length a) (fun j -> j))
+    in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+        record a b;
+        walk rest
+      | [ last ] -> if cyclic then record last first
+      | [] -> ()
+    in
+    walk ws;
+    spectrum
+
+let is_balanced ~cyclic ws =
+  match transition_spectrum ~cyclic ws with
+  | [||] -> true
+  | spectrum -> spread spectrum <= 2

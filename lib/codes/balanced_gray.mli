@@ -1,0 +1,35 @@
+(** Balanced Gray codes (paper, Section 2.3; Bhat & Savage 1996).
+
+    A balanced Gray code is a cyclic Gray code whose per-digit transition
+    counts are as equal as possible — in the Bhat–Savage sense, any two
+    digits' counts differ by at most 2.  Spreading the transitions evenly
+    across digit positions is what flattens the variability map of the
+    decoder (paper, Fig. 6).
+
+    The construction is an exact backtracking search for a balanced
+    Hamiltonian cycle of the [radix]-ary hypercube, with per-digit caps as
+    pruning.  It is intended for the small code spaces the decoder needs
+    (at most a few hundred words); results are memoised per
+    [(radix, base_len)]. *)
+
+exception Search_exhausted
+(** Raised when the space is beyond the exact search's reach — either too
+    large outright or exceeding the backtracking budget.  Never observed
+    for the spaces the paper uses (binary up to M = 12 reflected). *)
+
+val cycle : radix:int -> base_len:int -> Word.t list
+(** A full balanced Gray cycle visiting every word of the space exactly
+    once; the last word is adjacent to the first.  Deterministic. *)
+
+val words : radix:int -> base_len:int -> count:int -> Word.t list
+(** First [count] words of {!cycle}, cycling past the space size. *)
+
+val reflected_words : radix:int -> base_len:int -> count:int -> Word.t list
+
+val transition_spectrum : cyclic:bool -> Word.t list -> int array
+(** [transition_spectrum ~cyclic ws] counts, per digit position, how many
+    successive pairs (including last→first when [cyclic]) differ at that
+    position. *)
+
+val is_balanced : cyclic:bool -> Word.t list -> bool
+(** Whether the spectrum's spread (max − min) is at most 2. *)

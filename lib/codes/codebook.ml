@@ -1,0 +1,89 @@
+type t = Tree | Gray | Balanced_gray | Hot | Arranged_hot
+
+let all_types = [ Tree; Gray; Balanced_gray; Hot; Arranged_hot ]
+
+let name = function
+  | Tree -> "TC"
+  | Gray -> "GC"
+  | Balanced_gray -> "BGC"
+  | Hot -> "HC"
+  | Arranged_hot -> "AHC"
+
+let long_name = function
+  | Tree -> "tree code"
+  | Gray -> "Gray code"
+  | Balanced_gray -> "balanced Gray code"
+  | Hot -> "hot code"
+  | Arranged_hot -> "arranged hot code"
+
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tc" | "tree" | "tree code" -> Some Tree
+  | "gc" | "gray" | "gray code" -> Some Gray
+  | "bgc" | "balanced gray" | "balanced gray code" -> Some Balanced_gray
+  | "hc" | "hot" | "hot code" -> Some Hot
+  | "ahc" | "arranged hot" | "arranged hot code" -> Some Arranged_hot
+  | _ -> None
+
+let pp ppf ct = Format.pp_print_string ppf (name ct)
+
+let uses_reflection = function
+  | Tree | Gray | Balanced_gray -> true
+  | Hot | Arranged_hot -> false
+
+let validate_length ~radix ~length = function
+  | Tree | Gray | Balanced_gray ->
+    if length < 2 || length mod 2 <> 0 then
+      Error
+        (Printf.sprintf
+           "reflected codes need an even length >= 2, got %d" length)
+    else Ok ()
+  | Hot | Arranged_hot ->
+    if length < radix || length mod radix <> 0 then
+      Error
+        (Printf.sprintf "hot codes need radix (%d) to divide length (%d)"
+           radix length)
+    else Ok ()
+
+let check ~radix ~length ct =
+  match validate_length ~radix ~length ct with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Codebook: " ^ msg)
+
+let space_size ~radix ~length ct =
+  check ~radix ~length ct;
+  match ct with
+  | Tree | Gray | Balanced_gray ->
+    Tree_code.size ~radix ~base_len:(length / 2)
+  | Hot | Arranged_hot -> Hot_code.size ~radix ~length
+
+let sequence ~radix ~length ~count ct =
+  check ~radix ~length ct;
+  match ct with
+  | Tree -> Tree_code.reflected_words ~radix ~base_len:(length / 2) ~count
+  | Gray -> Gray_code.reflected_words ~radix ~base_len:(length / 2) ~count
+  | Balanced_gray ->
+    Balanced_gray.reflected_words ~radix ~base_len:(length / 2) ~count
+  | Hot -> Hot_code.words ~radix ~length ~count
+  | Arranged_hot -> Arranged_hot.words ~radix ~length ~count
+
+let to_seq ~radix ~length ct =
+  check ~radix ~length ct;
+  let omega = space_size ~radix ~length ct in
+  let block = Array.of_list (sequence ~radix ~length ~count:omega ct) in
+  let rec from i () = Seq.Cons (block.(i mod omega), from (i + 1)) in
+  from 0
+
+let minimal_length ~radix ~min_size ct =
+  if min_size < 1 then invalid_arg "Codebook.minimal_length: min_size < 1";
+  let step = match ct with
+    | Tree | Gray | Balanced_gray -> 2
+    | Hot | Arranged_hot -> radix
+  in
+  let rec grow length =
+    if length > 64 then
+      invalid_arg "Codebook.minimal_length: no valid length below 64"
+    else if space_size ~radix ~length ct >= min_size then length
+    else grow (length + step)
+  in
+  grow step

@@ -1,0 +1,43 @@
+(** Unified interface over the five code families of the paper.
+
+    Tree, Gray and balanced-Gray codes are always delivered in reflected
+    form (the decoder needs reflection for unique addressability); hot and
+    arranged-hot codes are delivered as-is.  [length] is always the full
+    code length [M] — the number of doping regions per nanowire. *)
+
+type t = Tree | Gray | Balanced_gray | Hot | Arranged_hot
+
+val all_types : t list
+(** [Tree; Gray; Balanced_gray; Hot; Arranged_hot]. *)
+
+val name : t -> string
+(** Paper abbreviation: "TC", "GC", "BGC", "HC", "AHC". *)
+
+val long_name : t -> string
+
+val of_name : string -> t option
+(** Parses both abbreviations and long names, case-insensitively. *)
+
+val pp : Format.formatter -> t -> unit
+
+val uses_reflection : t -> bool
+
+val validate_length : radix:int -> length:int -> t -> (unit, string) result
+(** Reflected families need an even [length] with positive half; hot
+    families need [radix | length]. *)
+
+val space_size : radix:int -> length:int -> t -> int
+(** Number of distinct code words Ω.  Raises [Invalid_argument] when the
+    length is invalid for the family. *)
+
+val sequence : radix:int -> length:int -> count:int -> t -> Word.t list
+(** The family's canonical word sequence — counting order for tree and hot
+    codes, minimum-transition arrangements for the other three — cycling
+    once [count] exceeds Ω. *)
+
+val to_seq : radix:int -> length:int -> t -> Word.t Seq.t
+(** Lazy, endless (cycling) stream of the family's sequence — equivalent
+    to {!sequence} without choosing [count] up front. *)
+
+val minimal_length : radix:int -> min_size:int -> t -> int
+(** Smallest valid [length] whose space size is at least [min_size]. *)

@@ -1,0 +1,55 @@
+(* Reflected n-ary Gray code.  Recursive definition: the space splits into
+   n blocks by leading digit d; block d holds the (m-1)-digit code, reversed
+   whenever d is odd.  Iteratively: emit the leading digit of the remaining
+   index and mirror the remainder inside its block when that digit is odd.
+   Successive words then differ in exactly one digit (by ±1). *)
+
+let gray_digits ~radix ~base_len i =
+  let digits = Array.make base_len 0 in
+  let place = ref (Tree_code.size ~radix ~base_len) in
+  let rest = ref i in
+  for j = 0 to base_len - 1 do
+    place := !place / radix;
+    let d = !rest / !place in
+    let inner = !rest mod !place in
+    digits.(j) <- d;
+    rest := (if d mod 2 = 1 then !place - 1 - inner else inner)
+  done;
+  digits
+
+let word_at ~radix ~base_len i =
+  let omega = Tree_code.size ~radix ~base_len in
+  if i < 0 || i >= omega then
+    invalid_arg
+      (Printf.sprintf "Gray_code.word_at: index %d outside [0, %d)" i omega);
+  Word.make ~radix (gray_digits ~radix ~base_len i)
+
+let words ~radix ~base_len ~count =
+  if count < 0 then invalid_arg "Gray_code.words: negative count";
+  let omega = Tree_code.size ~radix ~base_len in
+  List.init count (fun i -> word_at ~radix ~base_len (i mod omega))
+
+let reflected_words ~radix ~base_len ~count =
+  List.map Word.reflect (words ~radix ~base_len ~count)
+
+(* Inverse: rebuild the index bottom-up, undoing the mirroring of each
+   level whose digit is odd. *)
+let rank w =
+  let radix = Word.radix w in
+  let inner = ref 0 in
+  let place = ref 1 in
+  for j = Word.length w - 1 downto 0 do
+    let d = Word.get w j in
+    let unmirrored = if d mod 2 = 1 then !place - 1 - !inner else !inner in
+    inner := (d * !place) + unmirrored;
+    place := !place * radix
+  done;
+  !inner
+
+let is_gray_sequence words =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) ->
+      Word.hamming_distance a b = 1 && check rest
+  in
+  check words

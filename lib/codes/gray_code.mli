@@ -1,0 +1,24 @@
+(** n-ary reflected Gray codes (paper, Section 2.3 and Propositions 4–5).
+
+    A Gray code is an arrangement of the tree-code space in which
+    successive words differ in exactly one digit.  The construction here is
+    the classical reflected one: digit [j] of the [i]-th word is the [j]-th
+    base-[n] digit of [i], complemented whenever the sum of the more
+    significant digits is odd.  Successive (unreflected) words then differ
+    in one digit by ±1; reflected words differ in exactly two digits. *)
+
+val word_at : radix:int -> base_len:int -> int -> Word.t
+(** [i]-th unreflected Gray word, [0 ≤ i <] {!Tree_code.size}. *)
+
+val words : radix:int -> base_len:int -> count:int -> Word.t list
+(** First [count] unreflected Gray words, cycling past the space size. *)
+
+val reflected_words : radix:int -> base_len:int -> count:int -> Word.t list
+
+val rank : Word.t -> int
+(** Inverse of {!word_at} on unreflected words: position of the word in the
+    Gray sequence. *)
+
+val is_gray_sequence : Word.t list -> bool
+(** Whether all successive pairs differ in exactly one digit (unreflected
+    sequences) — the defining property. *)

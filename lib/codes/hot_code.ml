@@ -1,0 +1,89 @@
+let multiplicity ~radix ~length =
+  if radix < 2 then invalid_arg "Hot_code: radix must be >= 2";
+  if length < radix || length mod radix <> 0 then
+    invalid_arg
+      (Printf.sprintf "Hot_code: length %d is not a multiple of radix %d"
+         length radix);
+  length / radix
+
+let size ~radix ~length =
+  let k = multiplicity ~radix ~length in
+  let value =
+    Nanodec_numerics.Special.multinomial (List.init radix (fun _ -> k))
+  in
+  if value > float_of_int max_int then
+    invalid_arg "Hot_code.size: code space exceeds max_int";
+  int_of_float value
+
+let is_member w =
+  let counts = Word.counts w in
+  Array.for_all (fun c -> c = counts.(0)) counts
+
+(* Lexicographic enumeration of multiset permutations by recursive descent
+   on remaining per-value budgets. *)
+let all ~radix ~length =
+  let k = multiplicity ~radix ~length in
+  let budget = Array.make radix k in
+  let word = Array.make length 0 in
+  let acc = ref [] in
+  let rec fill position =
+    if position = length then acc := Word.make ~radix word :: !acc
+    else
+      for v = radix - 1 downto 0 do
+        if budget.(v) > 0 then begin
+          budget.(v) <- budget.(v) - 1;
+          word.(position) <- v;
+          fill (position + 1);
+          budget.(v) <- budget.(v) + 1
+        end
+      done
+  in
+  (* Descending value loop + list prepend yields ascending lexicographic
+     order without a final reverse. *)
+  fill 0;
+  !acc
+
+let words ~radix ~length ~count =
+  if count < 0 then invalid_arg "Hot_code.words: negative count";
+  let space = Array.of_list (all ~radix ~length) in
+  let omega = Array.length space in
+  List.init count (fun i -> space.(i mod omega))
+
+(* Lazy enumeration: successor-based. [next_word] finds the next multiset
+   permutation in lexicographic order (standard next-permutation on the
+   digit array). *)
+let next_word digits =
+  let n = Array.length digits in
+  let a = Array.copy digits in
+  (* Find the rightmost ascent. *)
+  let rec find_ascent i = if i < 0 then None else if a.(i) < a.(i + 1) then Some i else find_ascent (i - 1) in
+  match find_ascent (n - 2) with
+  | None -> None
+  | Some i ->
+    (* Smallest element greater than a.(i) to its right (rightmost works
+       because the suffix is non-increasing). *)
+    let rec find_swap j = if a.(j) > a.(i) then j else find_swap (j - 1) in
+    let j = find_swap (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp;
+    (* Reverse the suffix. *)
+    let lo = ref (i + 1) and hi = ref (n - 1) in
+    while !lo < !hi do
+      let tmp = a.(!lo) in
+      a.(!lo) <- a.(!hi);
+      a.(!hi) <- tmp;
+      incr lo;
+      decr hi
+    done;
+    Some a
+
+let to_seq ~radix ~length =
+  let k = multiplicity ~radix ~length in
+  let first = Array.init length (fun i -> i / k) in
+  let rec from digits () =
+    Seq.Cons
+      ( Word.make ~radix digits,
+        match next_word digits with None -> Seq.empty | Some a -> from a )
+  in
+  from first

@@ -1,0 +1,30 @@
+(** Hot codes (paper, Section 2.3).
+
+    A hot code over the [n]-valued logic with parameters [(M, k)],
+    [M = k·n], is the set of all words of [M] digits in which every value
+    [0..n-1] appears exactly [k] times.  Hot codes need no reflection: the
+    fixed digit counts already guarantee unique addressability (no word
+    dominates another).  For [n = 2] this is the classical k-hot /
+    constant-weight code. *)
+
+val size : radix:int -> length:int -> int
+(** Multinomial {m M! / (k!)^n} with [k = length / radix]; raises
+    [Invalid_argument] if [radix] does not divide [length]. *)
+
+val multiplicity : radix:int -> length:int -> int
+(** [k = length / radix]. *)
+
+val is_member : Word.t -> bool
+(** Whether every value of the word's radix occurs equally often. *)
+
+val all : radix:int -> length:int -> Word.t list
+(** The full code space in lexicographic order. *)
+
+val words : radix:int -> length:int -> count:int -> Word.t list
+(** First [count] words in lexicographic order, cycling past the space
+    size. *)
+
+val to_seq : radix:int -> length:int -> Word.t Seq.t
+(** Lazy lexicographic enumeration — the space grows as
+    {m M!/(k!)^n} (e.g. 12870 words at binary M = 16), so streaming
+    avoids materialising it. *)

@@ -1,0 +1,91 @@
+type t = {
+  n_words : int;
+  radix : int;
+  length : int;
+  distinct_words : int;
+  total_transitions : int;
+  max_step_transitions : int;
+  min_step_transitions : int;
+  spectrum : int array;
+  spectrum_spread : int;
+  min_pairwise_distance : int;
+  is_gray : bool;
+  is_balanced : bool;
+}
+
+let of_words words =
+  match words with
+  | [] -> invalid_arg "Metrics.of_words: empty sequence"
+  | first :: _ ->
+    let radix = Word.radix first
+    and length = Word.length first in
+    List.iter
+      (fun w ->
+        if Word.radix w <> radix || Word.length w <> length then
+          invalid_arg "Metrics.of_words: heterogeneous words")
+      words;
+    let arr = Array.of_list words in
+    let n_words = Array.length arr in
+    let steps =
+      Array.init (n_words - 1) (fun i ->
+          Word.hamming_distance arr.(i) arr.(i + 1))
+    in
+    let total_transitions = Array.fold_left ( + ) 0 steps in
+    let max_step = Array.fold_left Stdlib.max 0 steps in
+    let min_step =
+      if Array.length steps = 0 then 0
+      else Array.fold_left Stdlib.min steps.(0) steps
+    in
+    let spectrum = Balanced_gray.transition_spectrum ~cyclic:false words in
+    let spread =
+      match spectrum with
+      | [||] -> 0
+      | _ ->
+        Array.fold_left Stdlib.max spectrum.(0) spectrum
+        - Array.fold_left Stdlib.min spectrum.(0) spectrum
+    in
+    let distinct_words =
+      List.length (List.sort_uniq Word.compare words)
+    in
+    let min_pairwise =
+      let best = ref length in
+      for i = 0 to n_words - 1 do
+        for j = i + 1 to n_words - 1 do
+          if not (Word.equal arr.(i) arr.(j)) then
+            best := Stdlib.min !best (Word.hamming_distance arr.(i) arr.(j))
+        done
+      done;
+      if distinct_words < 2 then 0 else !best
+    in
+    {
+      n_words;
+      radix;
+      length;
+      distinct_words;
+      total_transitions;
+      max_step_transitions = max_step;
+      min_step_transitions = min_step;
+      spectrum;
+      spectrum_spread = spread;
+      min_pairwise_distance = min_pairwise;
+      is_gray = Gray_code.is_gray_sequence words;
+      is_balanced = spread <= 2;
+    }
+
+let of_codebook ~radix ~length ?count code_type =
+  let count =
+    match count with
+    | Some c -> c
+    | None -> Codebook.space_size ~radix ~length code_type
+  in
+  of_words (Codebook.sequence ~radix ~length ~count code_type)
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>%d words (%d distinct), radix %d, length %d@,\
+     transitions: total %d, per step %d..%d@,\
+     spectrum spread %d (balanced: %b), gray: %b@,\
+     min pairwise distance %d@]"
+    m.n_words m.distinct_words m.radix m.length m.total_transitions
+    m.min_step_transitions m.max_step_transitions m.spectrum_spread
+    m.is_balanced m.is_gray m.min_pairwise_distance

@@ -1,0 +1,34 @@
+(** Summary metrics of a code-word sequence.
+
+    One record capturing everything the paper cares about when comparing
+    encoding schemes: space coverage, transition structure (what Gray
+    arrangements minimise), per-digit balance (what balanced Gray codes
+    equalise) and pairwise-distance extremes. *)
+
+type t = {
+  n_words : int;
+  radix : int;
+  length : int;
+  distinct_words : int;
+  total_transitions : int;
+      (** sum of Hamming distances between successive words *)
+  max_step_transitions : int;
+  min_step_transitions : int;
+  spectrum : int array;  (** per-digit transition counts (non-cyclic) *)
+  spectrum_spread : int;  (** max - min of [spectrum] *)
+  min_pairwise_distance : int;
+      (** smallest Hamming distance over all distinct pairs *)
+  is_gray : bool;  (** successive words differ in exactly one digit *)
+  is_balanced : bool;  (** spectrum spread at most 2 *)
+}
+
+val of_words : Word.t list -> t
+(** Raises [Invalid_argument] on an empty or heterogeneous list.
+    Pairwise distance is O(k²·M): intended for code spaces, not bulk
+    data. *)
+
+val of_codebook : radix:int -> length:int -> ?count:int -> Codebook.t -> t
+(** Metrics of a family's canonical sequence; [count] defaults to the
+    space size. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+let size ~radix ~base_len =
+  if radix < 2 then invalid_arg "Tree_code.size: radix must be >= 2";
+  if base_len < 1 then invalid_arg "Tree_code.size: base_len must be >= 1";
+  let rec power acc k =
+    if k = 0 then acc
+    else if acc > max_int / radix then
+      invalid_arg "Tree_code.size: code space exceeds max_int"
+    else power (acc * radix) (k - 1)
+  in
+  power 1 base_len
+
+(* Base-[radix] digits of [i], most significant first. *)
+let base_digits ~radix ~base_len i =
+  let digits = Array.make base_len 0 in
+  let rec fill j rest =
+    if j >= 0 then begin
+      digits.(j) <- rest mod radix;
+      fill (j - 1) (rest / radix)
+    end
+  in
+  fill (base_len - 1) i;
+  digits
+
+let word_at ~radix ~base_len i =
+  let omega = size ~radix ~base_len in
+  if i < 0 || i >= omega then
+    invalid_arg
+      (Printf.sprintf "Tree_code.word_at: index %d outside [0, %d)" i omega);
+  Word.make ~radix (base_digits ~radix ~base_len i)
+
+let words ~radix ~base_len ~count =
+  if count < 0 then invalid_arg "Tree_code.words: negative count";
+  let omega = size ~radix ~base_len in
+  List.init count (fun i -> word_at ~radix ~base_len (i mod omega))
+
+let reflected_words ~radix ~base_len ~count =
+  List.map Word.reflect (words ~radix ~base_len ~count)

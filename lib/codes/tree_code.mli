@@ -1,0 +1,23 @@
+(** Tree codes (paper, Section 2.3).
+
+    A tree code with parameter [base_len] over radix [n] is the set of all
+    {m n^{base\_len}} words, taken in counting (lexicographic) order.  For
+    nanowire addressing tree codes are always used {e reflected}: each word
+    is extended by its complement, so the full code length is
+    [M = 2 * base_len]. *)
+
+val size : radix:int -> base_len:int -> int
+(** {m n^{base\_len}}; raises [Invalid_argument] on overflow or
+    non-positive [base_len]. *)
+
+val word_at : radix:int -> base_len:int -> int -> Word.t
+(** [word_at ~radix ~base_len i] is the [i]-th unreflected word in counting
+    order, [0 ≤ i < size]. *)
+
+val words : radix:int -> base_len:int -> count:int -> Word.t list
+(** First [count] unreflected words; [count] may exceed [size], in which
+    case the enumeration cycles (a half cave can hold more nanowires than
+    one code space — contact groups reuse the codes). *)
+
+val reflected_words : radix:int -> base_len:int -> count:int -> Word.t list
+(** Same sequence with every word reflected (length [2 * base_len]). *)

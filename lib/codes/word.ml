@@ -1,0 +1,102 @@
+type t = { radix : int; digits : int array }
+
+let make ~radix digits =
+  if radix < 2 then invalid_arg "Word.make: radix must be >= 2";
+  if Array.length digits = 0 then invalid_arg "Word.make: empty word";
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= radix then
+        invalid_arg
+          (Printf.sprintf "Word.make: digit %d outside [0, %d)" d radix))
+    digits;
+  { radix; digits = Array.copy digits }
+
+let radix w = w.radix
+let length w = Array.length w.digits
+
+let get w j =
+  if j < 0 || j >= Array.length w.digits then
+    invalid_arg "Word.get: position out of range";
+  w.digits.(j)
+
+let digits w = Array.copy w.digits
+
+let equal a b = a.radix = b.radix && a.digits = b.digits
+
+let compare a b =
+  let c = Int.compare a.radix b.radix in
+  if c <> 0 then c else Stdlib.compare a.digits b.digits
+
+let complement w =
+  { w with digits = Array.map (fun d -> w.radix - 1 - d) w.digits }
+
+let reflect w =
+  { w with digits = Array.append w.digits (complement w).digits }
+
+let is_reflected w =
+  let len = Array.length w.digits in
+  len mod 2 = 0
+  &&
+  let half = len / 2 in
+  let ok = ref true in
+  for j = 0 to half - 1 do
+    if w.digits.(half + j) <> w.radix - 1 - w.digits.(j) then ok := false
+  done;
+  !ok
+
+let base_part w =
+  let len = Array.length w.digits in
+  if len mod 2 <> 0 then invalid_arg "Word.base_part: odd-length word";
+  { w with digits = Array.sub w.digits 0 (len / 2) }
+
+let check_compatible ~fn a b =
+  if a.radix <> b.radix || Array.length a.digits <> Array.length b.digits then
+    invalid_arg (Printf.sprintf "Word.%s: incompatible words" fn)
+
+let hamming_distance a b =
+  check_compatible ~fn:"hamming_distance" a b;
+  let d = ref 0 in
+  for j = 0 to Array.length a.digits - 1 do
+    if a.digits.(j) <> b.digits.(j) then incr d
+  done;
+  !d
+
+let changed_pairs a b =
+  check_compatible ~fn:"changed_pairs" a b;
+  let pairs = ref [] in
+  for j = Array.length a.digits - 1 downto 0 do
+    if a.digits.(j) <> b.digits.(j) then
+      pairs := (a.digits.(j), b.digits.(j)) :: !pairs
+  done;
+  !pairs
+
+let dominates a b =
+  check_compatible ~fn:"dominates" a b;
+  let ok = ref true in
+  for j = 0 to Array.length a.digits - 1 do
+    if b.digits.(j) > a.digits.(j) then ok := false
+  done;
+  !ok
+
+let counts w =
+  let c = Array.make w.radix 0 in
+  Array.iter (fun d -> c.(d) <- c.(d) + 1) w.digits;
+  c
+
+let char_of_digit d =
+  if d < 10 then Char.chr (Char.code '0' + d)
+  else Char.chr (Char.code 'a' + d - 10)
+
+let digit_of_char ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'z' -> Char.code ch - Char.code 'a' + 10
+  | _ -> invalid_arg (Printf.sprintf "Word.of_string: bad digit %C" ch)
+
+let to_string w = String.init (length w) (fun j -> char_of_digit w.digits.(j))
+
+let of_string ~radix s =
+  if String.length s = 0 then invalid_arg "Word.of_string: empty string";
+  make ~radix (Array.init (String.length s) (fun j -> digit_of_char s.[j]))
+
+let pp ppf w = Format.pp_print_string ppf (to_string w)

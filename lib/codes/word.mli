@@ -1,0 +1,64 @@
+(** Multi-valued code words.
+
+    A code word is a fixed-length sequence of digits over the [n]-valued
+    logic {m \{0, …, n-1\}} (paper, Section 2.3).  Words carry their radix
+    so that complementation and validation need no external context. *)
+
+type t
+(** Immutable code word. *)
+
+val make : radix:int -> int array -> t
+(** [make ~radix digits] validates every digit against [radix] (which must
+    be at least 2) and copies the array.  Raises [Invalid_argument] on an
+    empty array or an out-of-range digit. *)
+
+val radix : t -> int
+val length : t -> int
+val get : t -> int -> int
+
+val digits : t -> int array
+(** Fresh copy of the digit array. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val complement : t -> t
+(** Digitwise complement {m d ↦ n-1-d} — the paper's subtraction of the
+    word from the largest word of the code space. *)
+
+val reflect : t -> t
+(** [reflect w] appends {!complement}[ w] to [w], doubling the length —
+    the reflected form every tree/Gray code is used in (Section 2.3). *)
+
+val is_reflected : t -> bool
+(** Whether the second half is the complement of the first half. *)
+
+val base_part : t -> t
+(** First half of a reflected word; raises [Invalid_argument] on words of
+    odd length. *)
+
+val hamming_distance : t -> t -> int
+(** Number of digit positions at which the two words differ.  This is the
+    paper's "number of transitions" between successive code words. *)
+
+val changed_pairs : t -> t -> (int * int) list
+(** [(a, b)] for every position where the first word holds [a] and the
+    second holds [b ≠ a], in position order.  The distinct members of this
+    list determine the distinct doping doses of a fabrication step. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] is true when {m bⱼ ≤ aⱼ} at every position — word [b]'s
+    transistors all conduct under the voltage pattern that addresses [a]
+    (decoder semantics of Section 2.2). *)
+
+val counts : t -> int array
+(** [counts w] maps each digit value to its number of occurrences (array of
+    length [radix w]); used by the hot-code membership test. *)
+
+val to_string : t -> string
+(** Digits as characters, e.g. ["0212"]; digits above 9 print as
+    ['a'], ['b'], … *)
+
+val of_string : radix:int -> string -> t
+
+val pp : Format.formatter -> t -> unit

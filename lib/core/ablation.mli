@@ -1,0 +1,50 @@
+(** Ablation studies: do the paper's conclusions survive moving the
+    calibrated parameters?
+
+    Each ablation sweeps one platform parameter and records the crossbar
+    yield of the baseline code (TC, M = 8) and the optimized code
+    (BGC, M = 8) at every point.  The paper's central qualitative claim —
+    the balanced Gray code beats the tree code — should hold across the
+    whole sweep; {!conclusion_holds} checks exactly that. *)
+
+type point = {
+  value : float;  (** swept parameter value *)
+  tree_yield : float;  (** crossbar yield Y² of TC, M = 8 *)
+  bgc_yield : float;  (** crossbar yield Y² of BGC, M = 8 *)
+}
+
+type series = {
+  parameter : string;
+  unit_name : string;
+  points : point list;
+}
+
+val sweep :
+  parameter:string ->
+  unit_name:string ->
+  values:float list ->
+  apply:(Nanodec_crossbar.Cave.config -> float -> Nanodec_crossbar.Cave.config) ->
+  series
+(** Generic one-parameter ablation on the paper's platform. *)
+
+val sigma_t : unit -> series
+(** Per-implant noise, 10–120 mV. *)
+
+val sigma_base : unit -> series
+(** Intrinsic variability, 0–200 mV. *)
+
+val margin : unit -> series
+(** Addressability window fraction, 0.2–0.5. *)
+
+val overlay : unit -> series
+(** Pad overlay margin, 0–28 nm. *)
+
+val cave_wires : unit -> series
+(** Nanowires per half cave, 10–60. *)
+
+val all : unit -> series list
+
+val conclusion_holds : series -> bool
+(** BGC yield ≥ TC yield at every swept point. *)
+
+val pp : Format.formatter -> series -> unit

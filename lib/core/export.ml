@@ -1,0 +1,135 @@
+open Nanodec_codes
+open Nanodec_numerics
+
+let lines_to_csv header rows =
+  String.concat "\n" (header :: rows) ^ "\n"
+
+let fig5_csv () =
+  lines_to_csv "radix,code,length,phi"
+    (List.map
+       (fun (p : Figures.fig5_point) ->
+         Printf.sprintf "%d,%s,%d,%d" p.radix
+           (Codebook.name p.code_type)
+           p.code_length p.phi)
+       (Figures.fig5 ()))
+
+let fig6_csv () =
+  let rows =
+    List.concat_map
+      (fun (s : Figures.fig6_surface) ->
+        let m = s.normalized_std in
+        List.concat
+          (List.init (Fmatrix.rows m) (fun i ->
+               List.init (Fmatrix.cols m) (fun j ->
+                   Printf.sprintf "%s,%d,%d,%d,%.6f"
+                     (Codebook.name s.code_type)
+                     s.code_length (i + 1) (j + 1) (Fmatrix.get m i j)))))
+      (Figures.fig6 ())
+  in
+  lines_to_csv "code,length,wire,digit,sqrt_nu" rows
+
+let fig7_csv () =
+  lines_to_csv "code,length,crossbar_yield"
+    (List.map
+       (fun (p : Figures.fig7_point) ->
+         Printf.sprintf "%s,%d,%.6f"
+           (Codebook.name p.code_type)
+           p.code_length p.crossbar_yield)
+       (Figures.fig7 ()))
+
+let fig8_csv () =
+  lines_to_csv "code,length,bit_area_nm2"
+    (List.map
+       (fun (p : Figures.fig8_point) ->
+         Printf.sprintf "%s,%d,%.3f"
+           (Codebook.name p.code_type)
+           p.code_length p.bit_area)
+       (Figures.fig8 ()))
+
+let sweep_csv ?spec () =
+  let rows =
+    List.map
+      (fun (r : Design.report) ->
+        let c = r.Design.spec.Design.cave in
+        Printf.sprintf "%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.3f,%d,%d"
+          (Codebook.name c.Nanodec_crossbar.Cave.code_type)
+          c.Nanodec_crossbar.Cave.radix c.Nanodec_crossbar.Cave.code_length
+          r.Design.omega r.Design.phi r.Design.average_nu r.Design.cave_yield
+          r.Design.crossbar_yield r.Design.bit_area r.Design.n_pads
+          r.Design.removed_wires)
+      (Optimizer.sweep ?spec ())
+  in
+  lines_to_csv
+    "code,radix,length,omega,phi,average_nu,cave_yield,crossbar_yield,bit_area,pads,removed"
+    rows
+
+let gnuplot_script figure =
+  match figure with
+  | `Fig5 ->
+    String.concat "\n"
+      [
+        "# Fig. 5 — fabrication complexity per code and logic type";
+        "set terminal pngcairo size 800,500";
+        "set output 'fig5.png'";
+        "set datafile separator ','";
+        "set style data histograms";
+        "set style fill solid 0.8 border -1";
+        "set ylabel 'fabrication complexity (steps)'";
+        "set yrange [15:*]";
+        "set key top left";
+        "plot 'fig5.csv' using (column(4)):xtic(sprintf('%s n=%d', \\";
+        "     stringcolumn(2), column(1))) every ::1 title 'Phi'";
+        "";
+      ]
+  | `Fig7 ->
+    String.concat "\n"
+      [
+        "# Fig. 7 — crossbar yield vs code length";
+        "set terminal pngcairo size 800,500";
+        "set output 'fig7.png'";
+        "set datafile separator ','";
+        "set xlabel 'code length M'";
+        "set ylabel 'crossbar yield'";
+        "set yrange [0:1]";
+        "set key top left";
+        "plot for [code in 'TC BGC HC AHC'] \\";
+        "     '< grep ^'.code.', fig7.csv' using 2:3 \\";
+        "     with linespoints title code";
+        "";
+      ]
+  | `Fig8 ->
+    String.concat "\n"
+      [
+        "# Fig. 8 — bit area per code type and length";
+        "set terminal pngcairo size 800,500";
+        "set output 'fig8.png'";
+        "set datafile separator ','";
+        "set xlabel 'code length M'";
+        "set ylabel 'bit area [nm^2]'";
+        "set key top right";
+        "plot for [code in 'TC GC BGC HC AHC'] \\";
+        "     '< grep ^'.code.', fig8.csv' using 2:3 \\";
+        "     with linespoints title code";
+        "";
+      ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_all ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, contents) -> write_file (Filename.concat dir name) contents)
+    [
+      ("fig5.csv", fig5_csv ());
+      ("fig6.csv", fig6_csv ());
+      ("fig7.csv", fig7_csv ());
+      ("fig8.csv", fig8_csv ());
+      ("sweep.csv", sweep_csv ());
+      ("fig5.gp", gnuplot_script `Fig5);
+      ("fig7.gp", gnuplot_script `Fig7);
+      ("fig8.gp", gnuplot_script `Fig8);
+    ]

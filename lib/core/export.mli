@@ -1,0 +1,30 @@
+(** CSV export of every reproduction dataset.
+
+    Files are plain RFC-4180-ish CSV (no quoting needed — all fields are
+    numbers or code names), one per figure plus the full design-space
+    sweep, so results can be replotted outside OCaml. *)
+
+val fig5_csv : unit -> string
+(** Columns: [radix,code,length,phi]. *)
+
+val fig6_csv : unit -> string
+(** Long format, one row per (code, length, wire, digit):
+    [code,length,wire,digit,sqrt_nu]. *)
+
+val fig7_csv : unit -> string
+(** Columns: [code,length,crossbar_yield]. *)
+
+val fig8_csv : unit -> string
+(** Columns: [code,length,bit_area_nm2]. *)
+
+val sweep_csv : ?spec:Design.spec -> unit -> string
+(** Full design-space sweep: one row per design with every report field. *)
+
+val gnuplot_script : [ `Fig5 | `Fig7 | `Fig8 ] -> string
+(** A self-contained gnuplot script that renders the figure from its CSV
+    (placed in the same directory) to a PNG, in the paper's layout —
+    grouped bars for Figs 5 and 8, yield-vs-length series for Fig 7. *)
+
+val write_all : dir:string -> unit
+(** Writes [fig5.csv] … [fig8.csv], [sweep.csv] and the gnuplot scripts
+    [fig5.gp], [fig7.gp], [fig8.gp] into [dir] (created if missing). *)

@@ -1,0 +1,69 @@
+open Nanodec_codes
+open Nanodec_crossbar
+
+type node = {
+  label : string;
+  litho_pitch : float;
+  nanowire_pitch : float;
+}
+
+let default_nodes =
+  [
+    { label = "65nm-class"; litho_pitch = 65.; nanowire_pitch = 10. };
+    { label = "45nm-class"; litho_pitch = 45.; nanowire_pitch = 10. };
+    { label = "32nm-class (paper)"; litho_pitch = 32.; nanowire_pitch = 10. };
+    { label = "22nm-class"; litho_pitch = 22.; nanowire_pitch = 10. };
+  ]
+
+type point = {
+  node : node;
+  raw_bits : int;
+  best_code : Codebook.t;
+  best_length : int;
+  best_bit_area : float;
+  crossbar_yield : float;
+}
+
+let spec_for node raw_bits =
+  let base_rules = Geometry.default_rules in
+  (* Overlay alignment scales with the node; pads keep the 1.5 PL rule. *)
+  let rules =
+    {
+      base_rules with
+      Geometry.litho_pitch = node.litho_pitch;
+      pad_overlap = 0.75 *. node.litho_pitch;
+      nanowire_pitch = node.nanowire_pitch;
+    }
+  in
+  {
+    Design.cave = { Cave.default_config with Cave.rules };
+    raw_bits;
+  }
+
+let best_point node raw_bits =
+  let spec = spec_for node raw_bits in
+  let report = Optimizer.best ~spec Optimizer.Min_bit_area in
+  let cave = report.Design.spec.Design.cave in
+  {
+    node;
+    raw_bits;
+    best_code = cave.Cave.code_type;
+    best_length = cave.Cave.code_length;
+    best_bit_area = report.Design.bit_area;
+    crossbar_yield = report.Design.crossbar_yield;
+  }
+
+let sweep_nodes ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes) () =
+  List.map (fun node -> best_point node raw_bits) nodes
+
+let paper_node = { label = "32nm-class (paper)"; litho_pitch = 32.; nanowire_pitch = 10. }
+
+let sweep_memory_sizes ?(sizes = [ 4; 16; 64; 256 ]) () =
+  List.map (fun kb -> best_point paper_node (kb * 1024 * 8)) sizes
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "%-20s %8d bits: best %s M=%d -> %.0f nm^2/bit (Y^2=%.2f)" p.node.label
+    p.raw_bits
+    (Codebook.name p.best_code)
+    p.best_length p.best_bit_area p.crossbar_yield

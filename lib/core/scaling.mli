@@ -1,0 +1,37 @@
+(** Technology-scaling study: how the decoder conclusions move across
+    lithography nodes and memory sizes.
+
+    The paper fixes PL = 32 nm, PN = 10 nm and 16 kB.  A natural question
+    for a designer is how the optimal code family and length shift as the
+    lithography shrinks (contact pads and mesowires get cheaper relative
+    to the sub-litho array) or the memory grows (decoder overhead
+    amortises).  Every point re-runs the full design flow. *)
+
+type node = {
+  label : string;
+  litho_pitch : float;  (** PL, nm *)
+  nanowire_pitch : float;  (** PN, nm *)
+}
+
+val default_nodes : node list
+(** 65/45/32/22-nm-class nodes with proportionally scaled overlay margins
+    and a fixed 10 nm nanowire pitch (the spacer process is litho
+    independent). *)
+
+type point = {
+  node : node;
+  raw_bits : int;
+  best_code : Nanodec_codes.Codebook.t;
+  best_length : int;
+  best_bit_area : float;
+  crossbar_yield : float;
+}
+
+val sweep_nodes : ?raw_bits:int -> ?nodes:node list -> unit -> point list
+(** Minimum-bit-area design per node. *)
+
+val sweep_memory_sizes : ?sizes:int list -> unit -> point list
+(** Minimum-bit-area design per raw density (default 4 kB – 256 kB) on
+    the paper's 32 nm node. *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,64 @@
+open Nanodec_codes
+open Nanodec_mspt
+
+type address = {
+  cave : int;
+  half : int;
+  pad : int;
+  word : Word.t;
+}
+
+type t = {
+  wires_per_half : int;
+  addresses : address option array;
+  (* Reverse index keyed by (cave, half, pad, word text). *)
+  reverse : (int * int * int * string, int) Hashtbl.t;
+}
+
+let build analysis ~wires =
+  if wires < 1 then invalid_arg "Address_space.build: wires must be >= 1";
+  let config = analysis.Cave.config in
+  let n = config.Cave.n_wires in
+  let pattern = analysis.Cave.pattern in
+  let reverse = Hashtbl.create (2 * wires) in
+  let addresses =
+    Array.init wires (fun w ->
+        let index_in_half = w mod n in
+        let half_global = w / n in
+        let cave = half_global / 2
+        and half = half_global mod 2 in
+        match analysis.Cave.layout.Geometry.statuses.(index_in_half) with
+        | Geometry.Shared_between_pads _ | Geometry.Excess_in_pad _ -> None
+        | Geometry.Addressable pad ->
+          let word = Pattern.word pattern ~wire:index_in_half in
+          let address = { cave; half; pad; word } in
+          Hashtbl.replace reverse (cave, half, pad, Word.to_string word) w;
+          Some address)
+  in
+  { wires_per_half = n; addresses; reverse }
+
+let n_wires t = Array.length t.addresses
+
+let address_of_wire t w =
+  if w < 0 || w >= n_wires t then
+    invalid_arg "Address_space.address_of_wire: wire out of range";
+  t.addresses.(w)
+
+let wire_of_address t address =
+  Hashtbl.find_opt t.reverse
+    (address.cave, address.half, address.pad, Word.to_string address.word)
+
+let addressable_wires t =
+  let acc = ref [] in
+  Array.iteri
+    (fun w entry -> match entry with Some _ -> acc := w :: !acc | None -> ())
+    t.addresses;
+  List.rev !acc
+
+let mesowire_voltages levels address =
+  Array.init (Word.length address.word) (fun j ->
+      Addressing.applied_voltage levels (Word.get address.word j))
+
+let pp_address ppf a =
+  Format.fprintf ppf "cave %d / half %d / group %d / %a" a.cave a.half a.pad
+    Word.pp a.word

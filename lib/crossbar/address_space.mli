@@ -1,0 +1,45 @@
+(** The decoder's address book: the deterministic wire ↔ address mapping.
+
+    The paper's second novelty is that the MSPT decoder "assigns a
+    deterministic address to every nanowire" — unlike stochastic decoders,
+    the controller knows at design time which contact group to activate
+    and which voltage pattern to apply for each physical wire.  This
+    module materialises that mapping for a whole layer.
+
+    A full address is a (contact group, code word) pair: the group selects
+    the subset of wires bridged to the mesowires, and the word — applied
+    as voltages per {!Addressing.applied_voltage} — turns on exactly one
+    wire of the group. *)
+
+open Nanodec_codes
+
+type address = {
+  cave : int;  (** cave index along the layer *)
+  half : int;  (** 0 or 1 within the cave *)
+  pad : int;  (** contact group within the half cave *)
+  word : Word.t;  (** voltage pattern selecting the wire *)
+}
+
+type t
+
+val build : Cave.analysis -> wires:int -> t
+(** Address book for a layer of [wires] nanowires tiled by the analysed
+    half cave (two half caves per cave). *)
+
+val n_wires : t -> int
+
+val address_of_wire : t -> int -> address option
+(** [None] for wires removed by the contact layout (shared or in excess);
+    raises [Invalid_argument] out of range. *)
+
+val wire_of_address : t -> address -> int option
+(** Inverse lookup; [None] if no wire answers to that address. *)
+
+val addressable_wires : t -> int list
+(** Wires with an address, ascending. *)
+
+val mesowire_voltages :
+  Nanodec_physics.Vt_levels.t -> address -> float array
+(** The physical voltages to drive on the M mesowires for this address. *)
+
+val pp_address : Format.formatter -> address -> unit

@@ -1,0 +1,40 @@
+open Nanodec_codes
+open Nanodec_physics
+
+let applied_voltage levels digit =
+  Vt_levels.vt_of_digit levels digit +. (Vt_levels.separation levels /. 2.)
+
+let conducts_nominal ~address word = Word.dominates address word
+
+let conducts levels ~address ~vt_offsets word =
+  if Array.length vt_offsets <> Word.length word then
+    invalid_arg "Addressing.conducts: offsets length mismatch";
+  let ok = ref true in
+  for j = 0 to Word.length word - 1 do
+    let vt = Vt_levels.vt_of_digit levels (Word.get word j) +. vt_offsets.(j) in
+    if vt > applied_voltage levels (Word.get address j) then ok := false
+  done;
+  !ok
+
+let addressed_nominal ~group ~address =
+  match List.filter (conducts_nominal ~address) group with
+  | [ unique ] -> Some unique
+  | [] | _ :: _ :: _ -> None
+
+let uniquely_addressable group =
+  List.for_all
+    (fun word ->
+      match addressed_nominal ~group ~address:word with
+      | Some w -> Word.equal w word
+      | None -> false)
+    group
+
+let addressed_with_noise levels ~group ~address ~target =
+  let conducting =
+    List.filter
+      (fun (word, vt_offsets) -> conducts levels ~address ~vt_offsets word)
+      group
+  in
+  match conducting with
+  | [ (unique, _) ] -> Word.equal unique target
+  | [] | _ :: _ :: _ -> false

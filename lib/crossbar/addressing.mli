@@ -1,0 +1,48 @@
+(** Electrical addressing semantics of the decoder (paper, Section 2.2,
+    Fig. 1.c).
+
+    Every doping region of a nanowire is a transistor gated by a mesowire.
+    Applying the voltage pattern of address word [a] puts
+    {m V_A(a_j) = V_T(a_j) + Δ/2} on mesowire [j] (half a level separation
+    of headroom); transistor [j] of a wire with pattern [p] conducts iff
+    its actual threshold is below that, i.e. nominally iff {m p_j ≤ a_j}.
+    A wire is {e addressed} by [a] when it conducts and no other wire of
+    its contact group does.
+
+    Reflection is what makes this unique for tree-code families: if both
+    [p ≤ a] digitwise and (on the complemented half) [p̄ ≤ ā], then
+    [p = a].  Hot codes are unique without reflection because all words
+    share their digit multiset. *)
+
+open Nanodec_codes
+open Nanodec_physics
+
+val applied_voltage : Vt_levels.t -> int -> float
+(** Mesowire voltage encoding an address digit. *)
+
+val conducts_nominal : address:Word.t -> Word.t -> bool
+(** Noise-free conduction test: the word's digits are all dominated by the
+    address digits. *)
+
+val conducts :
+  Vt_levels.t -> address:Word.t -> vt_offsets:float array -> Word.t -> bool
+(** Conduction with per-region threshold-voltage deviations added to the
+    word's nominal levels. *)
+
+val addressed_nominal : group:Word.t list -> address:Word.t -> Word.t option
+(** The unique conducting wire of the group under [address], if any. *)
+
+val uniquely_addressable : Word.t list -> bool
+(** Whether every word of the group is addressed by its own address —
+    the decoder's functional correctness condition.  Holds for reflected
+    tree/Gray/balanced-Gray and (un-reflected) hot code groups; fails for
+    un-reflected tree codes. *)
+
+val addressed_with_noise :
+  Vt_levels.t ->
+  group:(Word.t * float array) list ->
+  address:Word.t ->
+  target:Word.t ->
+  bool
+(** Monte-Carlo building block: under [address], does exactly the [target]
+    wire conduct, given each wire's sampled V_T offsets? *)

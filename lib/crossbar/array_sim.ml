@@ -1,0 +1,73 @@
+type config = {
+  cave : Cave.config;
+  raw_bits : int;
+}
+
+let default_config = { cave = Cave.default_config; raw_bits = 16 * 1024 * 8 }
+
+type report = {
+  config : config;
+  cave_analysis : Cave.analysis;
+  wires_per_layer : int;
+  caves_per_layer : int;
+  cave_yield : float;
+  crossbar_yield : float;
+  effective_bits : float;
+  side : float;
+  area : float;
+  bit_area : float;
+}
+
+let evaluate config =
+  if config.raw_bits < 1 then
+    invalid_arg "Array_sim.evaluate: raw_bits must be positive";
+  let cave_analysis = Cave.analyze config.cave in
+  let wires_per_layer =
+    int_of_float (ceil (sqrt (float_of_int config.raw_bits)))
+  in
+  let wires_per_cave = 2 * config.cave.Cave.n_wires in
+  let caves_per_layer =
+    (wires_per_layer + wires_per_cave - 1) / wires_per_cave
+  in
+  let cave_yield = cave_analysis.Cave.yield in
+  let crossbar_yield = cave_yield *. cave_yield in
+  let effective_bits = float_of_int config.raw_bits *. crossbar_yield in
+  let rules = config.cave.Cave.rules in
+  (* The last cave may be partial: the array is as wide as the wires it
+     actually needs, plus one wall per cave. *)
+  let array_width =
+    (float_of_int wires_per_layer *. rules.Geometry.nanowire_pitch)
+    +. (float_of_int caves_per_layer *. rules.Geometry.cave_wall)
+  in
+  let side =
+    array_width
+    +. Geometry.decoder_extent rules ~code_length:config.cave.Cave.code_length
+  in
+  let area = side *. side in
+  let bit_area = if effective_bits > 0. then area /. effective_bits else infinity in
+  {
+    config;
+    cave_analysis;
+    wires_per_layer;
+    caves_per_layer;
+    cave_yield;
+    crossbar_yield;
+    effective_bits;
+    side;
+    area;
+    bit_area;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>code %s  M=%d  n=%d  N=%d  Omega=%d@,\
+     wires/layer %d  caves/layer %d  pads/half-cave %d@,\
+     cave yield Y = %.3f  crossbar yield Y^2 = %.3f@,\
+     D_EFF = %.0f / %d bits@,\
+     side %.0f nm  area %.3e nm^2  bit area %.1f nm^2@]"
+    (Nanodec_codes.Codebook.name r.config.cave.Cave.code_type)
+    r.config.cave.Cave.code_length r.config.cave.Cave.radix
+    r.config.cave.Cave.n_wires r.cave_analysis.Cave.omega r.wires_per_layer
+    r.caves_per_layer r.cave_analysis.Cave.layout.Geometry.n_pads
+    r.cave_yield r.crossbar_yield r.effective_bits r.config.raw_bits r.side
+    r.area r.bit_area

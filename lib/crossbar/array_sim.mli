@@ -1,0 +1,35 @@
+(** Full crossbar array model: yield, effective density and bit area
+    (paper, Section 6.1, Figs. 7–8).
+
+    A square crossbar of raw density [raw_bits] crosspoints has
+    {m \lceil √{raw\_bits} \rceil} nanowires per layer, organised in caves
+    of two half caves of [n_wires] each.  With cave yield [Y] (fraction of
+    addressable wires), the fraction of addressable crosspoints — the
+    "crossbar yield" of Fig. 7 — is [Y²], and the effective density is
+    {m D_{EFF} = D_{RAW}·Y²}.  The layer side adds the decoder overhead
+    (mesowires and contact rows) to the cave widths; the bit area of
+    Fig. 8 is the total area divided by [D_EFF]. *)
+
+type config = {
+  cave : Cave.config;
+  raw_bits : int;  (** D_RAW — 16 kB = 131072 crosspoints in the paper *)
+}
+
+val default_config : config
+
+type report = {
+  config : config;
+  cave_analysis : Cave.analysis;
+  wires_per_layer : int;
+  caves_per_layer : int;
+  cave_yield : float;  (** Y *)
+  crossbar_yield : float;  (** Y² — fraction of addressable crosspoints *)
+  effective_bits : float;  (** D_EFF *)
+  side : float;  (** layer side, nm *)
+  area : float;  (** crossbar area, nm² *)
+  bit_area : float;  (** area per functional bit, nm² *)
+}
+
+val evaluate : config -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,70 @@
+(** Half-cave decoder analysis: code assignment, variability and yield
+    (paper, Section 6.1).
+
+    The [n_wires] nanowires of a half cave are patterned sequentially with
+    the chosen code family's word sequence; contact pads are placed by
+    {!Geometry.place}.  A wire contributes to the yield when
+
+    {ul
+    {- it is owned by exactly one pad and within that pad's Ω unique
+       codes, and}
+    {- every one of its doping regions keeps its threshold voltage within
+       ±window of nominal, each region's V_T being Gaussian with variance
+       {m σ_T²·ν_i^j} from the fabrication model.}}
+
+    The analytic yield is the mean wire success probability; the
+    Monte-Carlo estimators re-sample fabrication noise, either with the
+    same window criterion (validates the closed form) or with the full
+    electrical uniqueness semantics of {!Addressing}. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+
+type config = {
+  rules : Geometry.rules;
+  sigma_t : float;  (** per-implant V_T standard deviation, volt *)
+  sigma_base : float;
+      (** intrinsic per-region V_T standard deviation (random dopant
+          fluctuation, line-edge roughness), volt *)
+  margin_fraction : float;
+      (** addressability window as a fraction of the level separation *)
+  supply_voltage : float;
+  placement : Nanodec_physics.Vt_levels.placement;
+  radix : int;
+  code_type : Codebook.t;
+  code_length : int;  (** M — doping regions per wire *)
+  n_wires : int;  (** N — wires per half cave *)
+}
+
+val default_config : config
+(** The paper's platform: PL 32 nm, PN 10 nm, σ_T 50 mV, 1 V supply,
+    binary balanced Gray code of length 10, N = 20 — plus the calibrated
+    parameters of EXPERIMENTS.md (window fraction 0.42, σ_0 100 mV). *)
+
+type analysis = {
+  config : config;
+  layout : Geometry.layout;
+  pattern : Nanodec_mspt.Pattern.t;
+  nu : Imatrix.t;
+  omega : int;
+  wire_probability : float array;
+      (** per-wire addressability probability; 0 for removed wires *)
+  yield : float;  (** cave yield Y — mean of [wire_probability] *)
+}
+
+val analyze : config -> analysis
+
+val wire_window_probability :
+  sigma_t:float -> sigma_base:float -> window:float -> nu_row:int array -> float
+(** {m Π_j \mathrm{erf}\big(w / √{2(σ_0² + ν_j σ_T²)}\big)} — success
+    probability of one wire given its doping-operation counts. *)
+
+val mc_yield_window :
+  Rng.t -> samples:int -> analysis -> Montecarlo.estimate
+(** Monte-Carlo re-estimate of the analytic yield by sampling fabrication
+    noise through the process simulator and applying the window test. *)
+
+val mc_yield_functional :
+  Rng.t -> samples:int -> analysis -> Montecarlo.estimate
+(** Monte-Carlo yield under the full electrical semantics: a wire counts
+    when it is the unique conductor of its pad under its own address. *)

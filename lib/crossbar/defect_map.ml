@@ -1,0 +1,39 @@
+open Nanodec_numerics
+
+type wire_state = Working | Removed_by_layout | Failed_variability
+
+let sample_layer rng analysis ~wires =
+  if wires < 1 then invalid_arg "Defect_map.sample_layer: wires must be >= 1";
+  let n = analysis.Cave.config.Cave.n_wires in
+  Array.init wires (fun w ->
+      let i = w mod n in
+      match analysis.Cave.layout.Geometry.statuses.(i) with
+      | Geometry.Shared_between_pads _ | Geometry.Excess_in_pad _ ->
+        Removed_by_layout
+      | Geometry.Addressable _ ->
+        if Rng.float rng < analysis.Cave.wire_probability.(i) then Working
+        else Failed_variability)
+
+let usable_indices states =
+  let indices = ref [] in
+  Array.iteri
+    (fun i state ->
+      match state with
+      | Working -> indices := i :: !indices
+      | Removed_by_layout | Failed_variability -> ())
+    states;
+  Array.of_list (List.rev !indices)
+
+let layer_yield states =
+  float_of_int (Array.length (usable_indices states))
+  /. float_of_int (Array.length states)
+
+let pp_row ppf states =
+  Array.iter
+    (fun state ->
+      Format.pp_print_char ppf
+        (match state with
+        | Working -> '#'
+        | Removed_by_layout -> '.'
+        | Failed_variability -> 'x'))
+    states

@@ -1,0 +1,27 @@
+(** Per-wire defect maps sampled from a cave analysis.
+
+    The analytic model gives each wire a survival probability; a defect
+    map is one concrete fabrication outcome — which wires of each layer
+    actually work.  Maps are deterministic given the generator, so whole
+    memories are reproducible from a seed. *)
+
+open Nanodec_numerics
+
+type wire_state =
+  | Working
+  | Removed_by_layout  (** shared between pads or in excess of Ω *)
+  | Failed_variability  (** threshold voltage drifted out of the window *)
+
+val sample_layer : Rng.t -> Cave.analysis -> wires:int -> wire_state array
+(** One outcome for a layer of [wires] nanowires, tiled by half caves
+    that repeat the analysed cave's layout and probabilities. *)
+
+val usable_indices : wire_state array -> int array
+(** Indices of [Working] wires, ascending. *)
+
+val layer_yield : wire_state array -> float
+(** Fraction of [Working] wires. *)
+
+val pp_row : Format.formatter -> wire_state array -> unit
+(** Compact map: ['#'] working, ['.'] layout loss, ['x'] variability
+    loss. *)

@@ -1,0 +1,94 @@
+type decode_result = Clean of int | Corrected of int | Uncorrectable
+
+(* Extended Hamming (8,4).  Bit 0 of the byte is the overall parity; bits
+   1..7 are the classical Hamming positions (parity at 1, 2 and 4; data at
+   3, 5, 6, 7). *)
+
+let bit value position = (value lsr position) land 1
+
+let encode_nibble d =
+  if d < 0 || d > 15 then invalid_arg "Ecc.encode_nibble: nibble outside [0, 15]";
+  let d1 = bit d 0
+  and d2 = bit d 1
+  and d3 = bit d 2
+  and d4 = bit d 3 in
+  let p1 = d1 lxor d2 lxor d4 in
+  let p2 = d1 lxor d3 lxor d4 in
+  let p4 = d2 lxor d3 lxor d4 in
+  let seven =
+    (p1 lsl 1) lor (p2 lsl 2) lor (d1 lsl 3) lor (p4 lsl 4) lor (d2 lsl 5)
+    lor (d3 lsl 6) lor (d4 lsl 7)
+  in
+  let overall =
+    p1 lxor p2 lxor p4 lxor d1 lxor d2 lxor d3 lxor d4
+  in
+  seven lor overall
+
+let nibble_of_codeword codeword =
+  bit codeword 3 lor (bit codeword 5 lsl 1) lor (bit codeword 6 lsl 2)
+  lor (bit codeword 7 lsl 3)
+
+let decode_byte byte =
+  let byte = byte land 0xFF in
+  let syndrome = ref 0 in
+  for position = 1 to 7 do
+    if bit byte position = 1 then syndrome := !syndrome lxor position
+  done;
+  let parity = ref 0 in
+  for position = 0 to 7 do
+    parity := !parity lxor bit byte position
+  done;
+  match (!syndrome, !parity) with
+  | 0, 0 -> Clean (nibble_of_codeword byte)
+  | 0, 1 ->
+    (* The overall parity bit itself flipped; the data is intact. *)
+    Corrected (nibble_of_codeword byte)
+  | s, 1 -> Corrected (nibble_of_codeword (byte lxor (1 lsl s)))
+  | _, _ -> Uncorrectable
+
+let protected_capacity_bytes remap = Remap.capacity_bytes remap / 2
+
+let write_byte remap ~index value =
+  for b = 0 to 7 do
+    Remap.set_bit remap ((8 * index) + b) (bit value b = 1)
+  done
+
+let read_byte remap ~index =
+  let value = ref 0 in
+  for b = 0 to 7 do
+    if Remap.get_bit remap ((8 * index) + b) then value := !value lor (1 lsl b)
+  done;
+  !value
+
+let store remap payload =
+  if String.length payload > protected_capacity_bytes remap then
+    invalid_arg "Ecc.store: payload exceeds protected capacity";
+  String.iteri
+    (fun i ch ->
+      let byte = Char.code ch in
+      write_byte remap ~index:(2 * i) (encode_nibble (byte land 0xF));
+      write_byte remap ~index:((2 * i) + 1) (encode_nibble (byte lsr 4)))
+    payload
+
+let load remap ~length =
+  if length < 0 || length > protected_capacity_bytes remap then
+    invalid_arg "Ecc.load: length exceeds protected capacity";
+  let corrected = ref 0
+  and uncorrectable = ref 0 in
+  let decode index =
+    match decode_byte (read_byte remap ~index) with
+    | Clean nibble -> nibble
+    | Corrected nibble ->
+      incr corrected;
+      nibble
+    | Uncorrectable ->
+      incr uncorrectable;
+      0
+  in
+  let data =
+    String.init length (fun i ->
+        let low = decode (2 * i) in
+        let high = decode ((2 * i) + 1) in
+        Char.chr (low lor (high lsl 4)))
+  in
+  (data, !corrected, !uncorrectable)

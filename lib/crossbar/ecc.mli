@@ -1,0 +1,34 @@
+(** SECDED error-correcting code for crossbar storage.
+
+    The paper's yield model discards wires whose decoder misbehaves, but a
+    production nanowire memory would also protect the surviving bits
+    against crosspoint faults (the molecular-switch defects the paper
+    explicitly leaves unsimulated).  This module provides the standard
+    extended Hamming(8,4) code — single-error correction, double-error
+    detection per nibble — over the {!Remap} logical address space. *)
+
+type decode_result =
+  | Clean of int  (** corrected nibble, no error observed *)
+  | Corrected of int  (** one bit flipped and repaired *)
+  | Uncorrectable  (** two-bit error detected *)
+
+val encode_nibble : int -> int
+(** [encode_nibble d] maps a 4-bit value to its 8-bit extended-Hamming
+    codeword; raises [Invalid_argument] outside [0, 15]. *)
+
+val decode_byte : int -> decode_result
+(** Inverse of {!encode_nibble} with correction; accepts any 8-bit
+    value. *)
+
+val store : Remap.t -> string -> unit
+(** Writes a string ECC-protected (2x expansion); raises
+    [Invalid_argument] if the encoded form does not fit. *)
+
+val load : Remap.t -> length:int -> string * int * int
+(** [load remap ~length] reads back [length] bytes, correcting single-bit
+    errors; returns [(data, corrected, uncorrectable)] counts.  Nibbles
+    flagged uncorrectable are returned as zero — callers must treat the
+    third count as data loss. *)
+
+val protected_capacity_bytes : Remap.t -> int
+(** Usable payload bytes under ECC (half the raw remapped capacity). *)

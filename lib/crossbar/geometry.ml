@@ -1,0 +1,123 @@
+type rules = {
+  litho_pitch : float;
+  nanowire_pitch : float;
+  pad_min_width_factor : float;
+  pad_overlap : float;
+  cave_wall : float;
+  contact_row_length : float;
+}
+
+let default_rules =
+  {
+    litho_pitch = 32.;
+    nanowire_pitch = 10.;
+    pad_min_width_factor = 1.5;
+    pad_overlap = 24.;
+    cave_wall = 16.;
+    contact_row_length = 48.;
+  }
+
+type wire_status =
+  | Addressable of int
+  | Shared_between_pads of int * int
+  | Excess_in_pad of int
+
+type layout = {
+  rules : rules;
+  n_wires : int;
+  omega : int;
+  pad_width : float;
+  n_pads : int;
+  statuses : wire_status array;
+}
+
+let check_rules ~fn rules =
+  if rules.litho_pitch <= 0. || rules.nanowire_pitch <= 0. then
+    invalid_arg (Printf.sprintf "Geometry.%s: pitches must be positive" fn);
+  if rules.pad_overlap < 0. || rules.pad_overlap >= rules.litho_pitch then
+    invalid_arg
+      (Printf.sprintf "Geometry.%s: overlap must be in [0, PL)" fn)
+
+let wire_position rules i =
+  (float_of_int i +. 0.5) *. rules.nanowire_pitch
+
+let pad_width rules ~omega ~n_wires =
+  check_rules ~fn:"pad_width" rules;
+  if omega < 1 || n_wires < 1 then
+    invalid_arg "Geometry.pad_width: omega and n_wires must be positive";
+  let nominal =
+    float_of_int (Stdlib.min omega n_wires) *. rules.nanowire_pitch
+  in
+  let lower = rules.pad_min_width_factor *. rules.litho_pitch in
+  let upper = float_of_int omega *. rules.nanowire_pitch in
+  (* The litho lower bound wins over the Ω upper bound when they conflict:
+     a pad cannot be drawn below the minimum feature size, and the wires
+     in excess of Ω are discarded instead. *)
+  Float.max lower (Float.min nominal upper)
+
+let place rules ~omega ~n_wires =
+  check_rules ~fn:"place" rules;
+  let width = pad_width rules ~omega ~n_wires in
+  let period = width -. rules.pad_overlap in
+  let cave_extent = float_of_int n_wires *. rules.nanowire_pitch in
+  let n_pads =
+    Stdlib.max 1 (int_of_float (ceil ((cave_extent -. width) /. period)) + 1)
+  in
+  let pad_start k = float_of_int k *. period in
+  let pad_covers k x = x >= pad_start k && x <= pad_start k +. width in
+  let covering i =
+    let x = wire_position rules i in
+    List.filter (fun k -> pad_covers k x) (List.init n_pads (fun k -> k))
+  in
+  let statuses =
+    Array.init n_wires (fun i ->
+        match covering i with
+        | [ k ] -> Addressable k
+        | k1 :: k2 :: _ -> Shared_between_pads (k1, k2)
+        | [] ->
+          (* Cannot happen: the period is smaller than the width, so pads
+             overlap and jointly cover the cave. *)
+          assert false)
+  in
+  (* Demote wires beyond the Ω uniquely-coded ones of each pad.  Codes run
+     sequentially along the cave, so any window of at most Ω consecutive
+     wires holds distinct words; from the (Ω+1)-th wire of a pad onward the
+     words repeat and those wires must be discarded. *)
+  let per_pad = Array.make n_pads 0 in
+  Array.iteri
+    (fun i status ->
+      match status with
+      | Addressable k ->
+        per_pad.(k) <- per_pad.(k) + 1;
+        if per_pad.(k) > omega then statuses.(i) <- Excess_in_pad k
+      | Shared_between_pads _ | Excess_in_pad _ -> ())
+    statuses;
+  { rules; n_wires; omega; pad_width = width; n_pads; statuses }
+
+let count layout p = Array.fold_left (fun acc s -> if p s then acc + 1 else acc) 0 layout.statuses
+
+let n_addressable layout =
+  count layout (function
+    | Addressable _ -> true
+    | Shared_between_pads _ | Excess_in_pad _ -> false)
+
+let n_shared layout =
+  count layout (function
+    | Shared_between_pads _ -> true
+    | Addressable _ | Excess_in_pad _ -> false)
+
+let n_excess layout =
+  count layout (function
+    | Excess_in_pad _ -> true
+    | Addressable _ | Shared_between_pads _ -> false)
+
+let half_cave_width rules ~n_wires =
+  check_rules ~fn:"half_cave_width" rules;
+  (float_of_int n_wires *. rules.nanowire_pitch) +. (rules.cave_wall /. 2.)
+
+let decoder_extent rules ~code_length =
+  check_rules ~fn:"decoder_extent" rules;
+  if code_length < 1 then
+    invalid_arg "Geometry.decoder_extent: code_length must be positive";
+  (float_of_int code_length *. rules.litho_pitch)
+  +. (2. *. rules.contact_row_length)

@@ -1,0 +1,62 @@
+(** Half-cave contact geometry (paper, Sections 2.2 and 6.1).
+
+    Nanowires sit at sub-lithographic pitch [PN] inside a cave; ohmic
+    contact pads (one per contact group) are lithographically defined, so
+    their width is at least [1.5·PL] (the paper's layout rule) and at most
+    the width of Ω nanowires (more would put two wires on one address).
+    Pads are staggered in two rows and overlap transversally by an overlay
+    margin; a wire under two pads is "addressable by two adjacent contact
+    groups" (DeHon's effect, paper ref [6]) and must be discarded, as must
+    any wire beyond the Ω uniquely-coded ones of its pad. *)
+
+type rules = {
+  litho_pitch : float;  (** PL, nm — 32 in the paper *)
+  nanowire_pitch : float;  (** PN, nm — 10 in the paper *)
+  pad_min_width_factor : float;  (** minimum pad width in PL units — 1.5 *)
+  pad_overlap : float;  (** transversal overlay margin between adjacent pads, nm *)
+  cave_wall : float;  (** transversal overhead per cave (walls), nm *)
+  contact_row_length : float;
+      (** longitudinal extent of one staggered contact row, nm *)
+}
+
+val default_rules : rules
+(** The paper's platform: PL = 32, PN = 10, factor 1.5; overlay margin,
+    wall and contact-row defaults are the calibration of EXPERIMENTS.md. *)
+
+type wire_status =
+  | Addressable of int  (** pad index owning the wire *)
+  | Shared_between_pads of int * int
+      (** wire under the overlap of two pads — removed *)
+  | Excess_in_pad of int
+      (** pad already holds Ω uniquely-coded wires — removed *)
+
+type layout = {
+  rules : rules;
+  n_wires : int;
+  omega : int;
+  pad_width : float;
+  n_pads : int;
+  statuses : wire_status array;
+}
+
+val wire_position : rules -> int -> float
+(** Transversal centre of wire [i]: {m (i + ½)·PN}. *)
+
+val pad_width : rules -> omega:int -> n_wires:int -> float
+(** {m \mathrm{clamp}(\min(Ω,N)·PN,\; 1.5·PL,\; Ω·PN)} — as wide as
+    possible (fewest contact groups) within the layout rules. *)
+
+val place : rules -> omega:int -> n_wires:int -> layout
+(** Tiles the half cave with staggered pads (consecutive pads overlap by
+    [pad_overlap]) and classifies every wire. *)
+
+val n_addressable : layout -> int
+val n_shared : layout -> int
+val n_excess : layout -> int
+
+val half_cave_width : rules -> n_wires:int -> float
+(** Transversal width of a half cave including its wall share. *)
+
+val decoder_extent : rules -> code_length:int -> float
+(** Longitudinal overhead per layer: [code_length] mesowires at litho
+    pitch plus two staggered contact rows. *)

@@ -1,0 +1,47 @@
+(** Functional crossbar memory simulator.
+
+    The paper's evaluation assumes the crossbar operates as a memory:
+    molecular switches or phase-change material at the crosspoints store
+    one bit each, and a crosspoint is usable only when both its row and
+    its column nanowire are addressable through their decoders.  This
+    module instantiates a whole memory from one sampled defect outcome and
+    exposes raw physical-bit access; {!Remap} builds a dense logical
+    address space on top. *)
+
+open Nanodec_numerics
+
+type t
+
+type fault = [ `Defective_row | `Defective_column | `Out_of_range ]
+
+val create : Rng.t -> Array_sim.config -> t
+(** Samples a defect map for both layers (independent streams split off
+    the given generator) and allocates the crosspoint storage. *)
+
+val n_rows : t -> int
+(** Physical nanowires per row layer (= ⌈√D_RAW⌉). *)
+
+val n_cols : t -> int
+
+val row_states : t -> Defect_map.wire_state array
+val col_states : t -> Defect_map.wire_state array
+
+val usable_crosspoints : t -> int
+(** Working rows × working columns — the realised D_EFF of this sample. *)
+
+val realized_yield : t -> float
+(** [usable_crosspoints / (n_rows · n_cols)] — one sample of the paper's
+    crossbar yield Y². *)
+
+val write : t -> row:int -> col:int -> bool -> (unit, fault) result
+(** Physical write; fails on a defective or out-of-range wire. *)
+
+val read : t -> row:int -> col:int -> (bool, fault) result
+
+val crosspoint_usable : t -> row:int -> col:int -> bool
+
+val mc_realized_yield :
+  Rng.t -> samples:int -> Array_sim.config -> Montecarlo.estimate
+(** Monte-Carlo estimate of the crossbar yield by sampling whole defect
+    maps (both layers): validates the analytic [Y²] of
+    {!Array_sim.evaluate} against realised usable-crosspoint fractions. *)

@@ -1,0 +1,142 @@
+type literal = { input : int; positive : bool }
+type product = literal list
+type sop = product list
+
+type t = {
+  memory : Memory.t;
+  inputs : int;
+  (* Physical columns: rail_columns.(2i) carries input i, .(2i+1) its
+     complement; output_columns.(o) collects output o's terms. *)
+  rail_columns : int array;
+  output_columns : int array;
+  term_rows : int array;
+}
+
+type error =
+  [ `Not_enough_rows of int * int | `Not_enough_columns of int * int ]
+
+let normalize_product product =
+  List.sort_uniq Stdlib.compare
+    (List.map (fun l -> (l.input, l.positive)) product)
+
+let check_inputs ~inputs outputs =
+  List.iter
+    (fun sop ->
+      List.iter
+        (fun product ->
+          List.iter
+            (fun l ->
+              if l.input < 0 || l.input >= inputs then
+                invalid_arg
+                  (Printf.sprintf "Pla.program: literal on input %d of %d"
+                     l.input inputs))
+            product)
+        sop)
+    outputs
+
+let program memory ~inputs ~outputs =
+  if inputs < 0 then invalid_arg "Pla.program: negative input count";
+  check_inputs ~inputs outputs;
+  (* Shared term list: one row per distinct normalised product. *)
+  let table = Hashtbl.create 16 in
+  let terms = ref [] in
+  let term_index product =
+    let key = normalize_product product in
+    match Hashtbl.find_opt table key with
+    | Some index -> index
+    | None ->
+      let index = Hashtbl.length table in
+      Hashtbl.add table key index;
+      terms := key :: !terms;
+      index
+  in
+  let output_terms = List.map (List.map term_index) outputs in
+  let term_list = Array.of_list (List.rev !terms) in
+  let n_terms = Array.length term_list in
+  let n_outputs = List.length outputs in
+  let good_rows = Defect_map.usable_indices (Memory.row_states memory) in
+  let good_cols = Defect_map.usable_indices (Memory.col_states memory) in
+  let cols_needed = (2 * inputs) + n_outputs in
+  if Array.length good_rows < n_terms then
+    Error (`Not_enough_rows (n_terms, Array.length good_rows))
+  else if Array.length good_cols < cols_needed then
+    Error (`Not_enough_columns (cols_needed, Array.length good_cols))
+  else begin
+    let rail_columns = Array.sub good_cols 0 (2 * inputs) in
+    let output_columns = Array.sub good_cols (2 * inputs) n_outputs in
+    let term_rows = Array.sub good_rows 0 n_terms in
+    let connect ~row ~col value =
+      match Memory.write memory ~row ~col value with
+      | Ok () -> ()
+      | Error _ ->
+        (* Unreachable: rows and columns come from the working sets. *)
+        assert false
+    in
+    (* Plane 1: term t is the wired NOR of the complements of its
+       literals, so connect rail (input, not positive) for each literal. *)
+    Array.iteri
+      (fun t literals ->
+        let row = term_rows.(t) in
+        Array.iteri
+          (fun _ col -> connect ~row ~col false)
+          rail_columns;
+        Array.iter (fun col -> connect ~row ~col false) output_columns;
+        List.iter
+          (fun (input, positive) ->
+            let complement_rail = (2 * input) + if positive then 1 else 0 in
+            connect ~row ~col:rail_columns.(complement_rail) true)
+          literals)
+      term_list;
+    (* Plane 2: connect each output column to its terms' rows. *)
+    List.iteri
+      (fun o term_indices ->
+        List.iter
+          (fun t ->
+            connect ~row:term_rows.(t) ~col:output_columns.(o) true)
+          term_indices)
+      output_terms;
+    Ok { memory; inputs; rail_columns; output_columns; term_rows }
+  end
+
+let n_terms t = Array.length t.term_rows
+let rows_used t = Array.to_list t.term_rows
+
+let connected t ~row ~col =
+  match Memory.read t.memory ~row ~col with
+  | Ok value -> value
+  | Error _ -> assert false
+
+let evaluate t input_values =
+  if Array.length input_values <> t.inputs then
+    invalid_arg "Pla.evaluate: input arity mismatch";
+  let rail_value r = if r mod 2 = 0 then input_values.(r / 2) else not input_values.(r / 2) in
+  (* Wired NOR per term: low as soon as any connected rail is high. *)
+  let term_values =
+    Array.map
+      (fun row ->
+        let vetoed = ref false in
+        Array.iteri
+          (fun r col ->
+            if connected t ~row ~col && rail_value r then vetoed := true)
+          t.rail_columns;
+        not !vetoed)
+      t.term_rows
+  in
+  (* Second plane + output inverter: output = OR of connected terms. *)
+  Array.map
+    (fun col ->
+      let any = ref false in
+      Array.iteri
+        (fun index row ->
+          if connected t ~row ~col && term_values.(index) then any := true)
+        t.term_rows;
+      !any)
+    t.output_columns
+
+let truth_table t =
+  let combinations = 1 lsl t.inputs in
+  List.init combinations (fun bits ->
+      let input_values =
+        Array.init t.inputs (fun i -> bits land (1 lsl i) <> 0)
+      in
+      evaluate t input_values)

@@ -1,0 +1,53 @@
+(** Programmable logic on a defective crossbar (NOR–NOR PLA).
+
+    Crossbars are not only memories: the paper's references [5] and [10]
+    use them as programmable logic planes.  The natural gate of a diode /
+    FET crossbar is the wired NOR: a plane wire pulls low as soon as any
+    connected input is high.  Two cascaded NOR planes compute any
+    sum-of-products, and this module programs one onto the working wires
+    of a sampled {!Memory} — defect-aware placement included.
+
+    Plane 1 (the "AND" plane after De Morgan): term [t] = NOR of the
+    {e complemented} literals absent from the product — realised by
+    connecting, for each product, the literals that would veto it.
+    Plane 2: output [o] = NOR of the terms {e not} in its sum, then one
+    final inversion.  The module handles the bookkeeping; users supply
+    plain sums of products. *)
+
+type literal = {
+  input : int;  (** input variable index *)
+  positive : bool;  (** true = the variable itself, false = its negation *)
+}
+
+type product = literal list
+(** Conjunction of literals; the empty product is the constant true. *)
+
+type sop = product list
+(** Disjunction of products; the empty sum is the constant false. *)
+
+type t
+
+type error =
+  [ `Not_enough_rows of int * int  (** needed, available *)
+  | `Not_enough_columns of int * int ]
+
+val program :
+  Memory.t -> inputs:int -> outputs:sop list -> (t, error) result
+(** Places the input columns (two per variable: true and complemented
+    rails) and one row per distinct product on working wires of the
+    memory, storing the connection map in the crosspoints.  All outputs
+    share the product rows (standard PLA term sharing). *)
+
+val n_terms : t -> int
+(** Distinct product terms after sharing. *)
+
+val rows_used : t -> int list
+(** Physical row wires hosting the terms. *)
+
+val evaluate : t -> bool array -> bool array
+(** [evaluate pla inputs] computes every output; raises
+    [Invalid_argument] on an input-arity mismatch. *)
+
+val truth_table : t -> bool array list
+(** All 2^inputs output vectors, inputs in binary counting order (LSB =
+    input 0).  Only sensible for small input counts. *)

@@ -1,0 +1,63 @@
+type t = {
+  memory : Memory.t;
+  good_rows : int array;
+  good_cols : int array;
+}
+
+let build memory =
+  {
+    memory;
+    good_rows = Defect_map.usable_indices (Memory.row_states memory);
+    good_cols = Defect_map.usable_indices (Memory.col_states memory);
+  }
+
+let memory t = t.memory
+
+let capacity_bits t = Array.length t.good_rows * Array.length t.good_cols
+let capacity_bytes t = capacity_bits t / 8
+
+let physical_of_logical t k =
+  if k < 0 || k >= capacity_bits t then
+    invalid_arg
+      (Printf.sprintf "Remap: logical bit %d outside capacity %d" k
+         (capacity_bits t));
+  let width = Array.length t.good_cols in
+  (t.good_rows.(k / width), t.good_cols.(k mod width))
+
+let set_bit t k value =
+  let row, col = physical_of_logical t k in
+  match Memory.write t.memory ~row ~col value with
+  | Ok () -> ()
+  | Error _ ->
+    (* Unreachable: the translation table only contains working wires. *)
+    assert false
+
+let get_bit t k =
+  let row, col = physical_of_logical t k in
+  match Memory.read t.memory ~row ~col with
+  | Ok value -> value
+  | Error _ -> assert false
+
+let store_string t s =
+  let bits = 8 * String.length s in
+  if bits > capacity_bits t then
+    invalid_arg
+      (Printf.sprintf "Remap.store_string: %d bits exceed capacity %d" bits
+         (capacity_bits t));
+  String.iteri
+    (fun i ch ->
+      let byte = Char.code ch in
+      for b = 0 to 7 do
+        set_bit t ((8 * i) + b) (byte land (1 lsl b) <> 0)
+      done)
+    s
+
+let load_string t ~length =
+  if length < 0 || 8 * length > capacity_bits t then
+    invalid_arg "Remap.load_string: length exceeds capacity";
+  String.init length (fun i ->
+      let byte = ref 0 in
+      for b = 0 to 7 do
+        if get_bit t ((8 * i) + b) then byte := !byte lor (1 lsl b)
+      done;
+      Char.chr !byte)

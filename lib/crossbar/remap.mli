@@ -1,0 +1,31 @@
+(** Defect-aware logical address space over a crossbar {!Memory}.
+
+    A memory controller for a defective crossbar keeps a translation table
+    from logical addresses to working (row, column) pairs — the standard
+    defect-tolerance scheme for nanowire memories.  Logical bit [k] maps
+    to the [k]-th crosspoint of the working-row × working-column grid in
+    row-major order, so the logical space is dense and exactly
+    {!Memory.usable_crosspoints} bits large. *)
+
+type t
+
+val build : Memory.t -> t
+(** Scans the defect map once; O(rows + cols). *)
+
+val memory : t -> Memory.t
+val capacity_bits : t -> int
+val capacity_bytes : t -> int
+
+val physical_of_logical : t -> int -> int * int
+(** [(row, col)] backing a logical bit; raises [Invalid_argument] outside
+    [0, capacity_bits). *)
+
+val set_bit : t -> int -> bool -> unit
+val get_bit : t -> int -> bool
+
+val store_string : t -> string -> unit
+(** Writes the string's bits from logical address 0 (LSB-first per byte);
+    raises [Invalid_argument] if it does not fit. *)
+
+val load_string : t -> length:int -> string
+(** Reads [length] bytes back from logical address 0. *)

@@ -1,0 +1,55 @@
+(** Analog sense-margin model of the decoder read path.
+
+    The window criterion (paper ref [2]) is a digital abstraction; what a
+    sense amplifier actually sees is the ratio between the selected wire's
+    current and the total sneak current of the unselected wires in its
+    contact group.  This module puts a simple long-channel conductance
+    model under the decoder: each doping region is a series transistor
+    with linear-region conductance {m g = g_m·(V_A − V_T)} above
+    threshold and an exponential subthreshold leak below, and a wire's
+    conductance is the series combination over its M regions.
+
+    The Monte-Carlo sense yield counts a wire as readable when its
+    selected-to-sneak ratio exceeds a threshold — an independent,
+    more physical criterion against which the paper's window model is
+    validated. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_physics
+
+type params = {
+  transconductance : float;  (** g_m, S/V — sets the current scale *)
+  subthreshold_swing : float;
+      (** gate volts per e-fold of subthreshold leak (~30 mV:
+          a ~70 mV/decade slope) *)
+  min_ratio : float;  (** required selected/sneak current ratio *)
+}
+
+val default_params : params
+(** g_m = 1 µS/V, 30 mV/e-fold swing, ratio 10. *)
+
+val region_conductance :
+  params -> gate_voltage:float -> threshold_voltage:float -> float
+(** Conductance of one series transistor; always positive. *)
+
+val wire_conductance :
+  params -> Vt_levels.t -> address:Word.t -> vt_offsets:float array ->
+  Word.t -> float
+(** Series combination over all regions of the wire under the address's
+    mesowire voltages. *)
+
+val sense_ratio :
+  params -> Vt_levels.t -> group:(Word.t * float array) list ->
+  target:Word.t -> float
+(** Selected-wire conductance divided by the summed conductance of every
+    other wire of the group, under the target's own address.  [infinity]
+    when the group has a single wire; raises [Invalid_argument] if the
+    target is not in the group. *)
+
+val mc_sense_yield :
+  ?params:params -> Rng.t -> samples:int -> Cave.analysis ->
+  Montecarlo.estimate
+(** Fraction of wires whose sense ratio exceeds [params.min_ratio] under
+    sampled fabrication noise — the analog counterpart of
+    {!Cave.mc_yield_functional}. *)

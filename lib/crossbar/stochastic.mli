@@ -1,0 +1,42 @@
+(** Stochastic-assembly decoder baseline (paper refs [6] DeHon et al. and
+    [8] Hogg et al.).
+
+    Bottom-up nanowire technologies cannot choose which code lands on
+    which wire: each wire of a contact group draws one of the Ω code words
+    independently at random, and a wire is usable only if no other wire of
+    its group drew the same word.  The MSPT decoder of the paper is
+    deterministic — every wire gets a distinct word by construction — and
+    this module quantifies exactly what that determinism buys. *)
+
+type analysis = {
+  omega : int;  (** code space size *)
+  group_size : int;  (** wires per contact group *)
+  p_wire_unique : float;
+      (** probability one wire's word is unique: {m (1-1/Ω)^{g-1}} *)
+  expected_unique_wires : float;  (** {m g·(1-1/Ω)^{g-1}} *)
+  expected_distinct_codes : float;  (** {m Ω(1-(1-1/Ω)^g)} *)
+  p_all_distinct : float;
+      (** probability the whole group is conflict-free:
+          {m Ω!/((Ω-g)!·Ω^g)} (0 when g > Ω) *)
+  deterministic_unique_wires : int;
+      (** what MSPT guarantees: {m \min(g, Ω)} *)
+}
+
+val analyze : omega:int -> group_size:int -> analysis
+(** Closed-form analysis; both arguments must be positive. *)
+
+val mc_unique_fraction :
+  Nanodec_numerics.Rng.t ->
+  samples:int ->
+  omega:int ->
+  group_size:int ->
+  Nanodec_numerics.Montecarlo.estimate
+(** Monte-Carlo estimate of the unique-wire fraction (validates
+    [p_wire_unique]). *)
+
+val stochastic_loss : omega:int -> group_size:int -> float
+(** Fraction of wires lost to code collisions relative to the
+    deterministic assignment:
+    {m 1 - g·(1-1/Ω)^{g-1} / \min(g, Ω)}. *)
+
+val pp : Format.formatter -> analysis -> unit

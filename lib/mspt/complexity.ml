@@ -1,0 +1,26 @@
+open Nanodec_numerics
+open Nanodec_codes
+
+let phi_per_step_of_doses ?(eps = 1e-9) s =
+  Array.init (Fmatrix.rows s) (fun i ->
+      Fmatrix.distinct_nonzero ~eps (Fmatrix.row s i))
+
+let total_of_doses ?eps s =
+  Array.fold_left ( + ) 0 (phi_per_step_of_doses ?eps s)
+
+let distinct_pairs pairs =
+  List.length (List.sort_uniq Stdlib.compare pairs)
+
+let phi_per_step p =
+  let n = Pattern.n_wires p in
+  Array.init n (fun i ->
+      if i = n - 1 then
+        (* Last nanowire: S_{N-1} = D_{N-1}; one dose per distinct digit. *)
+        let counts = Word.counts (Pattern.word p ~wire:i) in
+        Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 counts
+      else
+        distinct_pairs
+          (Word.changed_pairs (Pattern.word p ~wire:i)
+             (Pattern.word p ~wire:(i + 1))))
+
+let total p = Array.fold_left ( + ) 0 (phi_per_step p)

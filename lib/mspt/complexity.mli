@@ -1,0 +1,28 @@
+(** Fabrication complexity Φ (paper, Definition 4 and Proposition 5).
+
+    Each fabrication step [i] needs one lithography/doping pass per
+    distinct non-zero dose in row [i] of the step matrix [S]; the
+    technology complexity is the total {m Φ = Σ φ_i}.
+
+    Two computations are provided: the literal one on dose values (with a
+    tolerance, since doses are floats) and an exact combinatorial one
+    straight from the pattern matrix — because [h] is injective, the dose
+    {m h(P_i^j) − h(P_{i+1}^j)} is determined by the ordered digit pair,
+    so [φ_i] equals the number of distinct changed pairs.  Tests assert
+    the two agree on generic (injective, "incommensurable") mappings. *)
+
+open Nanodec_numerics
+
+val phi_per_step_of_doses : ?eps:float -> Fmatrix.t -> int array
+(** [φ_i] for every row of a step matrix [S].  Default [eps] 1e-9. *)
+
+val total_of_doses : ?eps:float -> Fmatrix.t -> int
+(** Φ from dose values. *)
+
+val phi_per_step : Pattern.t -> int array
+(** Exact [φ_i] from the pattern matrix: distinct ordered changed pairs
+    between rows [i] and [i+1]; for the last row, distinct digit values
+    (every region of the last nanowire receives its full dose). *)
+
+val total : Pattern.t -> int
+(** Exact Φ — the quantity plotted in the paper's Fig. 5. *)

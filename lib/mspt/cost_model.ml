@@ -1,0 +1,52 @@
+type params = {
+  spacer_minutes : float;
+  pass_minutes : float;
+  recipe_minutes : float;
+  hour_cost : float;
+}
+
+let default_params =
+  {
+    spacer_minutes = 30.;
+    pass_minutes = 45.;
+    recipe_minutes = 20.;
+    hour_cost = 500.;
+  }
+
+type estimate = {
+  n_spacers : int;
+  n_passes : int;
+  n_recipes : int;
+  total_minutes : float;
+  total_cost : float;
+}
+
+let of_pattern ?(params = default_params) ~h pattern =
+  let _, s = Doping.of_pattern ~h pattern in
+  let passes = Process.passes_of_step_matrix s in
+  let n_spacers = Pattern.n_wires pattern in
+  let n_passes = List.length passes in
+  let n_recipes = Process.distinct_doses passes in
+  let total_minutes =
+    (float_of_int n_spacers *. params.spacer_minutes)
+    +. (float_of_int n_passes *. params.pass_minutes)
+    +. (float_of_int n_recipes *. params.recipe_minutes)
+  in
+  {
+    n_spacers;
+    n_passes;
+    n_recipes;
+    total_minutes;
+    total_cost = total_minutes /. 60. *. params.hour_cost;
+  }
+
+let compare_patterns ?params ~h reference candidate =
+  let t1 = (of_pattern ?params ~h reference).total_minutes in
+  let t2 = (of_pattern ?params ~h candidate).total_minutes in
+  (t1 -. t2) /. t1
+
+let pp ppf e =
+  Format.fprintf ppf
+    "%d spacers, %d litho/doping passes, %d implant recipes -> %.0f min \
+     (%.0f cost units)"
+    e.n_spacers e.n_passes e.n_recipes e.total_minutes e.total_cost

@@ -1,0 +1,39 @@
+(** Fabrication time and cost model.
+
+    The paper argues for the Gray code in units of lithography/doping
+    steps; a fab thinks in hours and wafers.  This model turns a process
+    flow into time and money: every spacer definition pair costs a
+    deposition + etch, every lithography/doping pass costs an
+    align + expose + implant, and every {e distinct} dose requires an
+    implanter recipe qualification.  Defaults are deliberately
+    round-number academic-fab figures — the point is the relative cost of
+    code choices, which is parameter-robust. *)
+
+type params = {
+  spacer_minutes : float;  (** deposition + etch per spacer *)
+  pass_minutes : float;  (** align + expose + implant per litho pass *)
+  recipe_minutes : float;  (** implanter setup per distinct dose *)
+  hour_cost : float;  (** fab hour price, arbitrary currency *)
+}
+
+val default_params : params
+(** 30 min/spacer, 45 min/pass, 20 min/recipe, 500/hour. *)
+
+type estimate = {
+  n_spacers : int;
+  n_passes : int;  (** = Φ *)
+  n_recipes : int;  (** distinct doses *)
+  total_minutes : float;
+  total_cost : float;
+}
+
+val of_pattern : ?params:params -> h:(int -> float) -> Pattern.t -> estimate
+(** Cost of fabricating a half cave with the given pattern (the paper's
+    additional steps plus the baseline spacer definitions). *)
+
+val compare_patterns :
+  ?params:params -> h:(int -> float) -> Pattern.t -> Pattern.t -> float
+(** Relative time saving of the second pattern over the first,
+    {m (t_1 - t_2)/t_1} — e.g. tree vs Gray encodings of the same wires. *)
+
+val pp : Format.formatter -> estimate -> unit

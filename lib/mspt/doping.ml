@@ -1,0 +1,31 @@
+open Nanodec_numerics
+
+let final_matrix ~h p = Imatrix.map_to_fmatrix h (Pattern.to_matrix p)
+
+let step_matrix d =
+  let n = Fmatrix.rows d in
+  Fmatrix.init ~rows:n ~cols:(Fmatrix.cols d) (fun i j ->
+      if i = n - 1 then Fmatrix.get d i j
+      else Fmatrix.get d i j -. Fmatrix.get d (i + 1) j)
+
+let final_of_step s =
+  let n = Fmatrix.rows s in
+  let d = Fmatrix.make ~rows:n ~cols:(Fmatrix.cols s) 0. in
+  (* Suffix sums: D_i = S_i + D_{i+1}. *)
+  for i = n - 1 downto 0 do
+    for j = 0 to Fmatrix.cols s - 1 do
+      let below = if i = n - 1 then 0. else Fmatrix.get d (i + 1) j in
+      Fmatrix.set d i j (Fmatrix.get s i j +. below)
+    done
+  done;
+  d
+
+let of_pattern ~h p =
+  let d = final_matrix ~h p in
+  (d, step_matrix d)
+
+let paper_example_h = function
+  | 0 -> 2.
+  | 1 -> 4.
+  | 2 -> 9.
+  | d -> invalid_arg (Printf.sprintf "Doping.paper_example_h: digit %d" d)

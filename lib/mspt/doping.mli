@@ -1,0 +1,31 @@
+(** Final and step doping matrices (paper, Definitions 2–3 and
+    Propositions 1–2).
+
+    The final doping matrix [D] applies the bijection [h] elementwise to
+    the pattern matrix.  The step doping matrix [S] holds the additional
+    dose deposited by the lithography/doping procedure that follows the
+    definition of each nanowire; because a dose applied after defining
+    nanowire [i] also reaches nanowires [0..i-1],
+
+    {m D_i^j = Σ_{k ≥ i} S_k^j}, i.e. {m S_i = D_i − D_{i+1}} and
+    {m S_{N-1} = D_{N-1}}. *)
+
+open Nanodec_numerics
+
+val final_matrix : h:(int -> float) -> Pattern.t -> Fmatrix.t
+(** [final_matrix ~h p] is [D]; [h] is typically
+    {!Nanodec_physics.Vt_levels.doping_of_digit} or a table like the
+    paper's worked example. *)
+
+val step_matrix : Fmatrix.t -> Fmatrix.t
+(** [S] from [D] by backward differences. *)
+
+val final_of_step : Fmatrix.t -> Fmatrix.t
+(** Inverse: suffix sums recover [D] from [S] (Proposition 2). *)
+
+val of_pattern : h:(int -> float) -> Pattern.t -> Fmatrix.t * Fmatrix.t
+(** Both matrices, [D, S], in one call. *)
+
+val paper_example_h : int -> float
+(** The worked example's mapping: digits 0, 1, 2 → doping 2, 4, 9
+    (in 10¹⁸ cm⁻³ — returned in those units to match the paper). *)

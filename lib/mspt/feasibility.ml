@@ -1,0 +1,49 @@
+open Nanodec_numerics
+
+type limits = {
+  max_step_dose : float;
+  max_total_implanted : float;
+}
+
+let default_limits = { max_step_dose = 1e19; max_total_implanted = 3e19 }
+
+type violation =
+  | Step_dose_exceeded of { wire : int; region : int; dose : float }
+  | Accumulation_exceeded of { wire : int; region : int; total : float }
+
+let total_implanted s =
+  let n = Fmatrix.rows s in
+  let acc = Fmatrix.make ~rows:n ~cols:(Fmatrix.cols s) 0. in
+  (* Wire i receives the doses of steps i..N-1: suffix sums of |S|. *)
+  for i = n - 1 downto 0 do
+    for j = 0 to Fmatrix.cols s - 1 do
+      let below = if i = n - 1 then 0. else Fmatrix.get acc (i + 1) j in
+      Fmatrix.set acc i j (below +. Float.abs (Fmatrix.get s i j))
+    done
+  done;
+  acc
+
+let check ?(limits = default_limits) s =
+  let violations = ref [] in
+  let note v = violations := v :: !violations in
+  let totals = total_implanted s in
+  for wire = Fmatrix.rows s - 1 downto 0 do
+    for region = Fmatrix.cols s - 1 downto 0 do
+      let total = Fmatrix.get totals wire region in
+      if total > limits.max_total_implanted then
+        note (Accumulation_exceeded { wire; region; total });
+      let dose = Fmatrix.get s wire region in
+      if Float.abs dose > limits.max_step_dose then
+        note (Step_dose_exceeded { wire; region; dose })
+    done
+  done;
+  match !violations with [] -> Ok () | vs -> Error vs
+
+let pp_violation ppf = function
+  | Step_dose_exceeded { wire; region; dose } ->
+    Format.fprintf ppf "step dose %.3g at wire %d region %d exceeds limit"
+      dose wire region
+  | Accumulation_exceeded { wire; region; total } ->
+    Format.fprintf ppf
+      "accumulated implantation %.3g at wire %d region %d exceeds limit"
+      total wire region

@@ -1,0 +1,35 @@
+(** Physical feasibility of a doping plan (paper, Section 3.3).
+
+    Propositions 1–2 guarantee a step matrix exists for any pattern
+    {e algebraically}; a fab additionally bounds every single implant dose
+    (beam current × time limits) and the total compensation a region can
+    absorb before crystal damage dominates.  This module checks a step
+    matrix against those limits and reports every violation, so a designer
+    can tell whether a pattern is manufacturable before committing masks. *)
+
+open Nanodec_numerics
+
+type limits = {
+  max_step_dose : float;
+      (** largest |dose| allowed in one lithography/doping pass *)
+  max_total_implanted : float;
+      (** largest Σ|dose| a single region may accumulate *)
+}
+
+val default_limits : limits
+(** 1e19 cm⁻³ per pass, 3e19 cm⁻³ accumulated — generous bounds for the
+    doping ranges the V_T window 0–1 V implies. *)
+
+type violation =
+  | Step_dose_exceeded of { wire : int; region : int; dose : float }
+  | Accumulation_exceeded of { wire : int; region : int; total : float }
+
+val check : ?limits:limits -> Fmatrix.t -> (unit, violation list) result
+(** [check s] validates a step matrix; the violation list is exhaustive
+    (not first-failure), ordered by wire then region. *)
+
+val total_implanted : Fmatrix.t -> Fmatrix.t
+(** Σ over steps of |dose| reaching each region — the compensation load
+    matrix (wire [i] accumulates the doses of steps [i..N-1]). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,57 @@
+open Nanodec_codes
+open Nanodec_numerics
+
+type t = { radix : int; rows : Word.t array }
+
+let of_words = function
+  | [] -> invalid_arg "Pattern.of_words: empty pattern"
+  | first :: _ as words ->
+    let radix = Word.radix first
+    and length = Word.length first in
+    List.iter
+      (fun w ->
+        if Word.radix w <> radix || Word.length w <> length then
+          invalid_arg "Pattern.of_words: heterogeneous words")
+      words;
+    { radix; rows = Array.of_list words }
+
+let of_matrix ~radix m =
+  of_words
+    (List.init (Imatrix.rows m) (fun i -> Word.make ~radix (Imatrix.row m i)))
+
+let of_codebook ~radix ~length ~n_wires code_type =
+  if n_wires < 1 then invalid_arg "Pattern.of_codebook: n_wires must be >= 1";
+  of_words (Codebook.sequence ~radix ~length ~count:n_wires code_type)
+
+let n_wires p = Array.length p.rows
+let n_regions p = Word.length p.rows.(0)
+let radix p = p.radix
+
+let word p ~wire =
+  if wire < 0 || wire >= Array.length p.rows then
+    invalid_arg "Pattern.word: wire index out of range";
+  p.rows.(wire)
+
+let digit p ~wire ~region = Word.get (word p ~wire) region
+let words p = Array.to_list p.rows
+
+let to_matrix p =
+  Imatrix.init ~rows:(n_wires p) ~cols:(n_regions p) (fun i j ->
+      Word.get p.rows.(i) j)
+
+let transitions_between_rows p =
+  Array.init
+    (n_wires p - 1)
+    (fun i -> Word.hamming_distance p.rows.(i) p.rows.(i + 1))
+
+let total_transitions p =
+  Array.fold_left ( + ) 0 (transitions_between_rows p)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Word.pp ppf w)
+    p.rows;
+  Format.fprintf ppf "@]"

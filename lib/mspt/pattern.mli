@@ -1,0 +1,44 @@
+(** Pattern matrix [P] (paper, Definition 1).
+
+    The pattern matrix of a half cave stacks the code words of its [N]
+    nanowires: row [i] is the threshold-voltage pattern of nanowire [i]
+    (digit [j] = discretised V_T of doping region [j]).  Nanowire 0 is the
+    one defined {e first} by the multi-spacer process — it therefore
+    receives every subsequent doping step. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+
+type t
+
+val of_words : Word.t list -> t
+(** Rows in fabrication order.  All words must share radix and length;
+    raises [Invalid_argument] otherwise or on an empty list. *)
+
+val of_matrix : radix:int -> Imatrix.t -> t
+(** Validates every entry against [radix]. *)
+
+val of_codebook :
+  radix:int -> length:int -> n_wires:int -> Codebook.t -> t
+(** Pattern of [n_wires] nanowires encoded with the given family's
+    canonical sequence (cycling past the space size). *)
+
+val n_wires : t -> int
+(** N — rows. *)
+
+val n_regions : t -> int
+(** M — columns (doping regions per nanowire). *)
+
+val radix : t -> int
+val digit : t -> wire:int -> region:int -> int
+val word : t -> wire:int -> Word.t
+val words : t -> Word.t list
+val to_matrix : t -> Imatrix.t
+
+val transitions_between_rows : t -> int array
+(** Entry [i] = Hamming distance between rows [i] and [i+1]
+    (length [N-1]) — the quantity the Gray code minimises. *)
+
+val total_transitions : t -> int
+
+val pp : Format.formatter -> t -> unit

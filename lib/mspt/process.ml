@@ -1,0 +1,93 @@
+open Nanodec_numerics
+
+type pass = {
+  after_wire : int;
+  dose : float;
+  mask : bool array;
+}
+
+let passes_of_step_matrix ?(eps = 1e-9) s =
+  let n_regions = Fmatrix.cols s in
+  let passes = ref [] in
+  for i = Fmatrix.rows s - 1 downto 0 do
+    let row = Fmatrix.row s i in
+    (* One pass per distinct non-zero dose of this step. *)
+    let doses = ref [] in
+    Array.iter
+      (fun v ->
+        if Float.abs v > eps
+           && List.for_all (fun u -> Float.abs (u -. v) > eps) !doses
+        then doses := v :: !doses)
+      row;
+    List.iter
+      (fun dose ->
+        let mask =
+          Array.init n_regions (fun j -> Float.abs (row.(j) -. dose) <= eps)
+        in
+        passes := { after_wire = i; dose; mask } :: !passes)
+      (List.rev !doses)
+  done;
+  !passes
+
+let distinct_doses ?(eps = 1e-9) passes =
+  let distinct = ref [] in
+  List.iter
+    (fun pass ->
+      if List.for_all (fun d -> Float.abs (d -. pass.dose) > eps) !distinct
+      then distinct := pass.dose :: !distinct)
+    passes;
+  List.length !distinct
+
+let check_geometry ~fn ~n_wires ~n_regions passes =
+  if n_wires < 1 || n_regions < 1 then
+    invalid_arg (Printf.sprintf "Process.%s: bad cave geometry" fn);
+  List.iter
+    (fun pass ->
+      if pass.after_wire < 0 || pass.after_wire >= n_wires then
+        invalid_arg (Printf.sprintf "Process.%s: pass outside cave" fn);
+      if Array.length pass.mask <> n_regions then
+        invalid_arg (Printf.sprintf "Process.%s: mask length mismatch" fn))
+    passes
+
+let fold_passes ~n_regions ~apply passes init =
+  (* Passes run in fabrication order (increasing after_wire); the dose
+     reaches every nanowire defined so far, i.e. wires 0..after_wire. *)
+  let ordered =
+    List.stable_sort (fun a b -> Int.compare a.after_wire b.after_wire) passes
+  in
+  List.iter
+    (fun pass ->
+      for wire = 0 to pass.after_wire do
+        for region = 0 to n_regions - 1 do
+          if pass.mask.(region) then apply init pass ~wire ~region
+        done
+      done)
+    ordered;
+  init
+
+let run ~n_wires ~n_regions passes =
+  check_geometry ~fn:"run" ~n_wires ~n_regions passes;
+  let apply wafer pass ~wire ~region =
+    Fmatrix.set wafer wire region (Fmatrix.get wafer wire region +. pass.dose)
+  in
+  fold_passes ~n_regions ~apply passes
+    (Fmatrix.make ~rows:n_wires ~cols:n_regions 0.)
+
+let hit_counts ~n_wires ~n_regions passes =
+  check_geometry ~fn:"hit_counts" ~n_wires ~n_regions passes;
+  let apply counts _pass ~wire ~region =
+    Imatrix.set counts wire region (Imatrix.get counts wire region + 1)
+  in
+  fold_passes ~n_regions ~apply passes
+    (Imatrix.make ~rows:n_wires ~cols:n_regions 0)
+
+let sample_vt_noise rng ~sigma_t ~n_wires ~n_regions passes =
+  check_geometry ~fn:"sample_vt_noise" ~n_wires ~n_regions passes;
+  if sigma_t <= 0. then
+    invalid_arg "Process.sample_vt_noise: sigma_t must be positive";
+  let apply noise _pass ~wire ~region =
+    Fmatrix.set noise wire region
+      (Fmatrix.get noise wire region +. Rng.gaussian ~sigma:sigma_t rng)
+  in
+  fold_passes ~n_regions ~apply passes
+    (Fmatrix.make ~rows:n_wires ~cols:n_regions 0.)

@@ -1,0 +1,47 @@
+(** Fabrication-process simulator for the decoder-aware MSPT flow
+    (paper, Section 3.2, Fig. 4).
+
+    The enhanced flow interleaves spacer definition with lithography/doping
+    passes: after nanowire [i] is defined, its step's doses are implanted —
+    reaching every already-defined nanowire [0..i].  A step using [φ_i]
+    distinct doses is realised as [φ_i] lithography passes, each with a
+    mask selecting the regions receiving that dose.
+
+    The simulator executes the pass list on a virtual half cave and returns
+    the accumulated doping, closing the loop
+    {e pattern → step matrix → passes → wafer → final doping}, optionally
+    with per-implant threshold-voltage noise for Monte-Carlo studies. *)
+
+open Nanodec_numerics
+
+type pass = {
+  after_wire : int;  (** the pass runs after this nanowire is defined *)
+  dose : float;  (** implant dose (same unit as the doping matrix) *)
+  mask : bool array;  (** regions receiving the dose (length M) *)
+}
+
+val passes_of_step_matrix : ?eps:float -> Fmatrix.t -> pass list
+(** One pass per distinct non-zero dose of each step row, in fabrication
+    order; the list length is exactly Φ. *)
+
+val distinct_doses : ?eps:float -> pass list -> int
+(** Number of distinct dose values across the whole flow — the number of
+    implanter recipes the fab must qualify (every pass reuses one). *)
+
+val run : n_wires:int -> n_regions:int -> pass list -> Fmatrix.t
+(** Executes the passes: each adds its dose to the masked regions of all
+    nanowires defined so far ([0..after_wire]).  Returns the final doping
+    matrix — equal to the [D] the passes were derived from
+    (integration-tested). *)
+
+val hit_counts : n_wires:int -> n_regions:int -> pass list -> Imatrix.t
+(** Number of implants received by each region — equals
+    {!Variability.nu_matrix} when the passes come from the pattern's step
+    matrix. *)
+
+val sample_vt_noise :
+  Rng.t -> sigma_t:float -> n_wires:int -> n_regions:int -> pass list ->
+  Fmatrix.t
+(** Draws one fabrication outcome: every implant hitting a region adds an
+    independent N(0, σ_T²) offset to that region's threshold voltage;
+    the returned matrix holds the accumulated V_T deviations. *)

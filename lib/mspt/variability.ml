@@ -1,0 +1,46 @@
+open Nanodec_numerics
+
+let nu_matrix p =
+  let n = Pattern.n_wires p
+  and m = Pattern.n_regions p in
+  let nu = Imatrix.make ~rows:n ~cols:m 0 in
+  (* Build bottom-up: ν_{N-1} = 1 everywhere (the last step doses every
+     region), and ν_i = ν_{i+1} + [digit changed between rows i, i+1]. *)
+  for j = 0 to m - 1 do
+    Imatrix.set nu (n - 1) j 1
+  done;
+  for i = n - 2 downto 0 do
+    for j = 0 to m - 1 do
+      let changed =
+        if Pattern.digit p ~wire:i ~region:j
+           <> Pattern.digit p ~wire:(i + 1) ~region:j
+        then 1
+        else 0
+      in
+      Imatrix.set nu i j (Imatrix.get nu (i + 1) j + changed)
+    done
+  done;
+  nu
+
+let sigma_matrix ~sigma_t p =
+  if sigma_t <= 0. then
+    invalid_arg "Variability.sigma_matrix: sigma_t must be positive";
+  Imatrix.map_to_fmatrix
+    (fun nu -> sigma_t *. sigma_t *. float_of_int nu)
+    (nu_matrix p)
+
+let sigma_norm1 ~sigma_t p = Fmatrix.norm_l1 (sigma_matrix ~sigma_t p)
+
+let average_nu p =
+  let nu = nu_matrix p in
+  float_of_int (Imatrix.sum nu)
+  /. float_of_int (Imatrix.rows nu * Imatrix.cols nu)
+
+let normalized_std_matrix p =
+  Imatrix.map_to_fmatrix (fun nu -> sqrt (float_of_int nu)) (nu_matrix p)
+
+let region_std ~sigma_t p ~wire ~region =
+  if sigma_t <= 0. then
+    invalid_arg "Variability.region_std: sigma_t must be positive";
+  let nu = nu_matrix p in
+  sigma_t *. sqrt (float_of_int (Imatrix.get nu wire region))

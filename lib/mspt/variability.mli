@@ -1,0 +1,34 @@
+(** Decoder variability Σ (paper, Definition 5 and Proposition 4).
+
+    Region [(i, j)] is hit once by every fabrication step [k ≥ i] whose
+    dose at region [j] is non-zero; each hit adds an independent variance
+    [σ_T²] to the region's threshold voltage, so
+
+    {m ν_i^j = Σ_{k ≥ i} (1 − δ(S_k^j))} and {m Σ_i^j = σ_T² · ν_i^j}.
+
+    [ν] is computed exactly from the pattern matrix: [S_k^j ≠ 0] iff the
+    digit at region [j] changes between rows [k] and [k+1] (or [k = N-1],
+    where the full dose is always deposited). *)
+
+open Nanodec_numerics
+
+val nu_matrix : Pattern.t -> Imatrix.t
+(** Doping-operation counts [ν]; every entry is at least 1. *)
+
+val sigma_matrix : sigma_t:float -> Pattern.t -> Fmatrix.t
+(** [Σ = σ_T² · ν] (entries are variances, volt²). *)
+
+val sigma_norm1 : sigma_t:float -> Pattern.t -> float
+(** [‖Σ‖₁], the decoder-variability cost of Proposition 3. *)
+
+val average_nu : Pattern.t -> float
+(** [‖Σ‖₁ / (N·M·σ_T²)] — the paper's "average variability" in units of
+    σ_T² (used for the −18 % headline). *)
+
+val normalized_std_matrix : Pattern.t -> Fmatrix.t
+(** [√ν] per region — exactly what the paper's Fig. 6 plots
+    ("square root of elements of Σ normalised to σ_T"). *)
+
+val region_std : sigma_t:float -> Pattern.t -> wire:int -> region:int -> float
+(** Standard deviation of one region's threshold voltage,
+    [σ_T·√ν_i^j]. *)

@@ -1,0 +1,123 @@
+module type ELEMENT = sig
+  type t
+
+  val zero : t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val make : rows:int -> cols:int -> elt -> t
+  val init : rows:int -> cols:int -> (int -> int -> elt) -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> elt
+  val set : t -> int -> int -> elt -> unit
+  val row : t -> int -> elt array
+  val col : t -> int -> elt array
+  val of_arrays : elt array array -> t
+  val to_arrays : t -> elt array array
+  val copy : t -> t
+  val transpose : t -> t
+  val map : (elt -> elt) -> t -> t
+  val mapi : (int -> int -> elt -> elt) -> t -> t
+  val fold : ('a -> elt -> 'a) -> 'a -> t -> 'a
+  val iteri : (int -> int -> elt -> unit) -> t -> unit
+  val equal : t -> t -> bool
+  val count : (elt -> bool) -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (E : ELEMENT) = struct
+  type elt = E.t
+  type t = { rows : int; cols : int; data : elt array }
+
+  let check_dims ~fn rows cols =
+    if rows < 1 || cols < 1 then
+      invalid_arg (Printf.sprintf "Dense.%s: dimensions must be positive" fn)
+
+  let make ~rows ~cols x =
+    check_dims ~fn:"make" rows cols;
+    { rows; cols; data = Array.make (rows * cols) x }
+
+  let init ~rows ~cols f =
+    check_dims ~fn:"init" rows cols;
+    { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let check_index ~fn m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg
+        (Printf.sprintf "Dense.%s: index (%d, %d) outside %dx%d" fn i j m.rows
+           m.cols)
+
+  let get m i j =
+    check_index ~fn:"get" m i j;
+    m.data.((i * m.cols) + j)
+
+  let set m i j x =
+    check_index ~fn:"set" m i j;
+    m.data.((i * m.cols) + j) <- x
+
+  let row m i =
+    check_index ~fn:"row" m i 0;
+    Array.sub m.data (i * m.cols) m.cols
+
+  let col m j =
+    check_index ~fn:"col" m 0 j;
+    Array.init m.rows (fun i -> m.data.((i * m.cols) + j))
+
+  let of_arrays arrays =
+    let rows = Array.length arrays in
+    if rows = 0 then invalid_arg "Dense.of_arrays: no rows";
+    let cols = Array.length arrays.(0) in
+    if cols = 0 then invalid_arg "Dense.of_arrays: empty rows";
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Dense.of_arrays: ragged rows")
+      arrays;
+    init ~rows ~cols (fun i j -> arrays.(i).(j))
+
+  let to_arrays m = Array.init m.rows (fun i -> row m i)
+  let copy m = { m with data = Array.copy m.data }
+  let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+  let map f m = { m with data = Array.map f m.data }
+
+  let mapi f m =
+    {
+      m with
+      data = Array.mapi (fun k x -> f (k / m.cols) (k mod m.cols) x) m.data;
+    }
+
+  let fold f acc m = Array.fold_left f acc m.data
+
+  let iteri f m =
+    Array.iteri (fun k x -> f (k / m.cols) (k mod m.cols) x) m.data
+
+  let equal a b =
+    a.rows = b.rows && a.cols = b.cols
+    && Array.for_all2 E.equal a.data b.data
+
+  let count p m =
+    fold (fun acc x -> if p x then acc + 1 else acc) 0 m
+
+  let pp ppf m =
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to m.rows - 1 do
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf ppf " ";
+        E.pp ppf (get m i j)
+      done;
+      Format.fprintf ppf "]"
+    done;
+    Format.fprintf ppf "@]"
+end

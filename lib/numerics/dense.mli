@@ -1,0 +1,47 @@
+(** Generic dense row-major matrices, shared by the float and int
+    specialisations ({!Fmatrix}, {!Imatrix}). *)
+
+module type ELEMENT = sig
+  type t
+
+  val zero : t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val make : rows:int -> cols:int -> elt -> t
+  (** Constant matrix; dimensions must be positive. *)
+
+  val init : rows:int -> cols:int -> (int -> int -> elt) -> t
+  (** [init ~rows ~cols f] has entry [f i j] at row [i], column [j]. *)
+
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> elt
+  val set : t -> int -> int -> elt -> unit
+
+  val row : t -> int -> elt array
+  (** Fresh copy of a row. *)
+
+  val col : t -> int -> elt array
+
+  val of_arrays : elt array array -> t
+  (** Rows must be non-empty and of equal length. *)
+
+  val to_arrays : t -> elt array array
+  val copy : t -> t
+  val transpose : t -> t
+  val map : (elt -> elt) -> t -> t
+  val mapi : (int -> int -> elt -> elt) -> t -> t
+  val fold : ('a -> elt -> 'a) -> 'a -> t -> 'a
+  val iteri : (int -> int -> elt -> unit) -> t -> unit
+  val equal : t -> t -> bool
+  val count : (elt -> bool) -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (E : ELEMENT) : S with type elt = E.t

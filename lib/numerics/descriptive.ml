@@ -1,0 +1,88 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let require_non_empty fn xs =
+  if Array.length xs = 0 then
+    invalid_arg (Printf.sprintf "Descriptive.%s: empty array" fn)
+
+let mean xs =
+  require_non_empty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_non_empty "variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else
+    let m = mean xs in
+    let sum_sq =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+    in
+    sum_sq /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let min_max xs =
+  require_non_empty "min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let quantile xs p =
+  require_non_empty "quantile" xs;
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Descriptive.quantile: p outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let position = p *. float_of_int (n - 1) in
+    let below = int_of_float (Float.floor position) in
+    let above = Stdlib.min (below + 1) (n - 1) in
+    let weight = position -. float_of_int below in
+    ((1. -. weight) *. sorted.(below)) +. (weight *. sorted.(above))
+
+let median xs = quantile xs 0.5
+
+let summarize xs =
+  require_non_empty "summarize" xs;
+  let lo, hi = min_max xs in
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    variance = variance xs;
+    std = std xs;
+    min = lo;
+    max = hi;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g std=%.6g min=%.6g max=%.6g" s.count
+    s.mean s.std s.min s.max
+
+let histogram ~bins xs =
+  require_non_empty "histogram" xs;
+  if bins < 1 then invalid_arg "Descriptive.histogram: bins must be >= 1";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  let place x =
+    let index =
+      int_of_float (Float.floor ((x -. lo) /. width))
+    in
+    let index = Stdlib.max 0 (Stdlib.min (bins - 1) index) in
+    counts.(index) <- counts.(index) + 1
+  in
+  Array.iter place xs;
+  Array.mapi
+    (fun i c ->
+      let bin_lo = lo +. (float_of_int i *. width) in
+      (bin_lo, bin_lo +. width, c))
+    counts

@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance (n-1 denominator) *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for singleton arrays. *)
+
+val std : float array -> float
+
+val min_max : float array -> float * float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with linear interpolation between order statistics;
+    [p] in [0, 1].  Does not mutate its argument. *)
+
+val median : float array -> float
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over the data
+    range; [bins >= 1]. *)

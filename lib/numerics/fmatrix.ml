@@ -1,0 +1,38 @@
+include Dense.Make (struct
+  type t = float
+
+  let zero = 0.
+  let equal = Float.equal
+  let pp ppf x = Format.fprintf ppf "%g" x
+end)
+
+let norm_l1 m = fold (fun acc x -> acc +. Float.abs x) 0. m
+let sum m = fold ( +. ) 0. m
+let average m = sum m /. float_of_int (rows m * cols m)
+let max_entry m = fold Float.max neg_infinity m
+let min_entry m = fold Float.min infinity m
+let scale k m = map (fun x -> k *. x) m
+
+let zip_with ~fn f a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg (Printf.sprintf "Fmatrix.%s: dimension mismatch" fn);
+  init ~rows:(rows a) ~cols:(cols a) (fun i j -> f (get a i j) (get b i j))
+
+let add a b = zip_with ~fn:"add" ( +. ) a b
+let sub a b = zip_with ~fn:"sub" ( -. ) a b
+
+let approx_equal ~eps a b =
+  rows a = rows b && cols a = cols b
+  &&
+  let mismatch = ref false in
+  iteri (fun i j x -> if Float.abs (x -. get b i j) > eps then mismatch := true) a;
+  not !mismatch
+
+let distinct_nonzero ~eps values =
+  (* Quadratic scan: rows are short (the M doping regions of a nanowire). *)
+  let seen = ref [] in
+  let is_new v = List.for_all (fun u -> Float.abs (u -. v) > eps) !seen in
+  Array.iter
+    (fun v -> if Float.abs v > eps && is_new v then seen := v :: !seen)
+    values;
+  List.length !seen

@@ -1,0 +1,24 @@
+(** Dense float matrices with the entrywise operations used by the
+    fabrication-cost analysis (doping matrices [D], [S] and variability
+    matrix [Σ] of the paper). *)
+
+include Dense.S with type elt = float
+
+val norm_l1 : t -> float
+(** Entrywise 1-norm {m ‖A‖₁ = Σᵢⱼ |aᵢⱼ|} — the decoder-variability cost
+    of the paper's Proposition 3. *)
+
+val sum : t -> float
+val average : t -> float
+val max_entry : t -> float
+val min_entry : t -> float
+val scale : float -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val approx_equal : eps:float -> t -> t -> bool
+(** Entrywise comparison with absolute tolerance [eps]. *)
+
+val distinct_nonzero : eps:float -> float array -> int
+(** Number of distinct (within [eps]) non-zero values in a row — the
+    per-step lithography count {m φᵢ} of the paper's Definition 4. *)

@@ -1,0 +1,16 @@
+include Dense.Make (struct
+  type t = int
+
+  let zero = 0
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+let sum m = fold ( + ) 0 m
+let max_entry m = fold Stdlib.max min_int m
+let min_entry m = fold Stdlib.min max_int m
+
+let map_to_fmatrix h m =
+  Fmatrix.init ~rows:(rows m) ~cols:(cols m) (fun i j -> h (get m i j))
+
+let to_fmatrix m = map_to_fmatrix float_of_int m

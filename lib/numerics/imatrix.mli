@@ -1,0 +1,13 @@
+(** Dense int matrices (pattern matrix [P] and doping-operation count [ν]
+    of the paper). *)
+
+include Dense.S with type elt = int
+
+val sum : t -> int
+val max_entry : t -> int
+val min_entry : t -> int
+
+val to_fmatrix : t -> Fmatrix.t
+val map_to_fmatrix : (int -> float) -> t -> Fmatrix.t
+(** [map_to_fmatrix h p] applies an elementwise function — e.g. the
+    pattern→doping bijection [h] of Proposition 1. *)

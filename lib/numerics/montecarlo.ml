@@ -1,0 +1,43 @@
+type estimate = {
+  samples : int;
+  mean : float;
+  std_error : float;
+  ci95_low : float;
+  ci95_high : float;
+}
+
+let z95 = 1.959963984540054
+
+let of_mean_se ~samples ~mean ~std_error =
+  {
+    samples;
+    mean;
+    std_error;
+    ci95_low = mean -. (z95 *. std_error);
+    ci95_high = mean +. (z95 *. std_error);
+  }
+
+let estimate rng ~samples f =
+  if samples < 2 then invalid_arg "Montecarlo.estimate: need >= 2 samples";
+  let draws = Array.init samples (fun _ -> f rng) in
+  let mean = Descriptive.mean draws in
+  let std_error = Descriptive.std draws /. sqrt (float_of_int samples) in
+  of_mean_se ~samples ~mean ~std_error
+
+let estimate_proportion rng ~samples f =
+  if samples < 2 then
+    invalid_arg "Montecarlo.estimate_proportion: need >= 2 samples";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if f rng then incr hits
+  done;
+  let n = float_of_int samples in
+  let p = float_of_int !hits /. n in
+  let std_error = sqrt (p *. (1. -. p) /. n) in
+  of_mean_se ~samples ~mean:p ~std_error
+
+let within e x = x >= e.ci95_low && x <= e.ci95_high
+
+let pp ppf e =
+  Format.fprintf ppf "%.6g ± %.2g (95%% CI [%.6g, %.6g], n=%d)" e.mean
+    (z95 *. e.std_error) e.ci95_low e.ci95_high e.samples

@@ -1,0 +1,24 @@
+(** Monte-Carlo estimation with confidence intervals. *)
+
+type estimate = {
+  samples : int;
+  mean : float;
+  std_error : float;
+  ci95_low : float;
+  ci95_high : float;
+}
+(** Sample mean with its standard error and normal-approximation 95 %
+    confidence interval. *)
+
+val estimate : Rng.t -> samples:int -> (Rng.t -> float) -> estimate
+(** [estimate rng ~samples f] averages [samples] evaluations of [f];
+    [samples] must be at least 2. *)
+
+val estimate_proportion : Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
+(** Bernoulli specialisation: the standard error uses the Wilson-style
+    p(1-p)/n variance, never larger than the generic estimator's. *)
+
+val within : estimate -> float -> bool
+(** [within e x] tests whether [x] lies inside the 95 % interval of [e]. *)
+
+val pp : Format.formatter -> estimate -> unit

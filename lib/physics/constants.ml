@@ -1,0 +1,12 @@
+let electron_charge = 1.602176634e-19
+let boltzmann = 1.380649e-23
+let room_temperature = 300.
+let vacuum_permittivity = 8.8541878128e-12
+let silicon_permittivity = 11.7 *. vacuum_permittivity
+let oxide_permittivity = 3.9 *. vacuum_permittivity
+let intrinsic_carrier_concentration = 1.0e10
+
+let thermal_voltage ~temperature =
+  boltzmann *. temperature /. electron_charge
+
+let cm3_to_m3 concentration = concentration *. 1.0e6

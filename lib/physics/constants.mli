@@ -1,0 +1,29 @@
+(** Physical constants (SI units unless noted) used by the threshold
+    voltage model. *)
+
+val electron_charge : float
+(** q, in coulomb. *)
+
+val boltzmann : float
+(** k_B, in J/K. *)
+
+val room_temperature : float
+(** 300 K. *)
+
+val vacuum_permittivity : float
+(** ε₀, in F/m. *)
+
+val silicon_permittivity : float
+(** ε_Si = 11.7 ε₀. *)
+
+val oxide_permittivity : float
+(** ε_SiO₂ = 3.9 ε₀. *)
+
+val intrinsic_carrier_concentration : float
+(** n_i of silicon at 300 K, in cm⁻³. *)
+
+val thermal_voltage : temperature:float -> float
+(** k_B·T / q, in volt. *)
+
+val cm3_to_m3 : float -> float
+(** Converts a concentration from cm⁻³ to m⁻³. *)

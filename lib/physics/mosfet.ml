@@ -1,0 +1,49 @@
+type params = {
+  oxide_thickness : float;
+  flat_band_voltage : float;
+  temperature : float;
+}
+
+let default_params =
+  { oxide_thickness = 2.0e-9; flat_band_voltage = -0.8; temperature = 300. }
+
+let oxide_capacitance p = Constants.oxide_permittivity /. p.oxide_thickness
+
+let bulk_potential p ~doping =
+  if doping <= Constants.intrinsic_carrier_concentration then
+    invalid_arg "Mosfet.bulk_potential: doping must exceed n_i";
+  Constants.thermal_voltage ~temperature:p.temperature
+  *. log (doping /. Constants.intrinsic_carrier_concentration)
+
+let vt_of_doping p ~doping =
+  let psi_b = bulk_potential p ~doping in
+  let depletion_charge =
+    sqrt
+      (2. *. Constants.silicon_permittivity *. Constants.electron_charge
+      *. Constants.cm3_to_m3 doping *. (2. *. psi_b))
+  in
+  p.flat_band_voltage +. (2. *. psi_b)
+  +. (depletion_charge /. oxide_capacitance p)
+
+let bracket_low = 1.0e12
+let bracket_high = 1.0e21
+
+let doping_range p =
+  (vt_of_doping p ~doping:bracket_low, vt_of_doping p ~doping:bracket_high)
+
+let doping_of_vt p ~vt =
+  let vt_low, vt_high = doping_range p in
+  if vt < vt_low || vt > vt_high then
+    invalid_arg
+      (Printf.sprintf
+         "Mosfet.doping_of_vt: V_T %.3f outside achievable [%.3f, %.3f]" vt
+         vt_low vt_high);
+  (* Bisection on log-doping: V_T is strictly increasing in doping. *)
+  let rec bisect lo hi remaining =
+    if remaining = 0 then sqrt (lo *. hi)
+    else
+      let mid = sqrt (lo *. hi) in
+      if vt_of_doping p ~doping:mid < vt then bisect mid hi (remaining - 1)
+      else bisect lo mid (remaining - 1)
+  in
+  bisect bracket_low bracket_high 200

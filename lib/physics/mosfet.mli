@@ -1,0 +1,34 @@
+(** Long-channel MOS threshold-voltage model (Sze & Ng, ch. 6) — the
+    monotonic bijection [f] between threshold voltage and channel doping
+    that the paper's Proposition 1 relies on (its reference [14]).
+
+    {m V_T(N_A) = V_{FB} + 2ψ_B + \sqrt{2 ε_{Si} q N_A · 2ψ_B} / C_{ox}}
+    with {m ψ_B = (kT/q)·\ln(N_A/n_i)}.  The inverse [doping_of_vt] is
+    computed by bisection, which is exact enough (1e-12 relative bracket)
+    for every use in this library. *)
+
+type params = {
+  oxide_thickness : float;  (** gate oxide thickness, m *)
+  flat_band_voltage : float;  (** V_FB, volt *)
+  temperature : float;  (** kelvin *)
+}
+
+val default_params : params
+(** 2 nm oxide, V_FB = −0.8 V (n+ poly gate over p-type body), 300 K —
+    places the usable V_T window roughly on the paper's 0–1 V range. *)
+
+val oxide_capacitance : params -> float
+(** C_ox = ε_ox / t_ox, in F/m². *)
+
+val bulk_potential : params -> doping:float -> float
+(** ψ_B for an acceptor concentration [doping] in cm⁻³ (must exceed n_i). *)
+
+val vt_of_doping : params -> doping:float -> float
+(** Threshold voltage for a doping level in cm⁻³; strictly increasing. *)
+
+val doping_of_vt : params -> vt:float -> float
+(** Inverse of {!vt_of_doping} by bisection over [1e12, 1e21] cm⁻³; raises
+    [Invalid_argument] if [vt] is outside the achievable range. *)
+
+val doping_range : params -> float * float
+(** Achievable (min, max) threshold voltages over the bisection bracket. *)

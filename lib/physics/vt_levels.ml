@@ -1,0 +1,93 @@
+type placement = Centered | Spread of float
+
+type t = {
+  radix : int;
+  supply_voltage : float;
+  placement : placement;
+  mosfet : Mosfet.params;
+  (* Doping levels are relatively expensive (bisection); computed once. *)
+  dopings : float array Lazy.t;
+}
+
+let separation_of ~placement ~radix ~supply =
+  match placement with
+  | Centered -> supply /. float_of_int radix
+  | Spread rail -> (1. -. (2. *. rail)) *. supply /. float_of_int (radix - 1)
+
+let vt_of_digit_raw ~placement ~radix ~supply d =
+  match placement with
+  | Centered -> float_of_int ((2 * d) + 1) /. float_of_int (2 * radix) *. supply
+  | Spread rail ->
+    (rail *. supply)
+    +. (float_of_int d *. separation_of ~placement ~radix ~supply)
+
+(* The evenly spaced 0..V_DD levels sit below the achievable V_T window of
+   the raw device model (whose V_T(n_i..) starts higher); shift by the
+   model's minimum so every level has a realising doping.  The shift is a
+   constant, so monotonicity — all the analysis needs — is untouched. *)
+let physical_vt mosfet ~placement ~radix ~supply d =
+  let vt_low, _ = Mosfet.doping_range mosfet in
+  vt_of_digit_raw ~placement ~radix ~supply d +. vt_low +. (0.05 *. supply)
+
+let make ?(mosfet = Mosfet.default_params) ?(supply_voltage = 1.0)
+    ?(placement = Spread 0.1) ~radix () =
+  if radix < 2 then invalid_arg "Vt_levels.make: radix must be >= 2";
+  if supply_voltage <= 0. then
+    invalid_arg "Vt_levels.make: supply voltage must be positive";
+  (match placement with
+   | Centered -> ()
+   | Spread rail ->
+     if not (rail >= 0. && rail < 0.5) then
+       invalid_arg "Vt_levels.make: rail margin outside [0, 0.5)");
+  let dopings =
+    lazy
+      (Array.init radix (fun d ->
+           Mosfet.doping_of_vt mosfet
+             ~vt:(physical_vt mosfet ~placement ~radix ~supply:supply_voltage d)))
+  in
+  { radix; supply_voltage; placement; mosfet; dopings }
+
+let radix t = t.radix
+let supply_voltage t = t.supply_voltage
+
+let separation t =
+  separation_of ~placement:t.placement ~radix:t.radix ~supply:t.supply_voltage
+
+let check_digit t d =
+  if d < 0 || d >= t.radix then
+    invalid_arg (Printf.sprintf "Vt_levels: digit %d outside [0, %d)" d t.radix)
+
+let vt_of_digit t d =
+  check_digit t d;
+  vt_of_digit_raw ~placement:t.placement ~radix:t.radix
+    ~supply:t.supply_voltage d
+
+let digit_of_vt t vt =
+  (* Nearest level. *)
+  let best = ref 0 in
+  for d = 1 to t.radix - 1 do
+    if Float.abs (vt -. vt_of_digit t d) < Float.abs (vt -. vt_of_digit t !best)
+    then best := d
+  done;
+  !best
+
+let doping_of_digit t d =
+  check_digit t d;
+  (Lazy.force t.dopings).(d)
+
+let digit_of_doping t doping =
+  let dopings = Lazy.force t.dopings in
+  let best = ref 0 in
+  for d = 1 to t.radix - 1 do
+    if Float.abs (log (doping /. dopings.(d)))
+       < Float.abs (log (doping /. dopings.(!best)))
+    then best := d
+  done;
+  !best
+
+let address_window t ~margin_fraction =
+  if not (margin_fraction > 0. && margin_fraction <= 0.5) then
+    invalid_arg "Vt_levels.address_window: margin_fraction outside (0, 0.5]";
+  margin_fraction *. separation t
+
+let levels t = Array.init t.radix (vt_of_digit t)

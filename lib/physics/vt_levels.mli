@@ -1,0 +1,57 @@
+(** Threshold-voltage discretisation for multi-valued addressing.
+
+    The paper distributes the [n] threshold voltages over 0–1 V (its
+    maximum supply voltage) and maps each digit [0..n-1] to a voltage level
+    (the discrete ordering [g] of Proposition 1) and onward to the unique
+    doping concentration realising it (the device function [f] of
+    {!Mosfet}); the composition is the bijection [h]. *)
+
+type t
+
+type placement =
+  | Centered
+      (** levels at {m (2d+1)/(2n)·V_{DD}} — each level centred in its bin,
+          separation {m V_{DD}/n} *)
+  | Spread of float
+      (** [Spread rail_margin]: levels spanning
+          {m [rail·V_{DD}, (1-rail)·V_{DD}]} with equal spacing — the
+          paper's "V_T distributed within the range 0 to 1 V", separation
+          {m (1-2·rail)·V_{DD}/(n-1)} *)
+
+val make :
+  ?mosfet:Mosfet.params ->
+  ?supply_voltage:float ->
+  ?placement:placement ->
+  radix:int ->
+  unit ->
+  t
+(** [make ~radix ()] uses [Spread 0.1] placement and the paper's 1 V
+    supply by default. *)
+
+val radix : t -> int
+val supply_voltage : t -> float
+
+val separation : t -> float
+(** Distance between adjacent levels, {m V_{DD}/n}. *)
+
+val vt_of_digit : t -> int -> float
+(** The discretisation [g]. *)
+
+val digit_of_vt : t -> float -> int
+(** Nearest level — inverse of [g] on its image, total on [0, V_DD]. *)
+
+val doping_of_digit : t -> int -> float
+(** The bijection [h = f⁻¹ ∘ g]: doping concentration (cm⁻³) implementing
+    a digit's threshold voltage.  Values are memoised. *)
+
+val digit_of_doping : t -> float -> int
+(** Inverse of {!doping_of_digit} (nearest level after applying [f]). *)
+
+val address_window : t -> margin_fraction:float -> float
+(** Half-width of the addressability window: a region is functional while
+    its V_T stays within ±window of nominal.  [margin_fraction] scales the
+    level separation (the paper's "small range as specified in [2]"); must
+    be in (0, 0.5]. *)
+
+val levels : t -> float array
+(** All [radix] nominal threshold voltages, ascending. *)

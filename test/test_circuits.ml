@@ -1,0 +1,324 @@
+(* Tests for the circuit-level extensions: address book, analog sensing
+   and the NOR-NOR PLA. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_physics
+open Nanodec_crossbar
+
+(* --- Address_space --- *)
+
+let analysis = Cave.analyze Cave.default_config
+
+let book = Address_space.build analysis ~wires:100
+
+let test_address_book_coverage () =
+  Alcotest.(check int) "wires" 100 (Address_space.n_wires book);
+  (* Default config: omega 32 >= 20 wires per half cave, single pad, no
+     removals: every wire addressable. *)
+  Alcotest.(check int) "all addressable" 100
+    (List.length (Address_space.addressable_wires book))
+
+let test_address_roundtrip () =
+  List.iter
+    (fun w ->
+      match Address_space.address_of_wire book w with
+      | None -> Alcotest.failf "wire %d has no address" w
+      | Some address ->
+        (match Address_space.wire_of_address book address with
+        | Some w' -> Alcotest.(check int) "inverse" w w'
+        | None -> Alcotest.failf "address of wire %d not found" w))
+    (Address_space.addressable_wires book)
+
+let test_address_structure () =
+  (* Wire 0 is in cave 0 half 0; wire 20 in cave 0 half 1; wire 40 in
+     cave 1 half 0 (20 wires per half cave). *)
+  let expect w cave half =
+    match Address_space.address_of_wire book w with
+    | Some a ->
+      Alcotest.(check int) "cave" cave a.Address_space.cave;
+      Alcotest.(check int) "half" half a.Address_space.half
+    | None -> Alcotest.failf "wire %d missing" w
+  in
+  expect 0 0 0;
+  expect 20 0 1;
+  expect 40 1 0;
+  expect 99 2 0
+
+let test_addresses_unique () =
+  let texts =
+    List.filter_map
+      (fun w ->
+        Option.map
+          (fun a -> Format.asprintf "%a" Address_space.pp_address a)
+          (Address_space.address_of_wire book w))
+      (Address_space.addressable_wires book)
+  in
+  Alcotest.(check int) "distinct addresses"
+    (List.length texts)
+    (List.length (List.sort_uniq String.compare texts))
+
+let test_removed_wires_have_no_address () =
+  let config = { Cave.default_config with Cave.code_type = Codebook.Tree; code_length = 6 } in
+  let a = Cave.analyze config in
+  let b = Address_space.build a ~wires:40 in
+  let expected =
+    2 * Geometry.n_addressable a.Cave.layout
+  in
+  Alcotest.(check int) "layout losses excluded" expected
+    (List.length (Address_space.addressable_wires b))
+
+let test_mesowire_voltages () =
+  let levels = Vt_levels.make ~radix:2 () in
+  match Address_space.address_of_wire book 0 with
+  | None -> Alcotest.fail "wire 0"
+  | Some address ->
+    let voltages = Address_space.mesowire_voltages levels address in
+    Alcotest.(check int) "M voltages" 10 (Array.length voltages);
+    Array.iteri
+      (fun j v ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "voltage %d" j)
+          (Addressing.applied_voltage levels (Word.get address.Address_space.word j))
+          v)
+      voltages
+
+(* --- Sensing --- *)
+
+let sp = Sensing.default_params
+let levels = Vt_levels.make ~radix:2 ()
+
+let test_region_conductance_regimes () =
+  let on =
+    Sensing.region_conductance sp ~gate_voltage:1.3 ~threshold_voltage:0.9
+  in
+  let off =
+    Sensing.region_conductance sp ~gate_voltage:0.5 ~threshold_voltage:0.9
+  in
+  Alcotest.(check (float 1e-12)) "linear region" (1e-6 *. 0.4) on;
+  Alcotest.(check bool) "off is positive but tiny" true (off > 0. && off < on /. 100.)
+
+let test_conductance_continuous_at_threshold () =
+  let just_above =
+    Sensing.region_conductance sp ~gate_voltage:0.900001 ~threshold_voltage:0.9
+  in
+  let just_below =
+    Sensing.region_conductance sp ~gate_voltage:0.899999 ~threshold_voltage:0.9
+  in
+  Alcotest.(check bool) "no big jump" true
+    (Float.abs (just_above -. just_below) < 2. *. 1e-6 *. sp.Sensing.subthreshold_swing)
+
+let test_wire_conductance_series () =
+  let word = Word.of_string ~radix:2 "01" in
+  let g =
+    Sensing.wire_conductance sp levels ~address:word ~vt_offsets:[| 0.; 0. |]
+      word
+  in
+  (* Two series regions each with overdrive sep/2 = 0.4 V. *)
+  let per_region = 1e-6 *. 0.4 in
+  Alcotest.(check (float 1e-12)) "series halves" (per_region /. 2.) g
+
+let test_sense_ratio_nominal () =
+  let group =
+    List.map
+      (fun w -> (w, [| 0.; 0.; 0.; 0.; 0.; 0. |]))
+      (Codebook.sequence ~radix:2 ~length:6 ~count:8 Codebook.Gray)
+  in
+  let target = List.nth (List.map fst group) 3 in
+  let ratio = Sensing.sense_ratio sp levels ~group ~target in
+  Alcotest.(check bool) "nominal ratio is large" true (ratio > 100.)
+
+let test_sense_ratio_degrades_with_noise () =
+  (* Give every competitor a large negative V_T shift: sneak conduction
+     rises, ratio falls. *)
+  let words = Codebook.sequence ~radix:2 ~length:6 ~count:8 Codebook.Gray in
+  let clean = List.map (fun w -> (w, Array.make 6 0.)) words in
+  let target = List.nth words 3 in
+  let noisy =
+    List.map
+      (fun w ->
+        if Word.equal w target then (w, Array.make 6 0.)
+        else (w, Array.make 6 (-0.6)))
+      words
+  in
+  let clean_ratio = Sensing.sense_ratio sp levels ~group:clean ~target in
+  let noisy_ratio = Sensing.sense_ratio sp levels ~group:noisy ~target in
+  Alcotest.(check bool) "noise hurts" true (noisy_ratio < clean_ratio /. 10.)
+
+let test_sense_ratio_guards () =
+  let group = [ (Word.of_string ~radix:2 "01", [| 0.; 0. |]) ] in
+  Alcotest.(check bool) "single wire: infinite" true
+    (Sensing.sense_ratio sp levels ~group
+       ~target:(Word.of_string ~radix:2 "01")
+    = infinity);
+  Alcotest.check_raises "missing target"
+    (Invalid_argument "Sensing.sense_ratio: target not in group") (fun () ->
+      ignore
+        (Sensing.sense_ratio sp levels ~group
+           ~target:(Word.of_string ~radix:2 "10")))
+
+let test_mc_sense_yield_tracks_window_model () =
+  let a =
+    Cave.analyze { Cave.default_config with Cave.n_wires = 12; code_length = 8 }
+  in
+  let rng = Rng.create ~seed:31 in
+  let sense = Sensing.mc_sense_yield rng ~samples:150 a in
+  (* The analog criterion is an independent model; it should land within
+     ~15 points of the analytic window yield on the default platform. *)
+  Alcotest.(check bool) "same ballpark" true
+    (Float.abs (sense.Montecarlo.mean -. a.Cave.yield) < 0.15)
+
+(* --- PLA --- *)
+
+let fresh_memory seed =
+  let config =
+    {
+      Array_sim.cave = { Cave.default_config with Cave.n_wires = 10 };
+      raw_bits = 4096;
+    }
+  in
+  Memory.create (Rng.create ~seed) config
+
+let v i = { Pla.input = i; positive = true }
+let nv i = { Pla.input = i; positive = false }
+
+let program_exn memory ~inputs ~outputs =
+  match Pla.program memory ~inputs ~outputs with
+  | Ok pla -> pla
+  | Error (`Not_enough_rows (need, have)) ->
+    Alcotest.failf "rows: need %d have %d" need have
+  | Error (`Not_enough_columns (need, have)) ->
+    Alcotest.failf "cols: need %d have %d" need have
+
+let test_pla_xor () =
+  let memory = fresh_memory 41 in
+  (* xor = a.!b + !a.b *)
+  let pla =
+    program_exn memory ~inputs:2
+      ~outputs:[ [ [ v 0; nv 1 ]; [ nv 0; v 1 ] ] ]
+  in
+  Alcotest.(check int) "two terms" 2 (Pla.n_terms pla);
+  List.iteri
+    (fun bits row ->
+      let a = bits land 1 = 1
+      and b = bits land 2 = 2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "xor %b %b" a b)
+        (a <> b) row.(0))
+    (Pla.truth_table pla)
+
+let test_pla_majority_and_parity_share_terms () =
+  let memory = fresh_memory 42 in
+  let maj = [ [ v 0; v 1 ]; [ v 0; v 2 ]; [ v 1; v 2 ] ] in
+  let all_ones = [ [ v 0; v 1; v 2 ] ] in
+  let pla = program_exn memory ~inputs:3 ~outputs:[ maj; all_ones ] in
+  Alcotest.(check int) "4 shared terms" 4 (Pla.n_terms pla);
+  List.iteri
+    (fun bits row ->
+      let x = Array.init 3 (fun i -> bits land (1 lsl i) <> 0) in
+      let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 x in
+      Alcotest.(check bool) "majority" (ones >= 2) row.(0);
+      Alcotest.(check bool) "and3" (ones = 3) row.(1))
+    (Pla.truth_table pla)
+
+let test_pla_constants () =
+  let memory = fresh_memory 43 in
+  (* Empty product = true; empty sum = false. *)
+  let pla = program_exn memory ~inputs:1 ~outputs:[ [ [] ]; [] ] in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "true output" true row.(0);
+      Alcotest.(check bool) "false output" false row.(1))
+    (Pla.truth_table pla)
+
+let test_pla_contradiction_is_false () =
+  let memory = fresh_memory 44 in
+  let pla = program_exn memory ~inputs:1 ~outputs:[ [ [ v 0; nv 0 ] ] ] in
+  List.iter
+    (fun row -> Alcotest.(check bool) "x and not x" false row.(0))
+    (Pla.truth_table pla)
+
+let test_pla_resource_errors () =
+  let memory = fresh_memory 45 in
+  let rows = Array.length (Defect_map.usable_indices (Memory.row_states memory)) in
+  let too_many_terms =
+    List.init (rows + 1) (fun t -> [ v (t mod 2) ])
+  in
+  (* Distinct single-literal products over 2 inputs collapse to <= 4, so
+     build genuinely distinct ones over many inputs instead. *)
+  ignore too_many_terms;
+  let inputs = 40 in
+  let distinct_terms = List.init (rows + 1) (fun t -> [ v (t mod inputs); v ((t + 1) mod inputs) ]) in
+  (match Pla.program memory ~inputs:2 ~outputs:[] with
+  | Ok pla -> Alcotest.(check int) "no terms" 0 (Pla.n_terms pla)
+  | Error _ -> Alcotest.fail "trivial program must fit");
+  match Pla.program memory ~inputs ~outputs:[ distinct_terms ] with
+  | Error (`Not_enough_rows _ | `Not_enough_columns _) -> ()
+  | Ok _ -> Alcotest.fail "expected a resource error"
+
+let test_pla_evaluate_arity () =
+  let memory = fresh_memory 46 in
+  let pla = program_exn memory ~inputs:2 ~outputs:[ [ [ v 0 ] ] ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Pla.evaluate: input arity mismatch")
+    (fun () -> ignore (Pla.evaluate pla [| true |]))
+
+let prop_pla_matches_direct_evaluation =
+  (* Random 3-input sums of products evaluated on-fabric match direct
+     boolean evaluation. *)
+  let gen_literal =
+    QCheck.Gen.(map2 (fun input positive -> { Pla.input; positive }) (int_range 0 2) bool)
+  in
+  let gen_product = QCheck.Gen.(list_size (int_range 0 3) gen_literal) in
+  let gen_sop = QCheck.Gen.(list_size (int_range 0 4) gen_product) in
+  QCheck.Test.make ~name:"pla matches direct SoP evaluation" ~count:60
+    (QCheck.make QCheck.Gen.(pair gen_sop (int_range 0 10_000)))
+    (fun (sop, seed) ->
+      let memory = fresh_memory seed in
+      match Pla.program memory ~inputs:3 ~outputs:[ sop ] with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok pla ->
+        List.for_all
+          (fun bits ->
+            let x = Array.init 3 (fun i -> bits land (1 lsl i) <> 0) in
+            let direct =
+              List.exists
+                (fun product ->
+                  List.for_all
+                    (fun l ->
+                      if l.Pla.positive then x.(l.Pla.input)
+                      else not x.(l.Pla.input))
+                    product)
+                sop
+            in
+            (Pla.evaluate pla x).(0) = direct)
+          (List.init 8 Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "address book coverage" `Quick test_address_book_coverage;
+    Alcotest.test_case "address roundtrip" `Quick test_address_roundtrip;
+    Alcotest.test_case "address structure" `Quick test_address_structure;
+    Alcotest.test_case "addresses unique" `Quick test_addresses_unique;
+    Alcotest.test_case "removed wires unaddressed" `Quick
+      test_removed_wires_have_no_address;
+    Alcotest.test_case "mesowire voltages" `Quick test_mesowire_voltages;
+    Alcotest.test_case "conductance regimes" `Quick
+      test_region_conductance_regimes;
+    Alcotest.test_case "conductance continuity" `Quick
+      test_conductance_continuous_at_threshold;
+    Alcotest.test_case "series conductance" `Quick test_wire_conductance_series;
+    Alcotest.test_case "sense ratio nominal" `Quick test_sense_ratio_nominal;
+    Alcotest.test_case "sense ratio vs noise" `Quick
+      test_sense_ratio_degrades_with_noise;
+    Alcotest.test_case "sense ratio guards" `Quick test_sense_ratio_guards;
+    Alcotest.test_case "sense yield ~ window yield" `Slow
+      test_mc_sense_yield_tracks_window_model;
+    Alcotest.test_case "pla xor" `Quick test_pla_xor;
+    Alcotest.test_case "pla majority + and3" `Quick
+      test_pla_majority_and_parity_share_terms;
+    Alcotest.test_case "pla constants" `Quick test_pla_constants;
+    Alcotest.test_case "pla contradiction" `Quick test_pla_contradiction_is_false;
+    Alcotest.test_case "pla resource errors" `Quick test_pla_resource_errors;
+    Alcotest.test_case "pla arity guard" `Quick test_pla_evaluate_arity;
+    QCheck_alcotest.to_alcotest prop_pla_matches_direct_evaluation;
+  ]

@@ -1,0 +1,416 @@
+(* Tests for the five code families: tree, Gray, balanced Gray, hot and
+   arranged hot codes. *)
+
+open Nanodec_codes
+
+let strings words = List.map Word.to_string words
+
+(* --- tree codes --- *)
+
+let test_tree_size () =
+  Alcotest.(check int) "2^4" 16 (Tree_code.size ~radix:2 ~base_len:4);
+  Alcotest.(check int) "3^3" 27 (Tree_code.size ~radix:3 ~base_len:3);
+  Alcotest.(check int) "4^2" 16 (Tree_code.size ~radix:4 ~base_len:2)
+
+let test_tree_counting_order () =
+  Alcotest.(check (list string)) "ternary counting"
+    [ "000"; "001"; "002"; "010"; "011" ]
+    (strings (Tree_code.words ~radix:3 ~base_len:3 ~count:5))
+
+let test_tree_cycles_past_size () =
+  let words = Tree_code.words ~radix:2 ~base_len:1 ~count:5 in
+  Alcotest.(check (list string)) "cycling" [ "0"; "1"; "0"; "1"; "0" ]
+    (strings words)
+
+let test_tree_reflected () =
+  Alcotest.(check (list string)) "paper reflections"
+    [ "00002222"; "00012221"; "00022220"; "00102212" ]
+    (strings (Tree_code.reflected_words ~radix:3 ~base_len:4 ~count:4))
+
+let test_tree_word_at_bounds () =
+  Alcotest.check_raises "index too large"
+    (Invalid_argument "Tree_code.word_at: index 16 outside [0, 16)") (fun () ->
+      ignore (Tree_code.word_at ~radix:2 ~base_len:4 16))
+
+(* --- Gray codes --- *)
+
+let test_gray_ternary_sequence () =
+  Alcotest.(check (list string)) "ternary Gray"
+    [ "00"; "01"; "02"; "12"; "11"; "10"; "20"; "21"; "22" ]
+    (strings (Gray_code.words ~radix:3 ~base_len:2 ~count:9))
+
+let test_gray_binary_standard () =
+  Alcotest.(check (list string)) "binary reflected Gray"
+    [ "000"; "001"; "011"; "010"; "110"; "111"; "101"; "100" ]
+    (strings (Gray_code.words ~radix:2 ~base_len:3 ~count:8))
+
+let test_gray_adjacency_all_radices () =
+  List.iter
+    (fun (radix, base_len) ->
+      let words =
+        Gray_code.words ~radix ~base_len
+          ~count:(Tree_code.size ~radix ~base_len)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "gray property n=%d m=%d" radix base_len)
+        true
+        (Gray_code.is_gray_sequence words))
+    [ (2, 5); (3, 3); (4, 2); (5, 2) ]
+
+let test_gray_is_permutation_of_tree () =
+  let sort ws = List.sort Word.compare ws in
+  let gray = Gray_code.words ~radix:3 ~base_len:3 ~count:27 in
+  let tree = Tree_code.words ~radix:3 ~base_len:3 ~count:27 in
+  Alcotest.(check (list string)) "same code space" (strings (sort tree))
+    (strings (sort gray))
+
+let test_gray_rank_inverts () =
+  for i = 0 to 26 do
+    let w = Gray_code.word_at ~radix:3 ~base_len:3 i in
+    Alcotest.(check int) (Printf.sprintf "rank %d" i) i (Gray_code.rank w)
+  done
+
+let test_gray_reflected_transitions () =
+  (* Reflected Gray words differ in exactly 2 digits (base + mirror). *)
+  let words = Gray_code.reflected_words ~radix:2 ~base_len:4 ~count:16 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check int) "two transitions" 2 (Word.hamming_distance a b);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check words
+
+let test_non_gray_sequence_detected () =
+  let words = Tree_code.words ~radix:3 ~base_len:4 ~count:4 in
+  (* 0002 => 0010 differs in two digits: counting order is not Gray. *)
+  Alcotest.(check bool) "counting not gray" false
+    (Gray_code.is_gray_sequence words)
+
+(* --- balanced Gray codes --- *)
+
+let test_balanced_gray_is_gray_cycle () =
+  List.iter
+    (fun (radix, base_len) ->
+      let cycle = Balanced_gray.cycle ~radix ~base_len in
+      Alcotest.(check int)
+        (Printf.sprintf "full space n=%d m=%d" radix base_len)
+        (Tree_code.size ~radix ~base_len)
+        (List.length cycle);
+      Alcotest.(check bool) "path is gray" true
+        (Gray_code.is_gray_sequence cycle);
+      (match (List.rev cycle, cycle) with
+      | last :: _, first :: _ ->
+        Alcotest.(check int) "cycle closes" 1 (Word.hamming_distance last first)
+      | _, _ -> Alcotest.fail "empty cycle");
+      Alcotest.(check bool) "balanced" true
+        (Balanced_gray.is_balanced ~cyclic:true cycle))
+    [ (2, 3); (2, 4); (2, 5); (3, 2); (3, 3); (4, 2) ]
+
+let test_balanced_gray_visits_each_word_once () =
+  let cycle = Balanced_gray.cycle ~radix:2 ~base_len:4 in
+  let sorted = List.sort Word.compare cycle in
+  let tree = List.sort Word.compare (Tree_code.words ~radix:2 ~base_len:4 ~count:16) in
+  Alcotest.(check (list string)) "permutation of space" (strings tree)
+    (strings sorted)
+
+let test_balanced_spectrum_base4 () =
+  let cycle = Balanced_gray.cycle ~radix:2 ~base_len:4 in
+  let spectrum = Balanced_gray.transition_spectrum ~cyclic:true cycle in
+  Alcotest.(check (array int)) "perfectly balanced" [| 4; 4; 4; 4 |] spectrum
+
+let test_spectrum_sums_to_transitions () =
+  let cycle = Balanced_gray.cycle ~radix:2 ~base_len:5 in
+  let spectrum = Balanced_gray.transition_spectrum ~cyclic:true cycle in
+  Alcotest.(check int) "32 cyclic transitions" 32
+    (Array.fold_left ( + ) 0 spectrum)
+
+let test_tree_code_is_not_balanced () =
+  let words = Tree_code.words ~radix:2 ~base_len:4 ~count:16 in
+  Alcotest.(check bool) "counting order unbalanced" false
+    (Balanced_gray.is_balanced ~cyclic:true words)
+
+let test_spectrum_empty_inputs () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Balanced_gray.transition_spectrum ~cyclic:false []);
+  Alcotest.(check bool) "singleton balanced" true
+    (Balanced_gray.is_balanced ~cyclic:true [ Word.of_string ~radix:2 "01" ])
+
+(* --- hot codes --- *)
+
+let test_hot_size () =
+  Alcotest.(check int) "binary (4,2)" 6 (Hot_code.size ~radix:2 ~length:4);
+  Alcotest.(check int) "binary (6,3)" 20 (Hot_code.size ~radix:2 ~length:6);
+  Alcotest.(check int) "binary (8,4)" 70 (Hot_code.size ~radix:2 ~length:8);
+  Alcotest.(check int) "ternary (6,2)" 90 (Hot_code.size ~radix:3 ~length:6);
+  Alcotest.(check int) "ternary (3,1)" 6 (Hot_code.size ~radix:3 ~length:3)
+
+let test_hot_length_validation () =
+  Alcotest.check_raises "odd binary length"
+    (Invalid_argument "Hot_code: length 5 is not a multiple of radix 2")
+    (fun () -> ignore (Hot_code.size ~radix:2 ~length:5))
+
+let test_hot_membership () =
+  (* Paper example: 001122 and 012120 are in the (6,2) ternary space,
+     000121 is not. *)
+  Alcotest.(check bool) "001122 member" true
+    (Hot_code.is_member (Word.of_string ~radix:3 "001122"));
+  Alcotest.(check bool) "012120 member" true
+    (Hot_code.is_member (Word.of_string ~radix:3 "012120"));
+  Alcotest.(check bool) "000121 not member" false
+    (Hot_code.is_member (Word.of_string ~radix:3 "000121"))
+
+let test_hot_enumeration () =
+  let words = Hot_code.all ~radix:2 ~length:4 in
+  Alcotest.(check (list string)) "lexicographic (4,2)"
+    [ "0011"; "0101"; "0110"; "1001"; "1010"; "1100" ]
+    (strings words)
+
+let test_hot_all_members () =
+  List.iter
+    (fun (radix, length) ->
+      let words = Hot_code.all ~radix ~length in
+      Alcotest.(check int)
+        (Printf.sprintf "count n=%d M=%d" radix length)
+        (Hot_code.size ~radix ~length)
+        (List.length words);
+      List.iter
+        (fun w ->
+          if not (Hot_code.is_member w) then
+            Alcotest.failf "non-member %s" (Word.to_string w))
+        words)
+    [ (2, 6); (2, 8); (3, 6); (4, 4) ]
+
+(* --- arranged hot codes --- *)
+
+let test_arranged_is_permutation () =
+  List.iter
+    (fun (radix, length) ->
+      let arranged = List.sort Word.compare (Arranged_hot.all ~radix ~length) in
+      let space = List.sort Word.compare (Hot_code.all ~radix ~length) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "permutation n=%d M=%d" radix length)
+        (strings space) (strings arranged))
+    [ (2, 4); (2, 6); (2, 8); (3, 3); (3, 6) ]
+
+let test_arranged_distance_two () =
+  List.iter
+    (fun (radix, length) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arranged n=%d M=%d" radix length)
+        true
+        (Arranged_hot.is_arranged (Arranged_hot.all ~radix ~length)))
+    [ (2, 4); (2, 6); (2, 8); (2, 10); (3, 3); (3, 6) ]
+
+let test_plain_hot_not_arranged () =
+  Alcotest.(check bool) "lexicographic order exceeds distance 2" false
+    (Arranged_hot.is_arranged (Hot_code.all ~radix:2 ~length:6))
+
+let test_arranged_words_cycle () =
+  let words = Arranged_hot.words ~radix:2 ~length:4 ~count:8 in
+  Alcotest.(check int) "count" 8 (List.length words);
+  match (List.nth_opt words 0, List.nth_opt words 6) with
+  | Some a, Some b ->
+    Alcotest.(check string) "wraps to start" (Word.to_string a)
+      (Word.to_string b)
+  | _, _ -> Alcotest.fail "missing words"
+
+let test_hot_to_seq_matches_all () =
+  List.iter
+    (fun (radix, length) ->
+      let eager = Hot_code.all ~radix ~length in
+      let lazy_list = List.of_seq (Hot_code.to_seq ~radix ~length) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seq = all (n=%d M=%d)" radix length)
+        (strings eager) (strings lazy_list))
+    [ (2, 4); (2, 6); (3, 3); (3, 6) ]
+
+let test_hot_to_seq_streams_large_space () =
+  (* Binary M=16: 12870 words; take a prefix without materialising. *)
+  let prefix = List.of_seq (Seq.take 5 (Hot_code.to_seq ~radix:2 ~length:16)) in
+  Alcotest.(check int) "five words" 5 (List.length prefix);
+  List.iter
+    (fun w -> Alcotest.(check bool) "member" true (Hot_code.is_member w))
+    prefix
+
+let test_codebook_to_seq_cycles () =
+  let words =
+    List.of_seq (Seq.take 6 (Codebook.to_seq ~radix:2 ~length:4 Codebook.Gray))
+  in
+  Alcotest.(check int) "six" 6 (List.length words);
+  (* Omega = 4: element 4 repeats element 0. *)
+  Alcotest.(check string) "cycles"
+    (Word.to_string (List.nth words 0))
+    (Word.to_string (List.nth words 4))
+
+let test_revolving_door_scales () =
+  (* Binary M=16: 12870 words; the revolving-door order must stay at
+     Hamming distance 2 throughout. *)
+  let words = Arranged_hot.all ~radix:2 ~length:16 in
+  Alcotest.(check int) "full space" 12870 (List.length words);
+  Alcotest.(check bool) "arranged" true (Arranged_hot.is_arranged words)
+
+(* --- codebook --- *)
+
+let test_codebook_names () =
+  List.iter
+    (fun ct ->
+      match Codebook.of_name (Codebook.name ct) with
+      | Some ct' ->
+        Alcotest.(check string) "roundtrip" (Codebook.name ct) (Codebook.name ct')
+      | None -> Alcotest.failf "cannot parse %s" (Codebook.name ct))
+    Codebook.all_types;
+  Alcotest.(check bool) "unknown" true (Codebook.of_name "xyz" = None);
+  Alcotest.(check bool) "long name" true
+    (Codebook.of_name "balanced gray code" = Some Codebook.Balanced_gray)
+
+let test_codebook_space_sizes () =
+  Alcotest.(check int) "TC M=8" 16
+    (Codebook.space_size ~radix:2 ~length:8 Codebook.Tree);
+  Alcotest.(check int) "GC M=10" 32
+    (Codebook.space_size ~radix:2 ~length:10 Codebook.Gray);
+  Alcotest.(check int) "HC M=8" 70
+    (Codebook.space_size ~radix:2 ~length:8 Codebook.Hot)
+
+let test_codebook_validation () =
+  Alcotest.(check bool) "odd reflected invalid" true
+    (Result.is_error (Codebook.validate_length ~radix:2 ~length:7 Codebook.Tree));
+  Alcotest.(check bool) "hot needs divisibility" true
+    (Result.is_error (Codebook.validate_length ~radix:3 ~length:8 Codebook.Hot));
+  Alcotest.(check bool) "valid" true
+    (Result.is_ok (Codebook.validate_length ~radix:2 ~length:8 Codebook.Gray))
+
+let test_codebook_sequences_respect_length () =
+  List.iter
+    (fun ct ->
+      let length = if Codebook.uses_reflection ct then 8 else 6 in
+      let words = Codebook.sequence ~radix:2 ~length ~count:10 ct in
+      Alcotest.(check int) "count" 10 (List.length words);
+      List.iter
+        (fun w ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s word length" (Codebook.name ct))
+            length (Word.length w))
+        words)
+    Codebook.all_types
+
+let test_codebook_reflected_families () =
+  List.iter
+    (fun ct ->
+      let words = Codebook.sequence ~radix:2 ~length:8 ~count:16 ct in
+      List.iter
+        (fun w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reflected" (Codebook.name ct))
+            true (Word.is_reflected w))
+        words)
+    [ Codebook.Tree; Codebook.Gray; Codebook.Balanced_gray ]
+
+let test_minimal_length () =
+  Alcotest.(check int) "TC needs M=8 for 10 wires" 8
+    (Codebook.minimal_length ~radix:2 ~min_size:10 Codebook.Tree);
+  Alcotest.(check int) "ternary TC needs M=6 for 10" 6
+    (Codebook.minimal_length ~radix:3 ~min_size:10 Codebook.Tree);
+  Alcotest.(check int) "quaternary TC needs M=4 for 10" 4
+    (Codebook.minimal_length ~radix:4 ~min_size:10 Codebook.Tree);
+  Alcotest.(check int) "HC needs M=6 for 10" 6
+    (Codebook.minimal_length ~radix:2 ~min_size:10 Codebook.Hot)
+
+(* --- cross-family properties --- *)
+
+let prop_gray_words_adjacent =
+  QCheck.Test.make ~name:"gray neighbours differ in one digit" ~count:200
+    QCheck.(pair (int_range 2 4) (int_range 1 4))
+    (fun (radix, base_len) ->
+      let omega = Tree_code.size ~radix ~base_len in
+      let i = (radix * 7) mod (Stdlib.max 1 (omega - 1)) in
+      let a = Gray_code.word_at ~radix ~base_len i in
+      let b = Gray_code.word_at ~radix ~base_len (i + 1) in
+      Word.hamming_distance a b = 1)
+
+let prop_gray_rank_bijective =
+  QCheck.Test.make ~name:"gray rank inverts word_at at every radix" ~count:100
+    QCheck.(triple (int_range 2 5) (int_range 1 3) (int_range 0 10_000))
+    (fun (radix, base_len, i) ->
+      let omega = Tree_code.size ~radix ~base_len in
+      let i = i mod omega in
+      Gray_code.rank (Gray_code.word_at ~radix ~base_len i) = i)
+
+let test_balanced_gray_rejects_huge_space () =
+  Alcotest.check_raises "space guard" Balanced_gray.Search_exhausted
+    (fun () -> ignore (Balanced_gray.cycle ~radix:2 ~base_len:13))
+
+let test_minimal_length_guard () =
+  Alcotest.(check bool) "unreachable size raises" true
+    (try
+       ignore (Codebook.minimal_length ~radix:2 ~min_size:max_int Codebook.Tree);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_hot_counts_fixed =
+  QCheck.Test.make ~name:"hot words have equal digit counts" ~count:50
+    QCheck.(pair (int_range 2 3) (int_range 1 3))
+    (fun (radix, k) ->
+      let length = radix * k in
+      List.for_all Hot_code.is_member (Hot_code.all ~radix ~length))
+
+let suite =
+  [
+    Alcotest.test_case "tree size" `Quick test_tree_size;
+    Alcotest.test_case "tree counting order" `Quick test_tree_counting_order;
+    Alcotest.test_case "tree cycling" `Quick test_tree_cycles_past_size;
+    Alcotest.test_case "tree reflected (paper)" `Quick test_tree_reflected;
+    Alcotest.test_case "tree bounds" `Quick test_tree_word_at_bounds;
+    Alcotest.test_case "gray ternary (paper)" `Quick test_gray_ternary_sequence;
+    Alcotest.test_case "gray binary standard" `Quick test_gray_binary_standard;
+    Alcotest.test_case "gray adjacency" `Quick test_gray_adjacency_all_radices;
+    Alcotest.test_case "gray permutes tree space" `Quick
+      test_gray_is_permutation_of_tree;
+    Alcotest.test_case "gray rank inverse" `Quick test_gray_rank_inverts;
+    Alcotest.test_case "gray reflected transitions" `Quick
+      test_gray_reflected_transitions;
+    Alcotest.test_case "counting order is not gray" `Quick
+      test_non_gray_sequence_detected;
+    Alcotest.test_case "balanced gray cycles" `Quick
+      test_balanced_gray_is_gray_cycle;
+    Alcotest.test_case "balanced gray permutation" `Quick
+      test_balanced_gray_visits_each_word_once;
+    Alcotest.test_case "balanced spectrum base4" `Quick
+      test_balanced_spectrum_base4;
+    Alcotest.test_case "spectrum sums" `Quick test_spectrum_sums_to_transitions;
+    Alcotest.test_case "tree code unbalanced" `Quick
+      test_tree_code_is_not_balanced;
+    Alcotest.test_case "spectrum edge cases" `Quick test_spectrum_empty_inputs;
+    Alcotest.test_case "hot size" `Quick test_hot_size;
+    Alcotest.test_case "hot length validation" `Quick test_hot_length_validation;
+    Alcotest.test_case "hot membership (paper)" `Quick test_hot_membership;
+    Alcotest.test_case "hot enumeration" `Quick test_hot_enumeration;
+    Alcotest.test_case "hot all members" `Quick test_hot_all_members;
+    Alcotest.test_case "arranged is permutation" `Quick
+      test_arranged_is_permutation;
+    Alcotest.test_case "arranged distance 2" `Quick test_arranged_distance_two;
+    Alcotest.test_case "plain hot not arranged" `Quick
+      test_plain_hot_not_arranged;
+    Alcotest.test_case "arranged cycling" `Quick test_arranged_words_cycle;
+    Alcotest.test_case "revolving door at M=16" `Slow
+      test_revolving_door_scales;
+    Alcotest.test_case "hot to_seq = all" `Quick test_hot_to_seq_matches_all;
+    Alcotest.test_case "hot to_seq streams" `Quick
+      test_hot_to_seq_streams_large_space;
+    Alcotest.test_case "codebook to_seq cycles" `Quick
+      test_codebook_to_seq_cycles;
+    Alcotest.test_case "codebook names" `Quick test_codebook_names;
+    Alcotest.test_case "codebook sizes" `Quick test_codebook_space_sizes;
+    Alcotest.test_case "codebook validation" `Quick test_codebook_validation;
+    Alcotest.test_case "codebook sequence lengths" `Quick
+      test_codebook_sequences_respect_length;
+    Alcotest.test_case "codebook reflection" `Quick
+      test_codebook_reflected_families;
+    Alcotest.test_case "minimal length" `Quick test_minimal_length;
+    QCheck_alcotest.to_alcotest prop_gray_words_adjacent;
+    QCheck_alcotest.to_alcotest prop_gray_rank_bijective;
+    Alcotest.test_case "balanced gray space guard" `Quick
+      test_balanced_gray_rejects_huge_space;
+    Alcotest.test_case "minimal length guard" `Quick test_minimal_length_guard;
+    QCheck_alcotest.to_alcotest prop_hot_counts_fixed;
+  ]

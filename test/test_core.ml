@@ -1,0 +1,354 @@
+(* Tests for the top-level design flow: Design, Figures, Optimizer —
+   including the paper's qualitative results as assertions. *)
+
+open Nanodec_codes
+open Nanodec
+
+let design ct m = Design.evaluate (Design.spec ~code_type:ct ~code_length:m ())
+
+let test_design_report_fields () =
+  let r = design Codebook.Balanced_gray 10 in
+  Alcotest.(check int) "omega" 32 r.Design.omega;
+  Alcotest.(check int) "phi = 2N for binary" 40 r.Design.phi;
+  Alcotest.(check (float 1e-9)) "phi per wire" 2. r.Design.phi_per_wire;
+  Alcotest.(check bool) "yield in range" true
+    (r.Design.crossbar_yield > 0. && r.Design.crossbar_yield < 1.);
+  Alcotest.(check bool) "bit area positive" true (r.Design.bit_area > 0.);
+  Alcotest.(check bool) "sigma norm positive" true (r.Design.sigma_norm1 > 0.)
+
+let test_design_spec_overrides () =
+  let s =
+    Design.spec ~radix:3 ~n_wires:12 ~code_type:Codebook.Gray ~code_length:6 ()
+  in
+  let r = Design.evaluate s in
+  Alcotest.(check int) "ternary omega" 27 r.Design.omega;
+  Alcotest.(check int) "n_wires honoured" 12
+    r.Design.spec.Design.cave.Nanodec_crossbar.Cave.n_wires
+
+let test_report_row_renders () =
+  let r = design Codebook.Tree 8 in
+  let row = Design.report_row r in
+  Alcotest.(check bool) "mentions TC" true
+    (String.length row > 10 && String.sub row 0 2 = "TC");
+  Alcotest.(check bool) "header non-empty" true
+    (String.length Design.report_header > 10)
+
+(* --- Fig. 5 --- *)
+
+let test_fig5_shape () =
+  let points = Figures.fig5 () in
+  Alcotest.(check int) "6 points" 6 (List.length points);
+  let phi radix ct =
+    match
+      List.find_opt
+        (fun (p : Figures.fig5_point) -> p.radix = radix && p.code_type = ct)
+        points
+    with
+    | Some p -> p.phi
+    | None -> Alcotest.failf "missing point n=%d" radix
+  in
+  (* Binary codes cost exactly 2N regardless of family. *)
+  Alcotest.(check int) "binary TC" 20 (phi 2 Codebook.Tree);
+  Alcotest.(check int) "binary GC" 20 (phi 2 Codebook.Gray);
+  (* Multi-valued logic costs extra for tree codes; Gray recovers most. *)
+  Alcotest.(check bool) "ternary TC above binary" true
+    (phi 3 Codebook.Tree > 20);
+  Alcotest.(check bool) "quaternary TC above binary" true
+    (phi 4 Codebook.Tree > 20);
+  Alcotest.(check bool) "GC below TC (ternary)" true
+    (phi 3 Codebook.Gray < phi 3 Codebook.Tree);
+  Alcotest.(check bool) "GC below TC (quaternary)" true
+    (phi 4 Codebook.Gray < phi 4 Codebook.Tree)
+
+(* --- Fig. 6 --- *)
+
+let test_fig6_shape () =
+  let surfaces = Figures.fig6 () in
+  Alcotest.(check int) "6 surfaces" 6 (List.length surfaces);
+  let find ct len =
+    match
+      List.find_opt
+        (fun (s : Figures.fig6_surface) ->
+          s.code_type = ct && s.code_length = len)
+        surfaces
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "missing surface %s %d" (Codebook.name ct) len
+  in
+  (* BGC flattens the variability: lower mean and max than TC. *)
+  let tc8 = find Codebook.Tree 8 and bgc8 = find Codebook.Balanced_gray 8 in
+  Alcotest.(check bool) "BGC mean below TC" true
+    (bgc8.Figures.mean_nu < tc8.Figures.mean_nu);
+  Alcotest.(check bool) "BGC max below TC" true
+    (bgc8.Figures.max_std < tc8.Figures.max_std);
+  (* TC's worst wire accumulates ~N operations: sqrt(20) ~ 4.5 as in the
+     paper's plots. *)
+  Alcotest.(check bool) "TC max ~ sqrt(20)" true
+    (tc8.Figures.max_std >= sqrt 19. && tc8.Figures.max_std <= sqrt 22.);
+  (* Longer codes reduce the average variability. *)
+  let tc10 = find Codebook.Tree 10 in
+  Alcotest.(check bool) "TC L=10 below L=8" true
+    (tc10.Figures.mean_nu < tc8.Figures.mean_nu)
+
+(* --- Fig. 7 --- *)
+
+let fig7 = lazy (Figures.fig7 ())
+
+let yield_of ct m =
+  match
+    List.find_opt
+      (fun (p : Figures.fig7_point) -> p.code_type = ct && p.code_length = m)
+      (Lazy.force fig7)
+  with
+  | Some p -> p.Figures.crossbar_yield
+  | None -> Alcotest.failf "missing fig7 point %s %d" (Codebook.name ct) m
+
+let test_fig7_tc_improves_with_length () =
+  Alcotest.(check bool) "TC 6<8<10" true
+    (yield_of Codebook.Tree 6 < yield_of Codebook.Tree 8
+    && yield_of Codebook.Tree 8 < yield_of Codebook.Tree 10)
+
+let test_fig7_bgc_beats_tc () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "BGC > TC at %d" m)
+        true
+        (yield_of Codebook.Balanced_gray m > yield_of Codebook.Tree m))
+    [ 6; 8; 10 ]
+
+let test_fig7_ahc_beats_hc () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "AHC > HC at %d" m)
+        true
+        (yield_of Codebook.Arranged_hot m > yield_of Codebook.Hot m))
+    [ 4; 6; 8 ]
+
+let test_fig7_hc_peaks_early () =
+  (* The paper: HC yield peaks around M = 6 and decays only slightly. *)
+  Alcotest.(check bool) "HC 6 >> HC 4" true
+    (yield_of Codebook.Hot 6 > 2. *. yield_of Codebook.Hot 4);
+  let h6 = yield_of Codebook.Hot 6 and h8 = yield_of Codebook.Hot 8 in
+  Alcotest.(check bool) "HC flat past 6" true
+    (Float.abs (h8 -. h6) /. h6 < 0.15)
+
+(* --- Fig. 8 --- *)
+
+let fig8 = lazy (Figures.fig8 ())
+
+let bit_area_of ct m =
+  match
+    List.find_opt
+      (fun (p : Figures.fig8_point) -> p.code_type = ct && p.code_length = m)
+      (Lazy.force fig8)
+  with
+  | Some p -> p.Figures.bit_area
+  | None -> Alcotest.failf "missing fig8 point %s %d" (Codebook.name ct) m
+
+let test_fig8_tc_area_shrinks_with_length () =
+  Alcotest.(check bool) "TC 10 < 8 < 6" true
+    (bit_area_of Codebook.Tree 10 < bit_area_of Codebook.Tree 8
+    && bit_area_of Codebook.Tree 8 < bit_area_of Codebook.Tree 6)
+
+let test_fig8_bgc_densest_of_tree_family () =
+  List.iter
+    (fun m ->
+      let tc = bit_area_of Codebook.Tree m
+      and gc = bit_area_of Codebook.Gray m
+      and bgc = bit_area_of Codebook.Balanced_gray m in
+      Alcotest.(check bool) (Printf.sprintf "BGC < GC < TC at %d" m) true
+        (bgc < gc && gc < tc))
+    [ 6; 8; 10 ]
+
+let test_fig8_minimum_near_paper () =
+  (* Paper: best bit area ~169 nm^2 (BGC M=10), AHC close behind. *)
+  let best =
+    List.fold_left
+      (fun acc (p : Figures.fig8_point) -> Float.min acc p.Figures.bit_area)
+      infinity (Lazy.force fig8)
+  in
+  Alcotest.(check bool) "minimum within [140, 220] nm^2" true
+    (best > 140. && best < 220.)
+
+(* --- extension: multi-valued designs --- *)
+
+let test_multivalued_gray_wins_everywhere () =
+  let points = Figures.multivalued_designs () in
+  List.iter
+    (fun radix ->
+      List.iter
+        (fun m ->
+          let find ct =
+            List.find_opt
+              (fun (p : Figures.multivalued_point) ->
+                p.radix = radix && p.code_type = ct && p.code_length = m)
+              points
+          in
+          match (find Codebook.Tree, find Codebook.Gray) with
+          | Some tc, Some gc ->
+            Alcotest.(check bool)
+              (Printf.sprintf "GC yield >= TC at n=%d M=%d" radix m)
+              true
+              (gc.Figures.crossbar_yield >= tc.Figures.crossbar_yield -. 1e-12);
+            Alcotest.(check bool)
+              (Printf.sprintf "GC Phi <= TC at n=%d M=%d" radix m)
+              true
+              (gc.Figures.phi <= tc.Figures.phi)
+          | _, _ -> ())
+        [ 4; 6; 8; 10; 12 ])
+    [ 2; 3; 4 ]
+
+let test_multivalued_binary_wins_at_paper_noise () =
+  let points = Figures.multivalued_designs () in
+  let best_bit radix =
+    List.fold_left
+      (fun acc (p : Figures.multivalued_point) ->
+        if p.radix = radix then Float.min acc p.bit_area else acc)
+      infinity points
+  in
+  Alcotest.(check bool) "binary beats ternary" true (best_bit 2 < best_bit 3);
+  Alcotest.(check bool) "ternary beats quaternary" true
+    (best_bit 3 < best_bit 4)
+
+(* --- headlines --- *)
+
+let headlines = lazy (Figures.headlines ())
+
+let between name lo hi x =
+  if x < lo || x > hi then
+    Alcotest.failf "%s = %.3f outside [%g, %g]" name x lo hi
+
+let test_headlines_in_paper_bands () =
+  let h = Lazy.force headlines in
+  between "gray step saving (paper 17%)" 0.10 0.30 h.Figures.gray_step_saving_ternary;
+  between "multivalued overhead (paper ~20%)" 0.10 0.50
+    h.Figures.tree_multivalued_overhead;
+  between "variability saving (paper 18%)" 0.10 0.50 h.Figures.variability_saving;
+  between "yield gain length (paper ~40pt)" 0.20 0.50 h.Figures.yield_gain_length_tc;
+  between "BGC vs TC (paper 42%)" 0.20 0.60 h.Figures.yield_gain_bgc_vs_tc;
+  between "AHC vs HC (paper 19%)" 0.05 0.30 h.Figures.yield_gain_ahc_vs_hc;
+  between "area saving length (paper 51%)" 0.40 0.70 h.Figures.area_saving_tc_length;
+  between "BGC density (paper ~30%)" 0.15 0.45 h.Figures.density_gain_bgc_vs_tc;
+  between "AHC area (paper 13%)" 0.05 0.25 h.Figures.area_saving_ahc_vs_hc;
+  let area, _, _ = h.Figures.best_bit_area in
+  between "best bit area (paper 169)" 140. 220. area
+
+let test_headline_winner_is_optimized_code () =
+  let _, ct, _ = (Lazy.force headlines).Figures.best_bit_area in
+  Alcotest.(check bool) "BGC or AHC wins" true
+    (ct = Codebook.Balanced_gray || ct = Codebook.Arranged_hot)
+
+(* --- optimizer --- *)
+
+let test_optimizer_best_yield_is_bgc () =
+  let r = Optimizer.best Optimizer.Max_yield in
+  Alcotest.(check string) "BGC wins yield" "BGC"
+    (Codebook.name r.Design.spec.Design.cave.Nanodec_crossbar.Cave.code_type)
+
+let test_optimizer_best_area_is_optimized () =
+  let r = Optimizer.best Optimizer.Min_bit_area in
+  let ct = r.Design.spec.Design.cave.Nanodec_crossbar.Cave.code_type in
+  Alcotest.(check bool) "optimized family wins area" true
+    (ct = Codebook.Balanced_gray || ct = Codebook.Arranged_hot)
+
+let test_optimizer_min_fabrication_prefers_low_phi () =
+  let r = Optimizer.best Optimizer.Min_fabrication in
+  (* Binary codes all have Phi = 2N = 40: the winner must achieve it. *)
+  Alcotest.(check int) "Phi minimal" 40 r.Design.phi
+
+let test_optimizer_sweep_covers_valid_candidates () =
+  let reports = Optimizer.sweep () in
+  (* 5 families x lengths {4,6,8,10,12}; length 4 invalid for reflected
+     families? (4 is even so valid) -> all 25 valid for binary. *)
+  Alcotest.(check int) "25 designs" 25 (List.length reports)
+
+let test_optimizer_ternary_sweep_robust () =
+  (* Regression: ternary candidates include balanced-Gray and arranged-hot
+     spaces beyond the exact searches; the sweep must skip them instead of
+     raising. *)
+  let spec =
+    Design.spec ~radix:3 ~code_type:Codebook.Gray ~code_length:6 ()
+  in
+  let reports = Optimizer.sweep ~spec () in
+  Alcotest.(check bool) "some designs survive" true (List.length reports >= 10);
+  List.iter
+    (fun (r : Design.report) ->
+      Alcotest.(check int) "ternary radix" 3
+        r.Design.spec.Design.cave.Nanodec_crossbar.Cave.radix)
+    reports;
+  let winner = Optimizer.best ~spec Optimizer.Max_yield in
+  (* Gray-family codes dominate the ternary space too. *)
+  let ct = winner.Design.spec.Design.cave.Nanodec_crossbar.Cave.code_type in
+  Alcotest.(check bool) "gray-ish winner" true
+    (ct = Codebook.Gray || ct = Codebook.Balanced_gray
+    || ct = Codebook.Arranged_hot)
+
+let test_optimizer_scores_order () =
+  let a = design Codebook.Balanced_gray 10 in
+  let b = design Codebook.Tree 6 in
+  Alcotest.(check bool) "yield score orders" true
+    (Optimizer.score Optimizer.Max_yield a < Optimizer.score Optimizer.Max_yield b);
+  Alcotest.(check bool) "area score orders" true
+    (Optimizer.score Optimizer.Min_bit_area a
+    < Optimizer.score Optimizer.Min_bit_area b)
+
+let test_pareto_front () =
+  let reports = Optimizer.sweep () in
+  let front = Optimizer.pareto_yield_area reports in
+  Alcotest.(check bool) "front non-empty" true (List.length front > 0);
+  Alcotest.(check bool) "front no larger than sweep" true
+    (List.length front <= List.length reports);
+  (* No front member dominates another. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if
+            a != b
+            && a.Design.crossbar_yield >= b.Design.crossbar_yield
+            && a.Design.bit_area < b.Design.bit_area
+          then Alcotest.fail "dominated design on front")
+        front)
+    front
+
+let suite =
+  [
+    Alcotest.test_case "design report fields" `Quick test_design_report_fields;
+    Alcotest.test_case "spec overrides" `Quick test_design_spec_overrides;
+    Alcotest.test_case "report row renders" `Quick test_report_row_renders;
+    Alcotest.test_case "Fig 5 shape" `Quick test_fig5_shape;
+    Alcotest.test_case "Fig 6 shape" `Quick test_fig6_shape;
+    Alcotest.test_case "Fig 7: TC grows with M" `Quick
+      test_fig7_tc_improves_with_length;
+    Alcotest.test_case "Fig 7: BGC > TC" `Quick test_fig7_bgc_beats_tc;
+    Alcotest.test_case "Fig 7: AHC > HC" `Quick test_fig7_ahc_beats_hc;
+    Alcotest.test_case "Fig 7: HC peaks early" `Quick test_fig7_hc_peaks_early;
+    Alcotest.test_case "Fig 8: TC area shrinks" `Quick
+      test_fig8_tc_area_shrinks_with_length;
+    Alcotest.test_case "Fig 8: BGC densest" `Quick
+      test_fig8_bgc_densest_of_tree_family;
+    Alcotest.test_case "Fig 8: minimum near paper" `Quick
+      test_fig8_minimum_near_paper;
+    Alcotest.test_case "multivalued: Gray wins" `Slow
+      test_multivalued_gray_wins_everywhere;
+    Alcotest.test_case "multivalued: binary wins" `Slow
+      test_multivalued_binary_wins_at_paper_noise;
+    Alcotest.test_case "headlines in paper bands" `Slow
+      test_headlines_in_paper_bands;
+    Alcotest.test_case "headline winner optimized" `Slow
+      test_headline_winner_is_optimized_code;
+    Alcotest.test_case "optimizer: yield -> BGC" `Slow
+      test_optimizer_best_yield_is_bgc;
+    Alcotest.test_case "optimizer: area -> optimized" `Slow
+      test_optimizer_best_area_is_optimized;
+    Alcotest.test_case "optimizer: min fabrication" `Slow
+      test_optimizer_min_fabrication_prefers_low_phi;
+    Alcotest.test_case "optimizer sweep size" `Slow
+      test_optimizer_sweep_covers_valid_candidates;
+    Alcotest.test_case "optimizer: ternary sweep robust" `Slow
+      test_optimizer_ternary_sweep_robust;
+    Alcotest.test_case "optimizer scores" `Quick test_optimizer_scores_order;
+    Alcotest.test_case "pareto front" `Slow test_pareto_front;
+  ]

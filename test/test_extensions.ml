@@ -1,0 +1,464 @@
+(* Tests for the extension modules: code metrics, the stochastic-assembly
+   baseline, defect maps, the crossbar memory + remap layer, CSV export
+   and the ablation framework. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_crossbar
+open Nanodec
+
+(* --- Metrics --- *)
+
+let test_metrics_gray () =
+  let m = Metrics.of_codebook ~radix:2 ~length:8 Codebook.Gray in
+  Alcotest.(check int) "words" 16 m.Metrics.n_words;
+  Alcotest.(check int) "distinct" 16 m.Metrics.distinct_words;
+  Alcotest.(check int) "per-step transitions" 2 m.Metrics.max_step_transitions;
+  Alcotest.(check int) "min = max" 2 m.Metrics.min_step_transitions;
+  Alcotest.(check int) "total = 2*(omega-1)" 30 m.Metrics.total_transitions;
+  Alcotest.(check int) "min pairwise distance" 2 m.Metrics.min_pairwise_distance
+
+let test_metrics_tree_not_gray () =
+  let m = Metrics.of_codebook ~radix:2 ~length:8 Codebook.Tree in
+  Alcotest.(check bool) "not gray" false m.Metrics.is_gray;
+  Alcotest.(check bool) "not balanced" false m.Metrics.is_balanced;
+  Alcotest.(check bool) "more transitions than Gray" true
+    (m.Metrics.total_transitions > 30)
+
+let test_metrics_bgc_balanced () =
+  let m = Metrics.of_codebook ~radix:2 ~length:10 Codebook.Balanced_gray in
+  (* The cycle is balanced (spread <= 2); the open path loses the closing
+     edge, so its spectrum spread can be one larger. *)
+  Alcotest.(check bool) "path spread <= 3" true (m.Metrics.spectrum_spread <= 3);
+  let m8 = Metrics.of_codebook ~radix:2 ~length:8 Codebook.Balanced_gray in
+  (* The base-4 cycle is perfectly balanced (4,4,4,4): even as a path the
+     spread stays within 2. *)
+  Alcotest.(check bool) "M=8 path balanced" true m8.Metrics.is_balanced
+
+let test_metrics_unreflected_gray_property () =
+  (* The base (unreflected) Gray sequence is a genuine Gray code. *)
+  let m = Metrics.of_words (Gray_code.words ~radix:3 ~base_len:3 ~count:27) in
+  Alcotest.(check bool) "gray" true m.Metrics.is_gray;
+  Alcotest.(check int) "one digit per step" 1 m.Metrics.max_step_transitions
+
+let test_metrics_duplicates_counted () =
+  let w = Word.of_string ~radix:2 "01" in
+  let m = Metrics.of_words [ w; w; w ] in
+  Alcotest.(check int) "three words" 3 m.Metrics.n_words;
+  Alcotest.(check int) "one distinct" 1 m.Metrics.distinct_words;
+  Alcotest.(check int) "no transitions" 0 m.Metrics.total_transitions;
+  Alcotest.(check int) "pairwise distance degenerate" 0
+    m.Metrics.min_pairwise_distance
+
+let test_metrics_guards () =
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.of_words: empty sequence")
+    (fun () -> ignore (Metrics.of_words []))
+
+(* --- Stochastic baseline --- *)
+
+let test_stochastic_closed_forms () =
+  let a = Stochastic.analyze ~omega:16 ~group_size:16 in
+  Alcotest.(check (float 1e-9)) "p unique" ((15. /. 16.) ** 15.)
+    a.Stochastic.p_wire_unique;
+  Alcotest.(check (float 1e-9)) "expected unique"
+    (16. *. ((15. /. 16.) ** 15.))
+    a.Stochastic.expected_unique_wires;
+  Alcotest.(check int) "deterministic" 16 a.Stochastic.deterministic_unique_wires
+
+let test_stochastic_all_distinct_degenerate () =
+  let a = Stochastic.analyze ~omega:4 ~group_size:5 in
+  Alcotest.(check (float 0.)) "pigeonhole" 0. a.Stochastic.p_all_distinct;
+  let b = Stochastic.analyze ~omega:4 ~group_size:1 in
+  Alcotest.(check (float 1e-9)) "single wire trivially distinct" 1.
+    b.Stochastic.p_all_distinct;
+  Alcotest.(check (float 1e-9)) "single wire unique" 1.
+    b.Stochastic.p_wire_unique
+
+let test_stochastic_all_distinct_small_case () =
+  (* Omega=2, g=2: P(distinct) = 2!/0!/2^2 = 0.5. *)
+  let a = Stochastic.analyze ~omega:2 ~group_size:2 in
+  Alcotest.(check (float 1e-9)) "half" 0.5 a.Stochastic.p_all_distinct
+
+let test_stochastic_loss_positive () =
+  Alcotest.(check bool) "loss in (0,1)" true
+    (let loss = Stochastic.stochastic_loss ~omega:16 ~group_size:16 in
+     loss > 0.5 && loss < 0.7)
+
+let test_stochastic_mc_agrees () =
+  let rng = Rng.create ~seed:99 in
+  let e = Stochastic.mc_unique_fraction rng ~samples:2000 ~omega:16 ~group_size:16 in
+  let analytic = (Stochastic.analyze ~omega:16 ~group_size:16).Stochastic.p_wire_unique in
+  let slack = 6. *. e.Montecarlo.std_error in
+  if Float.abs (e.Montecarlo.mean -. analytic) > slack then
+    Alcotest.failf "MC %g vs analytic %g" e.Montecarlo.mean analytic
+
+let prop_stochastic_unique_decreases_in_group =
+  QCheck.Test.make ~name:"unique probability decreases with group size"
+    ~count:100
+    QCheck.(triple (int_range 2 64) (int_range 1 40) (int_range 1 40))
+    (fun (omega, g1, g2) ->
+      let lo = Stdlib.min g1 g2 and hi = Stdlib.max g1 g2 in
+      (Stochastic.analyze ~omega ~group_size:lo).Stochastic.p_wire_unique
+      >= (Stochastic.analyze ~omega ~group_size:hi).Stochastic.p_wire_unique
+         -. 1e-12)
+
+(* --- Defect map / Memory / Remap --- *)
+
+let small_config =
+  {
+    Array_sim.cave =
+      { Cave.default_config with Cave.code_length = 8; n_wires = 10 };
+    raw_bits = 1024;
+  }
+
+let test_defect_map_statistics () =
+  let analysis = Cave.analyze small_config.Array_sim.cave in
+  let rng = Rng.create ~seed:4 in
+  (* Average realized layer yield over many samples ~ analytic yield. *)
+  let samples = 300 in
+  let total = ref 0. in
+  for _ = 1 to samples do
+    let states = Defect_map.sample_layer rng analysis ~wires:100 in
+    total := !total +. Defect_map.layer_yield states
+  done;
+  let mean = !total /. float_of_int samples in
+  Alcotest.(check (float 0.03)) "realized ~ analytic" analysis.Cave.yield mean
+
+let test_defect_map_layout_wires_always_dead () =
+  let analysis = Cave.analyze small_config.Array_sim.cave in
+  let rng = Rng.create ~seed:5 in
+  let n = analysis.Cave.config.Cave.n_wires in
+  let states = Defect_map.sample_layer rng analysis ~wires:(3 * n) in
+  Array.iteri
+    (fun w state ->
+      match analysis.Cave.layout.Geometry.statuses.(w mod n) with
+      | Geometry.Shared_between_pads _ | Geometry.Excess_in_pad _ ->
+        if state <> Defect_map.Removed_by_layout then
+          Alcotest.failf "wire %d should be layout-removed" w
+      | Geometry.Addressable _ ->
+        if state = Defect_map.Removed_by_layout then
+          Alcotest.failf "wire %d wrongly layout-removed" w)
+    states
+
+let test_memory_dimensions () =
+  let rng = Rng.create ~seed:6 in
+  let memory = Memory.create rng small_config in
+  Alcotest.(check int) "rows" 32 (Memory.n_rows memory);
+  Alcotest.(check int) "cols" 32 (Memory.n_cols memory);
+  Alcotest.(check bool) "usable <= raw" true
+    (Memory.usable_crosspoints memory <= 32 * 32)
+
+let find_wire states p =
+  let rec go i =
+    if i >= Array.length states then None
+    else if p states.(i) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_memory_read_write_roundtrip () =
+  let rng = Rng.create ~seed:7 in
+  let memory = Memory.create rng small_config in
+  let good s = s = Defect_map.Working in
+  match
+    ( find_wire (Memory.row_states memory) good,
+      find_wire (Memory.col_states memory) good )
+  with
+  | Some row, Some col ->
+    Alcotest.(check bool) "usable" true (Memory.crosspoint_usable memory ~row ~col);
+    Alcotest.(check bool) "initially 0" true
+      (Memory.read memory ~row ~col = Ok false);
+    Alcotest.(check bool) "write ok" true (Memory.write memory ~row ~col true = Ok ());
+    Alcotest.(check bool) "reads back" true (Memory.read memory ~row ~col = Ok true);
+    Alcotest.(check bool) "write 0" true (Memory.write memory ~row ~col false = Ok ());
+    Alcotest.(check bool) "cleared" true (Memory.read memory ~row ~col = Ok false)
+  | _, _ -> Alcotest.fail "no working wires in sample"
+
+let test_memory_faults () =
+  let rng = Rng.create ~seed:8 in
+  let memory = Memory.create rng small_config in
+  let bad s = s <> Defect_map.Working in
+  (match find_wire (Memory.row_states memory) bad with
+  | Some row ->
+    Alcotest.(check bool) "defective row" true
+      (Memory.write memory ~row ~col:0 true = Error `Defective_row)
+  | None -> ());
+  Alcotest.(check bool) "out of range" true
+    (Memory.read memory ~row:(-1) ~col:0 = Error `Out_of_range);
+  Alcotest.(check bool) "out of range col" true
+    (Memory.read memory ~row:0 ~col:99 = Error `Out_of_range)
+
+let test_remap_capacity_and_roundtrip () =
+  let rng = Rng.create ~seed:9 in
+  let memory = Memory.create rng small_config in
+  let remap = Remap.build memory in
+  Alcotest.(check int) "capacity = usable crosspoints"
+    (Memory.usable_crosspoints memory)
+    (Remap.capacity_bits remap);
+  let payload = "nanodec" in
+  Remap.store_string remap payload;
+  Alcotest.(check string) "string roundtrip" payload
+    (Remap.load_string remap ~length:(String.length payload));
+  (* Bit-level access. *)
+  Remap.set_bit remap 0 true;
+  Alcotest.(check bool) "bit set" true (Remap.get_bit remap 0);
+  Remap.set_bit remap 0 false;
+  Alcotest.(check bool) "bit cleared" false (Remap.get_bit remap 0)
+
+let test_remap_physical_targets_working_wires () =
+  let rng = Rng.create ~seed:10 in
+  let memory = Memory.create rng small_config in
+  let remap = Remap.build memory in
+  for k = 0 to Stdlib.min 200 (Remap.capacity_bits remap) - 1 do
+    let row, col = Remap.physical_of_logical remap k in
+    if not (Memory.crosspoint_usable memory ~row ~col) then
+      Alcotest.failf "logical %d maps to dead crosspoint (%d,%d)" k row col
+  done
+
+let test_remap_guards () =
+  let rng = Rng.create ~seed:11 in
+  let memory = Memory.create rng small_config in
+  let remap = Remap.build memory in
+  Alcotest.(check bool) "negative logical" true
+    (try
+       ignore (Remap.physical_of_logical remap (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_remap_bits_independent =
+  QCheck.Test.make ~name:"remap bits are independent cells" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let memory = Memory.create rng small_config in
+      let remap = Remap.build memory in
+      let n = Stdlib.min 64 (Remap.capacity_bits remap) in
+      (* Write a pattern, then verify nothing leaked between cells. *)
+      for k = 0 to n - 1 do
+        Remap.set_bit remap k (k mod 3 = 0)
+      done;
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        if Remap.get_bit remap k <> (k mod 3 = 0) then ok := false
+      done;
+      !ok)
+
+(* --- Export --- *)
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_csv_shapes () =
+  Alcotest.(check int) "fig5 rows" 7 (List.length (lines (Export.fig5_csv ())));
+  Alcotest.(check int) "fig7 rows" 13 (List.length (lines (Export.fig7_csv ())));
+  Alcotest.(check int) "fig8 rows" 16 (List.length (lines (Export.fig8_csv ())));
+  (* fig6: header + 6 surfaces x 20 wires x (8 or 10) digits. *)
+  Alcotest.(check int) "fig6 rows"
+    (1 + (20 * 8 * 2) + (20 * 10 * 2) + (20 * 8) + (20 * 10))
+    (List.length (lines (Export.fig6_csv ())))
+
+let test_csv_headers () =
+  let first s = List.hd (lines s) in
+  Alcotest.(check string) "fig5 header" "radix,code,length,phi"
+    (first (Export.fig5_csv ()));
+  Alcotest.(check string) "fig7 header" "code,length,crossbar_yield"
+    (first (Export.fig7_csv ()))
+
+let test_export_writes_files () =
+  let dir = Filename.temp_file "nanodec" "" in
+  Sys.remove dir;
+  Export.write_all ~dir;
+  List.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      Alcotest.(check bool) (name ^ " exists") true (Sys.file_exists path))
+    [ "fig5.csv"; "fig6.csv"; "fig7.csv"; "fig8.csv"; "sweep.csv";
+      "fig5.gp"; "fig7.gp"; "fig8.gp" ]
+
+let test_gnuplot_scripts_reference_csvs () =
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun (figure, csv) ->
+      let script = Export.gnuplot_script figure in
+      Alcotest.(check bool) (csv ^ " referenced") true (contains csv script))
+    [ (`Fig5, "fig5.csv"); (`Fig7, "fig7.csv"); (`Fig8, "fig8.csv") ]
+
+(* --- Ablation --- *)
+
+let test_ablation_conclusion_robust () =
+  List.iter
+    (fun series ->
+      Alcotest.(check bool)
+        (series.Ablation.parameter ^ ": BGC >= TC everywhere")
+        true
+        (Ablation.conclusion_holds series))
+    (Ablation.all ())
+
+let test_ablation_points_populated () =
+  let series = Ablation.sigma_t () in
+  Alcotest.(check int) "5 points" 5 (List.length series.Ablation.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "yields in [0,1]" true
+        (p.Ablation.tree_yield >= 0. && p.Ablation.tree_yield <= 1.
+        && p.Ablation.bgc_yield >= 0. && p.Ablation.bgc_yield <= 1.))
+    series.Ablation.points
+
+let test_ablation_sigma_monotone () =
+  let series = Ablation.sigma_t () in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "yield falls with noise" true
+        (b.Ablation.bgc_yield <= a.Ablation.bgc_yield +. 1e-9);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check series.Ablation.points
+
+(* --- scaling study --- *)
+
+let test_scaling_nodes_monotone () =
+  let points = Scaling.sweep_nodes () in
+  Alcotest.(check int) "four nodes" 4 (List.length points);
+  (* Finer lithography never makes the best bit area worse. *)
+  let rec check = function
+    | (a : Scaling.point) :: (b :: _ as rest) ->
+      Alcotest.(check bool) "bit area improves with scaling" true
+        (b.Scaling.best_bit_area <= a.Scaling.best_bit_area +. 1e-9);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check points
+
+let test_scaling_memory_amortises () =
+  let points = Scaling.sweep_memory_sizes () in
+  let first = List.nth points 0
+  and last = List.nth points (List.length points - 1) in
+  Alcotest.(check bool) "bigger memory, denser bits" true
+    (last.Scaling.best_bit_area < first.Scaling.best_bit_area);
+  (* Large arrays favour the longer optimized code. *)
+  Alcotest.(check string) "BGC wins at scale" "BGC"
+    (Codebook.name last.Scaling.best_code)
+
+let test_mc_realized_yield_matches_analytic () =
+  let config =
+    { Array_sim.cave = { Cave.default_config with Cave.code_length = 8 };
+      raw_bits = 4096 }
+  in
+  let analytic = (Array_sim.evaluate config).Array_sim.crossbar_yield in
+  let rng = Rng.create ~seed:55 in
+  let estimate = Memory.mc_realized_yield rng ~samples:200 config in
+  let slack = 6. *. estimate.Montecarlo.std_error in
+  if Float.abs (estimate.Montecarlo.mean -. analytic) > slack then
+    Alcotest.failf "MC %g vs analytic %g" estimate.Montecarlo.mean analytic
+
+(* --- multi-valued Fig. 6 extension --- *)
+
+let test_fig6_multivalued_ternary () =
+  let surfaces = Figures.fig6_multivalued ~radix:3 () in
+  (* Ternary minimal M has Omega = 27 <= 32: BGC included. *)
+  Alcotest.(check int) "three families" 3 (List.length surfaces);
+  let find ct =
+    List.find (fun (s : Figures.fig6_surface) -> s.code_type = ct) surfaces
+  in
+  let tc = find Codebook.Tree and gc = find Codebook.Gray in
+  Alcotest.(check bool) "GC flattens at radix 3" true
+    (gc.Figures.mean_nu < tc.Figures.mean_nu)
+
+let test_fig6_multivalued_quaternary () =
+  let surfaces = Figures.fig6_multivalued ~radix:4 () in
+  Alcotest.(check bool) "at least TC and GC" true (List.length surfaces >= 2);
+  let find ct =
+    List.find (fun (s : Figures.fig6_surface) -> s.code_type = ct) surfaces
+  in
+  Alcotest.(check bool) "GC flattens at radix 4" true
+    ((find Codebook.Gray).Figures.mean_nu
+    < (find Codebook.Tree).Figures.mean_nu)
+
+(* --- printer smoke tests --- *)
+
+let test_printers_render () =
+  let non_empty name s =
+    Alcotest.(check bool) (name ^ " renders") true (String.length s > 0)
+  in
+  let r = Design.evaluate (Design.spec ~code_type:Codebook.Tree ~code_length:8 ()) in
+  non_empty "design" (Format.asprintf "%a" Design.pp_report r);
+  non_empty "metrics"
+    (Format.asprintf "%a" Metrics.pp
+       (Metrics.of_codebook ~radix:2 ~length:8 Codebook.Gray));
+  non_empty "stochastic"
+    (Format.asprintf "%a" Stochastic.pp (Stochastic.analyze ~omega:8 ~group_size:8));
+  non_empty "ablation"
+    (Format.asprintf "%a" Ablation.pp (Ablation.margin ()));
+  non_empty "scaling"
+    (Format.asprintf "%a" Scaling.pp_point
+       (List.hd (Scaling.sweep_memory_sizes ~sizes:[ 4 ] ())));
+  let estimate =
+    Nanodec_mspt.Cost_model.of_pattern ~h:Nanodec_mspt.Doping.paper_example_h
+      (Nanodec_mspt.Pattern.of_codebook ~radix:2 ~length:6 ~n_wires:4
+         Codebook.Gray)
+  in
+  non_empty "cost" (Format.asprintf "%a" Nanodec_mspt.Cost_model.pp estimate)
+
+let test_margin_guard () =
+  Alcotest.check_raises "margin > 0.5"
+    (Invalid_argument "Cave: margin_fraction outside (0, 0.5]") (fun () ->
+      ignore (Cave.analyze { Cave.default_config with Cave.margin_fraction = 0.7 }))
+
+let suite =
+  [
+    Alcotest.test_case "metrics: gray" `Quick test_metrics_gray;
+    Alcotest.test_case "metrics: tree" `Quick test_metrics_tree_not_gray;
+    Alcotest.test_case "metrics: bgc" `Quick test_metrics_bgc_balanced;
+    Alcotest.test_case "metrics: unreflected gray" `Quick
+      test_metrics_unreflected_gray_property;
+    Alcotest.test_case "metrics: duplicates" `Quick test_metrics_duplicates_counted;
+    Alcotest.test_case "metrics: guards" `Quick test_metrics_guards;
+    Alcotest.test_case "stochastic: closed forms" `Quick
+      test_stochastic_closed_forms;
+    Alcotest.test_case "stochastic: degenerate cases" `Quick
+      test_stochastic_all_distinct_degenerate;
+    Alcotest.test_case "stochastic: small case" `Quick
+      test_stochastic_all_distinct_small_case;
+    Alcotest.test_case "stochastic: loss magnitude" `Quick
+      test_stochastic_loss_positive;
+    Alcotest.test_case "stochastic: MC agrees" `Slow test_stochastic_mc_agrees;
+    QCheck_alcotest.to_alcotest prop_stochastic_unique_decreases_in_group;
+    Alcotest.test_case "defect map statistics" `Slow test_defect_map_statistics;
+    Alcotest.test_case "defect map layout wires" `Quick
+      test_defect_map_layout_wires_always_dead;
+    Alcotest.test_case "memory dimensions" `Quick test_memory_dimensions;
+    Alcotest.test_case "memory read/write" `Quick test_memory_read_write_roundtrip;
+    Alcotest.test_case "memory faults" `Quick test_memory_faults;
+    Alcotest.test_case "remap capacity/roundtrip" `Quick
+      test_remap_capacity_and_roundtrip;
+    Alcotest.test_case "remap targets working wires" `Quick
+      test_remap_physical_targets_working_wires;
+    Alcotest.test_case "remap guards" `Quick test_remap_guards;
+    QCheck_alcotest.to_alcotest prop_remap_bits_independent;
+    Alcotest.test_case "csv shapes" `Quick test_csv_shapes;
+    Alcotest.test_case "csv headers" `Quick test_csv_headers;
+    Alcotest.test_case "export writes files" `Slow test_export_writes_files;
+    Alcotest.test_case "gnuplot scripts" `Quick
+      test_gnuplot_scripts_reference_csvs;
+    Alcotest.test_case "ablation conclusion robust" `Slow
+      test_ablation_conclusion_robust;
+    Alcotest.test_case "ablation points" `Slow test_ablation_points_populated;
+    Alcotest.test_case "ablation monotone in sigma" `Slow
+      test_ablation_sigma_monotone;
+    Alcotest.test_case "printers render" `Slow test_printers_render;
+    Alcotest.test_case "margin guard" `Quick test_margin_guard;
+    Alcotest.test_case "scaling: nodes monotone" `Slow
+      test_scaling_nodes_monotone;
+    Alcotest.test_case "scaling: memory amortises" `Slow
+      test_scaling_memory_amortises;
+    Alcotest.test_case "MC realized yield" `Slow
+      test_mc_realized_yield_matches_analytic;
+    Alcotest.test_case "fig6 multivalued ternary" `Quick
+      test_fig6_multivalued_ternary;
+    Alcotest.test_case "fig6 multivalued quaternary" `Quick
+      test_fig6_multivalued_quaternary;
+  ]

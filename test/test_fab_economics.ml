@@ -1,0 +1,154 @@
+(* Tests for the fabrication cost model and the dose-feasibility check. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_mspt
+
+let h = Doping.paper_example_h
+
+let paper_pattern =
+  Pattern.of_words
+    (List.map (Word.of_string ~radix:3) [ "0121"; "0220"; "1012" ])
+
+let gray_pattern =
+  Pattern.of_words
+    (List.map (Word.of_string ~radix:3) [ "0121"; "0220"; "1210" ])
+
+(* --- cost model --- *)
+
+let test_cost_counts_match_paper_example () =
+  let e = Cost_model.of_pattern ~h paper_pattern in
+  Alcotest.(check int) "spacers" 3 e.Cost_model.n_spacers;
+  Alcotest.(check int) "passes = Phi = 9" 9 e.Cost_model.n_passes;
+  Alcotest.(check int) "recipes" 8 e.Cost_model.n_recipes
+
+let test_cost_arithmetic () =
+  let params =
+    {
+      Cost_model.spacer_minutes = 10.;
+      pass_minutes = 5.;
+      recipe_minutes = 1.;
+      hour_cost = 60.;
+    }
+  in
+  let e = Cost_model.of_pattern ~params ~h paper_pattern in
+  (* 3*10 + 9*5 + 8*1 = 83 minutes = 83 cost units at 60/hour. *)
+  Alcotest.(check (float 1e-9)) "minutes" 83. e.Cost_model.total_minutes;
+  Alcotest.(check (float 1e-9)) "cost" 83. e.Cost_model.total_cost
+
+let test_gray_saves_fab_time () =
+  let saving = Cost_model.compare_patterns ~h paper_pattern gray_pattern in
+  Alcotest.(check bool) "gray cheaper" true (saving > 0.);
+  (* Phi drops 9 -> 7 and recipes 8 -> 7: ~2 passes of 45 min + 1 recipe
+     out of ~315 min. *)
+  Alcotest.(check bool) "saving plausible" true (saving < 0.5)
+
+let test_cost_monotone_in_phi () =
+  (* Adding transitions can only increase the estimate. *)
+  let quiet =
+    Pattern.of_words
+      (List.map (Word.of_string ~radix:3) [ "0121"; "0121"; "0121" ])
+  in
+  let quiet_cost = (Cost_model.of_pattern ~h quiet).Cost_model.total_minutes in
+  let busy_cost =
+    (Cost_model.of_pattern ~h paper_pattern).Cost_model.total_minutes
+  in
+  Alcotest.(check bool) "fewer transitions cheaper" true (quiet_cost < busy_cost)
+
+(* --- feasibility --- *)
+
+let step_matrix pattern = snd (Doping.of_pattern ~h pattern)
+
+let test_paper_example_feasible () =
+  (* Doses are in units of 1e18; against the default 1e19 limits they are
+     fine once expressed in cm^-3. *)
+  let s = Fmatrix.scale 1e18 (step_matrix paper_pattern) in
+  match Feasibility.check s with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "unexpected violations: %d" (List.length vs)
+
+let test_step_dose_violation_detected () =
+  let s = Fmatrix.scale 5e18 (step_matrix paper_pattern) in
+  (* Largest |dose| is 9 -> 4.5e19 > 1e19 per-pass limit. *)
+  match Feasibility.check s with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error vs ->
+    Alcotest.(check bool) "has step violation" true
+      (List.exists
+         (function
+           | Feasibility.Step_dose_exceeded _ -> true
+           | Feasibility.Accumulation_exceeded _ -> false)
+         vs)
+
+let test_accumulation_violation_detected () =
+  (* Alternating large doses: each pass is within the per-pass limit but
+     wire 0 accumulates 5 * 0.9e19 = 4.5e19 > 3e19. *)
+  let s =
+    Fmatrix.init ~rows:5 ~cols:1 (fun i _ ->
+        if i mod 2 = 0 then 0.9e19 else -0.9e19)
+  in
+  match Feasibility.check s with
+  | Ok () -> Alcotest.fail "expected accumulation violation"
+  | Error vs ->
+    Alcotest.(check bool) "has accumulation violation" true
+      (List.exists
+         (function
+           | Feasibility.Accumulation_exceeded { wire; _ } -> wire = 0
+           | Feasibility.Step_dose_exceeded _ -> false)
+         vs)
+
+let test_total_implanted_suffix_sums () =
+  let s = Fmatrix.of_arrays [| [| 1.; -2. |]; [| 3.; 4. |] |] in
+  let t = Feasibility.total_implanted s in
+  Alcotest.(check (float 1e-12)) "wire 0 col 0" 4. (Fmatrix.get t 0 0);
+  Alcotest.(check (float 1e-12)) "wire 0 col 1" 6. (Fmatrix.get t 0 1);
+  Alcotest.(check (float 1e-12)) "wire 1 col 0" 3. (Fmatrix.get t 1 0)
+
+let test_violations_ordered_and_exhaustive () =
+  let s = Fmatrix.make ~rows:2 ~cols:2 2e19 in
+  match Feasibility.check s with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error vs ->
+    (* Every entry breaks the per-pass limit (4 violations); only wire 0
+       accumulates both steps (2*2e19 > 3e19): 2 more. *)
+    Alcotest.(check int) "exhaustive" 6 (List.length vs)
+
+let prop_compensation_never_negative =
+  QCheck.Test.make ~name:"total implanted is nonnegative and monotone up"
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (array_of_size (Gen.return 3) (float_range (-5.) 5.)))
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let s = Fmatrix.of_arrays (Array.of_list rows) in
+      let t = Feasibility.total_implanted s in
+      let ok = ref true in
+      for i = 0 to Fmatrix.rows t - 1 do
+        for j = 0 to Fmatrix.cols t - 1 do
+          if Fmatrix.get t i j < -.1e-12 then ok := false;
+          if i < Fmatrix.rows t - 1 && Fmatrix.get t i j < Fmatrix.get t (i + 1) j -. 1e-12
+          then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "cost counts (paper example)" `Quick
+      test_cost_counts_match_paper_example;
+    Alcotest.test_case "cost arithmetic" `Quick test_cost_arithmetic;
+    Alcotest.test_case "gray saves fab time" `Quick test_gray_saves_fab_time;
+    Alcotest.test_case "cost monotone in Phi" `Quick test_cost_monotone_in_phi;
+    Alcotest.test_case "paper example feasible" `Quick
+      test_paper_example_feasible;
+    Alcotest.test_case "step dose violation" `Quick
+      test_step_dose_violation_detected;
+    Alcotest.test_case "accumulation violation" `Quick
+      test_accumulation_violation_detected;
+    Alcotest.test_case "total implanted" `Quick test_total_implanted_suffix_sums;
+    Alcotest.test_case "violations exhaustive" `Quick
+      test_violations_ordered_and_exhaustive;
+    QCheck_alcotest.to_alcotest prop_compensation_never_negative;
+  ]

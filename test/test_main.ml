@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "nanodec"
+    [
+      ("special functions", Test_special.suite);
+      ("random generation", Test_rng.suite);
+      ("descriptive stats / monte carlo", Test_descriptive.suite);
+      ("dense matrices", Test_matrix.suite);
+      ("code words", Test_word.suite);
+      ("code families", Test_codes.suite);
+      ("device physics", Test_physics.suite);
+      ("mspt fabrication model", Test_mspt.suite);
+      ("paper propositions", Test_propositions.suite);
+      ("crossbar and decoder", Test_crossbar.suite);
+      ("design flow", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("arranger and ecc", Test_arranger_ecc.suite);
+      ("circuit extensions", Test_circuits.suite);
+      ("fabrication economics", Test_fab_economics.suite);
+      ("pipeline properties", Test_pipeline.suite);
+    ]

@@ -1,0 +1,156 @@
+(* Tests for the dense matrix modules. *)
+
+open Nanodec_numerics
+
+let test_make_get_set () =
+  let m = Fmatrix.make ~rows:2 ~cols:3 1.5 in
+  Alcotest.(check int) "rows" 2 (Fmatrix.rows m);
+  Alcotest.(check int) "cols" 3 (Fmatrix.cols m);
+  Alcotest.(check (float 0.)) "initial" 1.5 (Fmatrix.get m 1 2);
+  Fmatrix.set m 1 2 9.;
+  Alcotest.(check (float 0.)) "set" 9. (Fmatrix.get m 1 2);
+  Alcotest.(check (float 0.)) "others untouched" 1.5 (Fmatrix.get m 0 2)
+
+let test_bad_dimensions () =
+  Alcotest.check_raises "zero rows"
+    (Invalid_argument "Dense.make: dimensions must be positive") (fun () ->
+      ignore (Fmatrix.make ~rows:0 ~cols:3 0.))
+
+let test_out_of_range () =
+  let m = Fmatrix.make ~rows:2 ~cols:2 0. in
+  Alcotest.check_raises "bad get"
+    (Invalid_argument "Dense.get: index (2, 0) outside 2x2") (fun () ->
+      ignore (Fmatrix.get m 2 0))
+
+let test_init_layout () =
+  let m = Fmatrix.init ~rows:3 ~cols:2 (fun i j -> float_of_int ((10 * i) + j)) in
+  Alcotest.(check (float 0.)) "(0,0)" 0. (Fmatrix.get m 0 0);
+  Alcotest.(check (float 0.)) "(2,1)" 21. (Fmatrix.get m 2 1);
+  Alcotest.(check (float 0.)) "(1,0)" 10. (Fmatrix.get m 1 0)
+
+let test_row_col () =
+  let m = Fmatrix.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 0.))) "row 1" [| 3.; 4. |] (Fmatrix.row m 1);
+  Alcotest.(check (array (float 0.))) "col 0" [| 1.; 3. |] (Fmatrix.col m 0)
+
+let test_row_is_copy () =
+  let m = Fmatrix.of_arrays [| [| 1.; 2. |] |] in
+  let r = Fmatrix.row m 0 in
+  r.(0) <- 99.;
+  Alcotest.(check (float 0.)) "matrix unchanged" 1. (Fmatrix.get m 0 0)
+
+let test_of_arrays_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Dense.of_arrays: ragged rows")
+    (fun () -> ignore (Fmatrix.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_transpose () =
+  let m = Fmatrix.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Fmatrix.transpose m in
+  Alcotest.(check int) "rows" 3 (Fmatrix.rows t);
+  Alcotest.(check (float 0.)) "(2,1)" 6. (Fmatrix.get t 2 1);
+  Alcotest.(check bool) "involution" true
+    (Fmatrix.equal m (Fmatrix.transpose t))
+
+let test_map_fold () =
+  let m = Fmatrix.of_arrays [| [| 1.; -2. |]; [| 3.; -4. |] |] in
+  let doubled = Fmatrix.map (fun x -> 2. *. x) m in
+  Alcotest.(check (float 0.)) "map" (-8.) (Fmatrix.get doubled 1 1);
+  Alcotest.(check (float 0.)) "sum" (-2.) (Fmatrix.sum m);
+  Alcotest.(check (float 0.)) "norm l1" 10. (Fmatrix.norm_l1 m);
+  Alcotest.(check (float 0.)) "average" (-0.5) (Fmatrix.average m);
+  Alcotest.(check (float 0.)) "max" 3. (Fmatrix.max_entry m);
+  Alcotest.(check (float 0.)) "min" (-4.) (Fmatrix.min_entry m)
+
+let test_mapi () =
+  let m = Fmatrix.make ~rows:2 ~cols:2 0. in
+  let indexed = Fmatrix.mapi (fun i j _ -> float_of_int ((i * 10) + j)) m in
+  Alcotest.(check (float 0.)) "(1,1)" 11. (Fmatrix.get indexed 1 1)
+
+let test_add_sub_scale () =
+  let a = Fmatrix.of_arrays [| [| 1.; 2. |] |] in
+  let b = Fmatrix.of_arrays [| [| 10.; 20. |] |] in
+  Alcotest.(check (float 0.)) "add" 22. (Fmatrix.get (Fmatrix.add a b) 0 1);
+  Alcotest.(check (float 0.)) "sub" 9. (Fmatrix.get (Fmatrix.sub b a) 0 0);
+  Alcotest.(check (float 0.)) "scale" 5. (Fmatrix.get (Fmatrix.scale 5. a) 0 0);
+  let c = Fmatrix.make ~rows:2 ~cols:2 0. in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Fmatrix.add: dimension mismatch") (fun () ->
+      ignore (Fmatrix.add a c))
+
+let test_approx_equal () =
+  let a = Fmatrix.of_arrays [| [| 1.; 2. |] |] in
+  let b = Fmatrix.of_arrays [| [| 1.0005; 2. |] |] in
+  Alcotest.(check bool) "within eps" true (Fmatrix.approx_equal ~eps:1e-3 a b);
+  Alcotest.(check bool) "outside eps" false (Fmatrix.approx_equal ~eps:1e-4 a b)
+
+let test_distinct_nonzero () =
+  Alcotest.(check int) "paper row 1" 2
+    (Fmatrix.distinct_nonzero ~eps:1e-9 [| 0.; -5.; 0.; 2. |]);
+  Alcotest.(check int) "paper row 2" 4
+    (Fmatrix.distinct_nonzero ~eps:1e-9 [| -2.; 7.; 5.; -7. |]);
+  Alcotest.(check int) "paper row 3" 3
+    (Fmatrix.distinct_nonzero ~eps:1e-9 [| 4.; 2.; 4.; 9. |]);
+  Alcotest.(check int) "all zero" 0
+    (Fmatrix.distinct_nonzero ~eps:1e-9 [| 0.; 0. |]);
+  Alcotest.(check int) "tolerance merges" 1
+    (Fmatrix.distinct_nonzero ~eps:0.1 [| 1.; 1.05 |])
+
+let test_imatrix_basics () =
+  let m = Imatrix.of_arrays [| [| 1; 2 |]; [| 3; 4 |] |] in
+  Alcotest.(check int) "sum" 10 (Imatrix.sum m);
+  Alcotest.(check int) "max" 4 (Imatrix.max_entry m);
+  Alcotest.(check int) "min" 1 (Imatrix.min_entry m);
+  Alcotest.(check int) "count even" 2 (Imatrix.count (fun x -> x mod 2 = 0) m)
+
+let test_imatrix_to_fmatrix () =
+  let m = Imatrix.of_arrays [| [| 0; 1; 2 |] |] in
+  let f = Imatrix.map_to_fmatrix (fun d -> float_of_int (d * d)) m in
+  Alcotest.(check (float 0.)) "h applied" 4. (Fmatrix.get f 0 2);
+  let plain = Imatrix.to_fmatrix m in
+  Alcotest.(check (float 0.)) "identity embed" 1. (Fmatrix.get plain 0 1)
+
+let prop_transpose_involution =
+  let matrix_gen =
+    QCheck.Gen.(
+      int_range 1 8 >>= fun rows ->
+      int_range 1 8 >>= fun cols ->
+      array_size (return (rows * cols)) (float_range (-5.) 5.) >|= fun data ->
+      Fmatrix.init ~rows ~cols (fun i j -> data.((i * cols) + j)))
+  in
+  QCheck.Test.make ~name:"transpose involution" ~count:100
+    (QCheck.make matrix_gen) (fun m ->
+      Fmatrix.equal m (Fmatrix.transpose (Fmatrix.transpose m)))
+
+let prop_norm_triangle =
+  QCheck.Test.make ~name:"norm_l1 triangle inequality" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 6) (float_range (-5.) 5.))
+        (array_of_size (Gen.return 6) (float_range (-5.) 5.)))
+    (fun (xs, ys) ->
+      let a = Fmatrix.init ~rows:2 ~cols:3 (fun i j -> xs.((i * 3) + j)) in
+      let b = Fmatrix.init ~rows:2 ~cols:3 (fun i j -> ys.((i * 3) + j)) in
+      Fmatrix.norm_l1 (Fmatrix.add a b)
+      <= Fmatrix.norm_l1 a +. Fmatrix.norm_l1 b +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "make/get/set" `Quick test_make_get_set;
+    Alcotest.test_case "dimension guard" `Quick test_bad_dimensions;
+    Alcotest.test_case "index guard" `Quick test_out_of_range;
+    Alcotest.test_case "init layout" `Quick test_init_layout;
+    Alcotest.test_case "row/col" `Quick test_row_col;
+    Alcotest.test_case "row is a copy" `Quick test_row_is_copy;
+    Alcotest.test_case "ragged input" `Quick test_of_arrays_ragged;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "map/fold/norms" `Quick test_map_fold;
+    Alcotest.test_case "mapi" `Quick test_mapi;
+    Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+    Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+    Alcotest.test_case "distinct_nonzero (phi rows)" `Quick
+      test_distinct_nonzero;
+    Alcotest.test_case "imatrix basics" `Quick test_imatrix_basics;
+    Alcotest.test_case "imatrix conversion" `Quick test_imatrix_to_fmatrix;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    QCheck_alcotest.to_alcotest prop_norm_triangle;
+  ]

@@ -1,0 +1,310 @@
+(* Tests for the MSPT fabrication model: pattern, doping, complexity,
+   variability and the process simulator. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_mspt
+
+let pattern_of ~radix rows =
+  Pattern.of_words (List.map (Word.of_string ~radix) rows)
+
+let small = pattern_of ~radix:3 [ "0121"; "0220"; "1012" ]
+
+(* --- pattern --- *)
+
+let test_pattern_accessors () =
+  Alcotest.(check int) "N" 3 (Pattern.n_wires small);
+  Alcotest.(check int) "M" 4 (Pattern.n_regions small);
+  Alcotest.(check int) "radix" 3 (Pattern.radix small);
+  Alcotest.(check int) "digit" 2 (Pattern.digit small ~wire:1 ~region:1);
+  Alcotest.(check string) "word" "1012"
+    (Word.to_string (Pattern.word small ~wire:2))
+
+let test_pattern_rejects_heterogeneous () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Pattern.of_words: heterogeneous words") (fun () ->
+      ignore
+        (Pattern.of_words
+           [ Word.of_string ~radix:2 "01"; Word.of_string ~radix:2 "010" ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Pattern.of_words: empty pattern")
+    (fun () -> ignore (Pattern.of_words []))
+
+let test_pattern_matrix_roundtrip () =
+  let m = Pattern.to_matrix small in
+  let back = Pattern.of_matrix ~radix:3 m in
+  Alcotest.(check bool) "roundtrip" true
+    (List.for_all2 Word.equal (Pattern.words small) (Pattern.words back))
+
+let test_pattern_transitions () =
+  Alcotest.(check (array int)) "row transitions" [| 2; 4 |]
+    (Pattern.transitions_between_rows small);
+  Alcotest.(check int) "total" 6 (Pattern.total_transitions small)
+
+let test_pattern_of_codebook_cycles () =
+  let p = Pattern.of_codebook ~radix:2 ~length:4 ~n_wires:7 Codebook.Tree in
+  (* Omega = 4: wires 4..6 repeat words 0..2. *)
+  Alcotest.(check string) "wire 4 = wire 0"
+    (Word.to_string (Pattern.word p ~wire:0))
+    (Word.to_string (Pattern.word p ~wire:4))
+
+(* --- doping matrices --- *)
+
+let h = Doping.paper_example_h
+
+let test_final_matrix_paper () =
+  let d = Doping.final_matrix ~h small in
+  let expected =
+    Fmatrix.of_arrays
+      [| [| 2.; 4.; 9.; 4. |]; [| 2.; 9.; 9.; 2. |]; [| 4.; 2.; 4.; 9. |] |]
+  in
+  Alcotest.(check bool) "Example 1" true (Fmatrix.equal d expected)
+
+let test_step_matrix_paper () =
+  let _, s = Doping.of_pattern ~h small in
+  let expected =
+    Fmatrix.of_arrays
+      [| [| 0.; -5.; 0.; 2. |]; [| -2.; 7.; 5.; -7. |]; [| 4.; 2.; 4.; 9. |] |]
+  in
+  Alcotest.(check bool) "Example 2" true (Fmatrix.equal s expected)
+
+let test_step_final_inverse () =
+  let d, s = Doping.of_pattern ~h small in
+  Alcotest.(check bool) "suffix sums recover D" true
+    (Fmatrix.approx_equal ~eps:1e-12 d (Doping.final_of_step s))
+
+let test_paper_example_h_guard () =
+  Alcotest.check_raises "digit 3" (Invalid_argument "Doping.paper_example_h: digit 3")
+    (fun () -> ignore (Doping.paper_example_h 3))
+
+(* --- complexity --- *)
+
+let test_phi_paper_example () =
+  Alcotest.(check (array int)) "phi per step (Example 3)" [| 2; 4; 3 |]
+    (Complexity.phi_per_step small);
+  Alcotest.(check int) "Phi = 9" 9 (Complexity.total small)
+
+let test_phi_gray_variant () =
+  (* Example 6: replacing the last word by 1210 drops Phi to 7. *)
+  let gray = pattern_of ~radix:3 [ "0121"; "0220"; "1210" ] in
+  Alcotest.(check int) "Phi = 7" 7 (Complexity.total gray)
+
+let test_phi_matches_dose_computation () =
+  let _, s = Doping.of_pattern ~h small in
+  Alcotest.(check int) "pair-based = dose-based" (Complexity.total small)
+    (Complexity.total_of_doses s)
+
+let test_phi_single_wire () =
+  let p = pattern_of ~radix:3 [ "0120" ] in
+  (* Only the last (single) wire: one dose per distinct digit. *)
+  Alcotest.(check int) "distinct digits" 3 (Complexity.total p)
+
+let test_phi_identical_rows () =
+  let p = pattern_of ~radix:2 [ "0101"; "0101"; "0101" ] in
+  (* No transitions: only the final wire costs steps. *)
+  Alcotest.(check (array int)) "only last row" [| 0; 0; 2 |]
+    (Complexity.phi_per_step p)
+
+let test_phi_binary_is_2n () =
+  (* Paper, Fig. 5: every binary code costs exactly 2N steps. *)
+  List.iter
+    (fun ct ->
+      let p = Pattern.of_codebook ~radix:2 ~length:8 ~n_wires:10 ct in
+      Alcotest.(check int)
+        (Printf.sprintf "binary %s" (Codebook.name ct))
+        20 (Complexity.total p))
+    Codebook.all_types
+
+(* --- variability --- *)
+
+let test_nu_paper_example () =
+  let expected =
+    Imatrix.of_arrays [| [| 2; 3; 2; 3 |]; [| 2; 2; 2; 2 |]; [| 1; 1; 1; 1 |] |]
+  in
+  Alcotest.(check bool) "Example 4" true
+    (Imatrix.equal (Variability.nu_matrix small) expected)
+
+let test_sigma_norm_paper_examples () =
+  Alcotest.(check (float 1e-9)) "Example 4: 22 sigma^2" 22.
+    (Variability.sigma_norm1 ~sigma_t:1. small);
+  let gray = pattern_of ~radix:3 [ "0121"; "0220"; "1210" ] in
+  Alcotest.(check (float 1e-9)) "Example 5: 18 sigma^2" 18.
+    (Variability.sigma_norm1 ~sigma_t:1. gray)
+
+let test_sigma_scales_with_sigma_t () =
+  Alcotest.(check (float 1e-12)) "sigma_t scaling" (22. *. 0.05 *. 0.05)
+    (Variability.sigma_norm1 ~sigma_t:0.05 small)
+
+let test_nu_last_row_ones () =
+  let p = Pattern.of_codebook ~radix:2 ~length:6 ~n_wires:12 Codebook.Gray in
+  let nu = Variability.nu_matrix p in
+  for j = 0 to 5 do
+    Alcotest.(check int) "last wire" 1 (Imatrix.get nu 11 j)
+  done
+
+let test_nu_monotone_up_the_cave () =
+  (* nu can only grow toward earlier wires (they receive more steps). *)
+  let p = Pattern.of_codebook ~radix:2 ~length:8 ~n_wires:20 Codebook.Tree in
+  let nu = Variability.nu_matrix p in
+  for i = 0 to 18 do
+    for j = 0 to 7 do
+      if Imatrix.get nu i j < Imatrix.get nu (i + 1) j then
+        Alcotest.failf "nu decreased at (%d,%d)" i j
+    done
+  done
+
+let test_normalized_std () =
+  let m = Variability.normalized_std_matrix small in
+  Alcotest.(check (float 1e-9)) "sqrt 3" (sqrt 3.) (Fmatrix.get m 0 1);
+  Alcotest.(check (float 1e-9)) "sqrt 1" 1. (Fmatrix.get m 2 0)
+
+let test_average_nu () =
+  Alcotest.(check (float 1e-9)) "22/12" (22. /. 12.)
+    (Variability.average_nu small)
+
+let test_region_std () =
+  Alcotest.(check (float 1e-12)) "sigma sqrt nu" (0.05 *. sqrt 3.)
+    (Variability.region_std ~sigma_t:0.05 small ~wire:0 ~region:1)
+
+(* --- process simulator --- *)
+
+let test_passes_count_equals_phi () =
+  let _, s = Doping.of_pattern ~h small in
+  Alcotest.(check int) "Phi passes" 9
+    (List.length (Process.passes_of_step_matrix s))
+
+let test_process_closes_loop () =
+  let d, s = Doping.of_pattern ~h small in
+  let passes = Process.passes_of_step_matrix s in
+  let wafer = Process.run ~n_wires:3 ~n_regions:4 passes in
+  Alcotest.(check bool) "wafer = D" true (Fmatrix.approx_equal ~eps:1e-9 d wafer)
+
+let test_process_hits_equal_nu () =
+  let _, s = Doping.of_pattern ~h small in
+  let passes = Process.passes_of_step_matrix s in
+  Alcotest.(check bool) "hits = nu" true
+    (Imatrix.equal
+       (Process.hit_counts ~n_wires:3 ~n_regions:4 passes)
+       (Variability.nu_matrix small))
+
+let test_process_noise_statistics () =
+  let _, s = Doping.of_pattern ~h small in
+  let passes = Process.passes_of_step_matrix s in
+  let rng = Rng.create ~seed:5 in
+  let sigma_t = 0.05 in
+  (* Region (0,1) receives nu=3 implants: std should be sigma_t*sqrt(3). *)
+  let n = 4000 in
+  let draws =
+    Array.init n (fun _ ->
+        let noise =
+          Process.sample_vt_noise rng ~sigma_t ~n_wires:3 ~n_regions:4 passes
+        in
+        Fmatrix.get noise 0 1)
+  in
+  let s = Descriptive.summarize draws in
+  Alcotest.(check (float 0.01)) "mean 0" 0. s.Descriptive.mean;
+  Alcotest.(check (float 0.008)) "std sigma sqrt nu" (sigma_t *. sqrt 3.)
+    s.Descriptive.std
+
+let test_process_geometry_guards () =
+  let pass = { Process.after_wire = 5; dose = 1.; mask = [| true |] } in
+  Alcotest.check_raises "pass outside cave"
+    (Invalid_argument "Process.run: pass outside cave") (fun () ->
+      ignore (Process.run ~n_wires:3 ~n_regions:1 [ pass ]))
+
+(* --- property tests --- *)
+
+let pattern_gen =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun radix ->
+    int_range 2 8 >>= fun n_wires ->
+    int_range 1 6 >>= fun n_regions ->
+    list_size (return n_wires)
+      (array_size (return n_regions) (int_range 0 (radix - 1)))
+    >|= fun rows ->
+    Pattern.of_words (List.map (Word.make ~radix) rows))
+
+let arbitrary_pattern =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Pattern.pp p)
+    pattern_gen
+
+(* An injective h with incommensurable values: distinct digit pairs map to
+   distinct differences, so the dose-based and pair-based Phi agree. *)
+let generic_h d = sqrt (float_of_int ((d + 2) * (d + 2) * (d + 3)))
+
+let prop_phi_pair_equals_dose =
+  QCheck.Test.make ~name:"pair-based Phi = dose-based Phi" ~count:300
+    arbitrary_pattern (fun p ->
+      let _, s = Doping.of_pattern ~h:generic_h p in
+      Complexity.total p = Complexity.total_of_doses s)
+
+let prop_process_closure =
+  QCheck.Test.make ~name:"process run rebuilds D" ~count:200 arbitrary_pattern
+    (fun p ->
+      let d, s = Doping.of_pattern ~h:generic_h p in
+      let passes = Process.passes_of_step_matrix s in
+      let wafer =
+        Process.run ~n_wires:(Pattern.n_wires p)
+          ~n_regions:(Pattern.n_regions p) passes
+      in
+      Fmatrix.approx_equal ~eps:1e-6 d wafer)
+
+let prop_hits_equal_nu =
+  QCheck.Test.make ~name:"process hit counts = nu" ~count:200
+    arbitrary_pattern (fun p ->
+      let _, s = Doping.of_pattern ~h:generic_h p in
+      let passes = Process.passes_of_step_matrix s in
+      Imatrix.equal
+        (Process.hit_counts ~n_wires:(Pattern.n_wires p)
+           ~n_regions:(Pattern.n_regions p) passes)
+        (Variability.nu_matrix p))
+
+let prop_sigma_norm_counts_transitions =
+  (* ||Sigma||_1 / sigma^2 = sum nu = N*M base + weighted transitions. *)
+  QCheck.Test.make ~name:"sum nu >= N*M with equality iff no transitions"
+    ~count:200 arbitrary_pattern (fun p ->
+      let total = Imatrix.sum (Variability.nu_matrix p) in
+      let base = Pattern.n_wires p * Pattern.n_regions p in
+      if Pattern.total_transitions p = 0 then total = base else total > base)
+
+let suite =
+  [
+    Alcotest.test_case "pattern accessors" `Quick test_pattern_accessors;
+    Alcotest.test_case "pattern validation" `Quick
+      test_pattern_rejects_heterogeneous;
+    Alcotest.test_case "pattern matrix roundtrip" `Quick
+      test_pattern_matrix_roundtrip;
+    Alcotest.test_case "pattern transitions" `Quick test_pattern_transitions;
+    Alcotest.test_case "codebook pattern cycles" `Quick
+      test_pattern_of_codebook_cycles;
+    Alcotest.test_case "final matrix (Example 1)" `Quick test_final_matrix_paper;
+    Alcotest.test_case "step matrix (Example 2)" `Quick test_step_matrix_paper;
+    Alcotest.test_case "D<->S inverse" `Quick test_step_final_inverse;
+    Alcotest.test_case "paper h guard" `Quick test_paper_example_h_guard;
+    Alcotest.test_case "Phi (Example 3)" `Quick test_phi_paper_example;
+    Alcotest.test_case "Phi Gray variant (Example 6)" `Quick
+      test_phi_gray_variant;
+    Alcotest.test_case "Phi pair = dose" `Quick test_phi_matches_dose_computation;
+    Alcotest.test_case "Phi single wire" `Quick test_phi_single_wire;
+    Alcotest.test_case "Phi identical rows" `Quick test_phi_identical_rows;
+    Alcotest.test_case "Phi binary = 2N (Fig 5)" `Quick test_phi_binary_is_2n;
+    Alcotest.test_case "nu (Example 4)" `Quick test_nu_paper_example;
+    Alcotest.test_case "||Sigma||_1 (Examples 4-5)" `Quick
+      test_sigma_norm_paper_examples;
+    Alcotest.test_case "Sigma scales with sigma_t" `Quick
+      test_sigma_scales_with_sigma_t;
+    Alcotest.test_case "nu last row" `Quick test_nu_last_row_ones;
+    Alcotest.test_case "nu monotone" `Quick test_nu_monotone_up_the_cave;
+    Alcotest.test_case "normalized std" `Quick test_normalized_std;
+    Alcotest.test_case "average nu" `Quick test_average_nu;
+    Alcotest.test_case "region std" `Quick test_region_std;
+    Alcotest.test_case "passes = Phi" `Quick test_passes_count_equals_phi;
+    Alcotest.test_case "process closes loop" `Quick test_process_closes_loop;
+    Alcotest.test_case "process hits = nu" `Quick test_process_hits_equal_nu;
+    Alcotest.test_case "process noise stats" `Slow test_process_noise_statistics;
+    Alcotest.test_case "process guards" `Quick test_process_geometry_guards;
+    QCheck_alcotest.to_alcotest prop_phi_pair_equals_dose;
+    QCheck_alcotest.to_alcotest prop_process_closure;
+    QCheck_alcotest.to_alcotest prop_hits_equal_nu;
+    QCheck_alcotest.to_alcotest prop_sigma_norm_counts_transitions;
+  ]

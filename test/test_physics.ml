@@ -1,0 +1,171 @@
+(* Tests for the device-physics substrate. *)
+
+open Nanodec_physics
+
+let p = Mosfet.default_params
+
+let test_constants_sane () =
+  Alcotest.(check (float 1e-3)) "thermal voltage 300K" 0.02585
+    (Constants.thermal_voltage ~temperature:300.);
+  Alcotest.(check (float 0.)) "cm3 conversion" 1e6 (Constants.cm3_to_m3 1.);
+  Alcotest.(check bool) "permittivities ordered" true
+    (Constants.silicon_permittivity > Constants.oxide_permittivity)
+
+let test_bulk_potential () =
+  (* psi_B = kT/q ln(Na/ni): 1e18 over 1e10 gives ~0.477 V at 300 K. *)
+  Alcotest.(check (float 1e-3)) "psi_B at 1e18" 0.4767
+    (Mosfet.bulk_potential p ~doping:1e18);
+  Alcotest.check_raises "doping below n_i"
+    (Invalid_argument "Mosfet.bulk_potential: doping must exceed n_i")
+    (fun () -> ignore (Mosfet.bulk_potential p ~doping:1e9))
+
+let test_vt_monotone_in_doping () =
+  let dopings = [ 1e15; 1e16; 1e17; 1e18; 1e19; 1e20 ] in
+  let vts = List.map (fun doping -> Mosfet.vt_of_doping p ~doping) dopings in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "strictly increasing" true (a < b);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check vts
+
+let test_doping_of_vt_roundtrip () =
+  List.iter
+    (fun doping ->
+      let vt = Mosfet.vt_of_doping p ~doping in
+      let recovered = Mosfet.doping_of_vt p ~vt in
+      let relative = Float.abs (recovered -. doping) /. doping in
+      if relative > 1e-6 then
+        Alcotest.failf "roundtrip at %g: got %g" doping recovered)
+    [ 1e14; 1e16; 2e18; 4e18; 9e18; 5e19 ]
+
+let test_doping_of_vt_domain () =
+  let vt_low, vt_high = Mosfet.doping_range p in
+  Alcotest.(check bool) "range ordered" true (vt_low < vt_high);
+  Alcotest.check_raises "below range"
+    (Invalid_argument
+       (Printf.sprintf
+          "Mosfet.doping_of_vt: V_T %.3f outside achievable [%.3f, %.3f]"
+          (vt_low -. 1.) vt_low vt_high)) (fun () ->
+      ignore (Mosfet.doping_of_vt p ~vt:(vt_low -. 1.)))
+
+let test_oxide_capacitance_scaling () =
+  let thin = Mosfet.oxide_capacitance { p with Mosfet.oxide_thickness = 1e-9 } in
+  let thick = Mosfet.oxide_capacitance { p with Mosfet.oxide_thickness = 4e-9 } in
+  Alcotest.(check (float 1e-6)) "inverse thickness" 4. (thin /. thick)
+
+let levels = Vt_levels.make ~radix:2 ()
+
+let test_levels_spread_placement () =
+  (* Spread 0.1 on 1 V: binary levels at 0.1 and 0.9 V. *)
+  Alcotest.(check (float 1e-9)) "level 0" 0.1 (Vt_levels.vt_of_digit levels 0);
+  Alcotest.(check (float 1e-9)) "level 1" 0.9 (Vt_levels.vt_of_digit levels 1);
+  Alcotest.(check (float 1e-9)) "separation" 0.8 (Vt_levels.separation levels)
+
+let test_levels_centered_placement () =
+  let centered =
+    Vt_levels.make ~placement:Vt_levels.Centered ~radix:4 ()
+  in
+  Alcotest.(check (float 1e-9)) "level 0" 0.125
+    (Vt_levels.vt_of_digit centered 0);
+  Alcotest.(check (float 1e-9)) "level 3" 0.875
+    (Vt_levels.vt_of_digit centered 3);
+  Alcotest.(check (float 1e-9)) "separation" 0.25
+    (Vt_levels.separation centered)
+
+let test_levels_ternary_spread () =
+  let t = Vt_levels.make ~radix:3 () in
+  Alcotest.(check (float 1e-9)) "middle level" 0.5 (Vt_levels.vt_of_digit t 1);
+  Alcotest.(check (float 1e-9)) "separation" 0.4 (Vt_levels.separation t)
+
+let test_digit_of_vt_nearest () =
+  Alcotest.(check int) "near 0.1" 0 (Vt_levels.digit_of_vt levels 0.2);
+  Alcotest.(check int) "near 0.9" 1 (Vt_levels.digit_of_vt levels 0.8);
+  let t = Vt_levels.make ~radix:3 () in
+  Alcotest.(check int) "ternary middle" 1 (Vt_levels.digit_of_vt t 0.55)
+
+let test_digit_roundtrip () =
+  List.iter
+    (fun radix ->
+      let l = Vt_levels.make ~radix () in
+      for d = 0 to radix - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "digit %d radix %d" d radix)
+          d
+          (Vt_levels.digit_of_vt l (Vt_levels.vt_of_digit l d))
+      done)
+    [ 2; 3; 4; 5 ]
+
+let test_doping_of_digit_monotone () =
+  List.iter
+    (fun radix ->
+      let l = Vt_levels.make ~radix () in
+      for d = 0 to radix - 2 do
+        let low = Vt_levels.doping_of_digit l d in
+        let high = Vt_levels.doping_of_digit l (d + 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "doping increases d=%d" d)
+          true (low < high)
+      done)
+    [ 2; 3; 4 ]
+
+let test_digit_of_doping_inverts () =
+  let l = Vt_levels.make ~radix:3 () in
+  for d = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "h inverse at %d" d)
+      d
+      (Vt_levels.digit_of_doping l (Vt_levels.doping_of_digit l d))
+  done
+
+let test_address_window () =
+  Alcotest.(check (float 1e-9)) "window" 0.32
+    (Vt_levels.address_window levels ~margin_fraction:0.4);
+  Alcotest.check_raises "margin guard"
+    (Invalid_argument "Vt_levels.address_window: margin_fraction outside (0, 0.5]")
+    (fun () -> ignore (Vt_levels.address_window levels ~margin_fraction:0.6))
+
+let test_levels_array () =
+  let l = Vt_levels.make ~radix:3 () in
+  Alcotest.(check int) "count" 3 (Array.length (Vt_levels.levels l));
+  Alcotest.(check (float 1e-9)) "first" 0.1 (Vt_levels.levels l).(0)
+
+let prop_vt_monotone =
+  QCheck.Test.make ~name:"V_T(N_A) monotone (f bijection premise)" ~count:100
+    QCheck.(pair (float_range 14. 20.) (float_range 14. 20.))
+    (fun (a, b) ->
+      let lo = 10. ** Float.min a b and hi = 10. ** Float.max a b in
+      QCheck.assume (hi /. lo > 1.0001);
+      Mosfet.vt_of_doping p ~doping:lo < Mosfet.vt_of_doping p ~doping:hi)
+
+let prop_h_injective =
+  QCheck.Test.make ~name:"h = f^-1 . g injective on digits" ~count:20
+    (QCheck.int_range 2 6) (fun radix ->
+      let l = Vt_levels.make ~radix () in
+      let dopings = List.init radix (Vt_levels.doping_of_digit l) in
+      List.length (List.sort_uniq Float.compare dopings) = radix)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants_sane;
+    Alcotest.test_case "bulk potential" `Quick test_bulk_potential;
+    Alcotest.test_case "V_T monotone" `Quick test_vt_monotone_in_doping;
+    Alcotest.test_case "doping_of_vt roundtrip" `Quick
+      test_doping_of_vt_roundtrip;
+    Alcotest.test_case "doping_of_vt domain" `Quick test_doping_of_vt_domain;
+    Alcotest.test_case "oxide capacitance" `Quick test_oxide_capacitance_scaling;
+    Alcotest.test_case "spread placement" `Quick test_levels_spread_placement;
+    Alcotest.test_case "centered placement" `Quick test_levels_centered_placement;
+    Alcotest.test_case "ternary spread" `Quick test_levels_ternary_spread;
+    Alcotest.test_case "digit_of_vt nearest" `Quick test_digit_of_vt_nearest;
+    Alcotest.test_case "digit roundtrip" `Quick test_digit_roundtrip;
+    Alcotest.test_case "doping monotone in digit" `Quick
+      test_doping_of_digit_monotone;
+    Alcotest.test_case "digit_of_doping inverts" `Quick
+      test_digit_of_doping_inverts;
+    Alcotest.test_case "address window" `Quick test_address_window;
+    Alcotest.test_case "levels array" `Quick test_levels_array;
+    QCheck_alcotest.to_alcotest prop_vt_monotone;
+    QCheck_alcotest.to_alcotest prop_h_injective;
+  ]

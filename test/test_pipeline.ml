@@ -1,0 +1,141 @@
+(* Whole-pipeline property tests: randomised design configurations pushed
+   through Design.evaluate and the memory stack, checking global
+   invariants that must hold regardless of parameters. *)
+
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_crossbar
+open Nanodec
+
+let config_gen =
+  QCheck.Gen.(
+    int_range 0 4 >>= fun family ->
+    let code_type = List.nth Codebook.all_types family in
+    int_range 1 6 >>= fun half_m ->
+    let code_length =
+      match code_type with
+      | Codebook.Tree | Codebook.Gray | Codebook.Balanced_gray -> 2 * half_m
+      | Codebook.Hot | Codebook.Arranged_hot -> 2 * Stdlib.max 2 half_m
+    in
+    int_range 4 30 >>= fun n_wires ->
+    float_range 0.01 0.10 >>= fun sigma_t ->
+    float_range 0.0 0.15 >>= fun sigma_base ->
+    float_range 0.15 0.5 >|= fun margin_fraction ->
+    {
+      Cave.default_config with
+      Cave.code_type;
+      code_length;
+      n_wires;
+      sigma_t;
+      sigma_base;
+      margin_fraction;
+    })
+
+let print_config c =
+  Printf.sprintf "%s M=%d N=%d sigma_t=%.3f sigma_0=%.3f margin=%.2f"
+    (Codebook.name c.Cave.code_type)
+    c.Cave.code_length c.Cave.n_wires c.Cave.sigma_t c.Cave.sigma_base
+    c.Cave.margin_fraction
+
+let arbitrary_config = QCheck.make ~print:print_config config_gen
+
+(* Balanced-Gray spaces above the exact-search limit are a documented
+   exception, not a property failure. *)
+let tractable c =
+  match c.Cave.code_type with
+  | Codebook.Balanced_gray -> c.Cave.code_length <= 12
+  | Codebook.Tree | Codebook.Gray | Codebook.Hot | Codebook.Arranged_hot ->
+    true
+
+let evaluate c =
+  Design.evaluate { Design.cave = c; raw_bits = 16 * 1024 * 8 }
+
+let prop_report_invariants =
+  QCheck.Test.make ~name:"design report invariants" ~count:120
+    arbitrary_config (fun c ->
+      QCheck.assume (tractable c);
+      let r = evaluate c in
+      r.Design.omega >= 1
+      && r.Design.phi >= 0
+      && r.Design.cave_yield >= 0.
+      && r.Design.cave_yield <= 1.
+      && Float.abs
+           (r.Design.crossbar_yield
+           -. (r.Design.cave_yield *. r.Design.cave_yield))
+         < 1e-9
+      && r.Design.bit_area > 0.
+      && r.Design.area > 0.
+      && r.Design.n_pads >= 1
+      && r.Design.removed_wires >= 0
+      && r.Design.removed_wires <= c.Cave.n_wires)
+
+let prop_phi_binary_constant =
+  QCheck.Test.make ~name:"binary Phi = 2N for every family and length"
+    ~count:100 arbitrary_config (fun c ->
+      QCheck.assume (tractable c);
+      let r = evaluate c in
+      r.Design.phi = 2 * c.Cave.n_wires)
+
+let prop_sigma_norm_consistent =
+  QCheck.Test.make ~name:"||Sigma||_1 = sigma_t^2 * sum nu" ~count:100
+    arbitrary_config (fun c ->
+      QCheck.assume (tractable c);
+      let r = evaluate c in
+      let pattern =
+        Nanodec_mspt.Pattern.of_codebook ~radix:c.Cave.radix
+          ~length:c.Cave.code_length ~n_wires:c.Cave.n_wires c.Cave.code_type
+      in
+      let expected =
+        c.Cave.sigma_t *. c.Cave.sigma_t
+        *. float_of_int
+             (Imatrix.sum (Nanodec_mspt.Variability.nu_matrix pattern))
+      in
+      Float.abs (r.Design.sigma_norm1 -. expected) < 1e-9)
+
+let prop_yield_monotone_in_margin =
+  QCheck.Test.make ~name:"yield monotone in window margin" ~count:60
+    arbitrary_config (fun c ->
+      QCheck.assume (tractable c);
+      QCheck.assume (c.Cave.margin_fraction <= 0.4);
+      let tight = (Cave.analyze c).Cave.yield in
+      let loose =
+        (Cave.analyze
+           { c with Cave.margin_fraction = c.Cave.margin_fraction +. 0.1 })
+          .Cave.yield
+      in
+      loose >= tight -. 1e-12)
+
+let prop_memory_capacity_consistent =
+  QCheck.Test.make ~name:"memory capacity = usable crosspoints" ~count:40
+    (QCheck.pair arbitrary_config (QCheck.int_range 0 10_000))
+    (fun (c, seed) ->
+      QCheck.assume (tractable c);
+      let memory =
+        Memory.create (Rng.create ~seed)
+          { Array_sim.cave = c; raw_bits = 1024 }
+      in
+      let remap = Remap.build memory in
+      Remap.capacity_bits remap = Memory.usable_crosspoints memory)
+
+let prop_address_book_bijective =
+  QCheck.Test.make ~name:"address book is a partial bijection" ~count:40
+    arbitrary_config (fun c ->
+      QCheck.assume (tractable c);
+      let analysis = Cave.analyze c in
+      let book = Address_space.build analysis ~wires:(3 * c.Cave.n_wires) in
+      List.for_all
+        (fun w ->
+          match Address_space.address_of_wire book w with
+          | None -> false
+          | Some address -> Address_space.wire_of_address book address = Some w)
+        (Address_space.addressable_wires book))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_report_invariants;
+    QCheck_alcotest.to_alcotest prop_phi_binary_constant;
+    QCheck_alcotest.to_alcotest prop_sigma_norm_consistent;
+    QCheck_alcotest.to_alcotest prop_yield_monotone_in_margin;
+    QCheck_alcotest.to_alcotest prop_memory_capacity_consistent;
+    QCheck_alcotest.to_alcotest prop_address_book_bijective;
+  ]

@@ -1,0 +1,180 @@
+(* Tests for code words. *)
+
+open Nanodec_codes
+
+let word radix s = Word.of_string ~radix s
+
+let test_make_validation () =
+  Alcotest.check_raises "bad radix" (Invalid_argument "Word.make: radix must be >= 2")
+    (fun () -> ignore (Word.make ~radix:1 [| 0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Word.make: empty word")
+    (fun () -> ignore (Word.make ~radix:2 [||]));
+  Alcotest.check_raises "digit too large"
+    (Invalid_argument "Word.make: digit 2 outside [0, 2)") (fun () ->
+      ignore (Word.make ~radix:2 [| 0; 2 |]))
+
+let test_make_copies_input () =
+  let digits = [| 0; 1 |] in
+  let w = Word.make ~radix:2 digits in
+  digits.(0) <- 1;
+  Alcotest.(check int) "immutable" 0 (Word.get w 0)
+
+let test_accessors () =
+  let w = word 3 "0212" in
+  Alcotest.(check int) "radix" 3 (Word.radix w);
+  Alcotest.(check int) "length" 4 (Word.length w);
+  Alcotest.(check int) "get" 2 (Word.get w 1);
+  Alcotest.(check (array int)) "digits" [| 0; 2; 1; 2 |] (Word.digits w)
+
+let test_complement () =
+  Alcotest.(check string) "ternary complement" "2101"
+    (Word.to_string (Word.complement (word 3 "0121")));
+  Alcotest.(check string) "binary complement" "10"
+    (Word.to_string (Word.complement (word 2 "01")))
+
+let test_complement_involution () =
+  let w = word 4 "0312" in
+  Alcotest.(check bool) "involution" true
+    (Word.equal w (Word.complement (Word.complement w)))
+
+let test_reflect () =
+  (* Paper example: 0010 reflects to 00102212 in ternary. *)
+  Alcotest.(check string) "paper reflection" "00102212"
+    (Word.to_string (Word.reflect (word 3 "0010")));
+  Alcotest.(check string) "0000 -> 00002222" "00002222"
+    (Word.to_string (Word.reflect (word 3 "0000")));
+  Alcotest.(check string) "0001 -> 00012221" "00012221"
+    (Word.to_string (Word.reflect (word 3 "0001")))
+
+let test_is_reflected () =
+  Alcotest.(check bool) "reflected word" true
+    (Word.is_reflected (Word.reflect (word 3 "0121")));
+  Alcotest.(check bool) "odd length" false (Word.is_reflected (word 2 "010"));
+  Alcotest.(check bool) "non-reflected" false (Word.is_reflected (word 2 "0100"))
+
+let test_base_part () =
+  let w = Word.reflect (word 3 "012") in
+  Alcotest.(check string) "base part" "012" (Word.to_string (Word.base_part w));
+  Alcotest.check_raises "odd" (Invalid_argument "Word.base_part: odd-length word")
+    (fun () -> ignore (Word.base_part (word 2 "010")))
+
+let test_hamming () =
+  Alcotest.(check int) "distance 0" 0
+    (Word.hamming_distance (word 2 "0101") (word 2 "0101"));
+  Alcotest.(check int) "distance 2" 2
+    (Word.hamming_distance (word 2 "0101") (word 2 "1100"));
+  (* Paper: 0002 => 0010 differ in two digits. *)
+  Alcotest.(check int) "paper pair" 2
+    (Word.hamming_distance (word 3 "0002") (word 3 "0010"));
+  Alcotest.check_raises "incompatible"
+    (Invalid_argument "Word.hamming_distance: incompatible words") (fun () ->
+      ignore (Word.hamming_distance (word 2 "01") (word 2 "010")))
+
+let test_changed_pairs () =
+  let pairs = Word.changed_pairs (word 3 "0121") (word 3 "0220") in
+  Alcotest.(check (list (pair int int))) "pairs in position order"
+    [ (1, 2); (1, 0) ] pairs;
+  Alcotest.(check (list (pair int int))) "no change" []
+    (Word.changed_pairs (word 3 "012") (word 3 "012"))
+
+let test_dominates () =
+  Alcotest.(check bool) "equal dominates" true
+    (Word.dominates (word 3 "012") (word 3 "012"));
+  Alcotest.(check bool) "greater dominates" true
+    (Word.dominates (word 3 "212") (word 3 "011"));
+  Alcotest.(check bool) "incomparable" false
+    (Word.dominates (word 3 "021") (word 3 "012"))
+
+let test_counts () =
+  Alcotest.(check (array int)) "counts" [| 1; 2; 1 |]
+    (Word.counts (word 3 "1210"));
+  Alcotest.(check (array int)) "missing value" [| 2; 0 |]
+    (Word.counts (word 2 "00"))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun (radix, s) ->
+      Alcotest.(check string) ("roundtrip " ^ s) s
+        (Word.to_string (Word.of_string ~radix s)))
+    [ (2, "0110"); (3, "0212"); (16, "0af9") ]
+
+let test_of_string_rejects_garbage () =
+  Alcotest.check_raises "bad digit"
+    (Invalid_argument "Word.of_string: bad digit '?'") (fun () ->
+      ignore (Word.of_string ~radix:2 "0?1"))
+
+let test_compare_consistent_with_equal () =
+  let a = word 2 "0101" and b = word 2 "0101" and c = word 2 "0110" in
+  Alcotest.(check bool) "equal" true (Word.equal a b);
+  Alcotest.(check int) "compare equal" 0 (Word.compare a b);
+  Alcotest.(check bool) "not equal" false (Word.equal a c);
+  Alcotest.(check bool) "compare orders" true (Word.compare a c <> 0)
+
+let word_gen =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun radix ->
+    int_range 1 10 >>= fun len ->
+    array_size (return len) (int_range 0 (radix - 1)) >|= fun digits ->
+    Word.make ~radix digits)
+
+let arbitrary_word = QCheck.make ~print:Word.to_string word_gen
+
+let prop_reflection_is_reflected =
+  QCheck.Test.make ~name:"reflect produces reflected words" ~count:200
+    arbitrary_word (fun w -> Word.is_reflected (Word.reflect w))
+
+let prop_reflection_base =
+  QCheck.Test.make ~name:"base_part inverts reflect" ~count:200 arbitrary_word
+    (fun w -> Word.equal w (Word.base_part (Word.reflect w)))
+
+let prop_hamming_symmetric =
+  QCheck.Test.make ~name:"hamming distance symmetric" ~count:200
+    (QCheck.pair arbitrary_word arbitrary_word) (fun (a, b) ->
+      QCheck.assume
+        (Word.radix a = Word.radix b && Word.length a = Word.length b);
+      Word.hamming_distance a b = Word.hamming_distance b a)
+
+let prop_changed_pairs_length =
+  QCheck.Test.make ~name:"changed_pairs count = hamming distance" ~count:200
+    (QCheck.pair arbitrary_word arbitrary_word) (fun (a, b) ->
+      QCheck.assume
+        (Word.radix a = Word.radix b && Word.length a = Word.length b);
+      List.length (Word.changed_pairs a b) = Word.hamming_distance a b)
+
+let prop_counts_sum =
+  QCheck.Test.make ~name:"counts sum to length" ~count:200 arbitrary_word
+    (fun w -> Array.fold_left ( + ) 0 (Word.counts w) = Word.length w)
+
+let prop_mutual_domination_is_equality =
+  QCheck.Test.make ~name:"mutual domination implies equality" ~count:200
+    (QCheck.pair arbitrary_word arbitrary_word) (fun (a, b) ->
+      QCheck.assume
+        (Word.radix a = Word.radix b && Word.length a = Word.length b);
+      if Word.dominates a b && Word.dominates b a then Word.equal a b else true)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "make copies input" `Quick test_make_copies_input;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "complement involution" `Quick
+      test_complement_involution;
+    Alcotest.test_case "reflect (paper example)" `Quick test_reflect;
+    Alcotest.test_case "is_reflected" `Quick test_is_reflected;
+    Alcotest.test_case "base_part" `Quick test_base_part;
+    Alcotest.test_case "hamming distance" `Quick test_hamming;
+    Alcotest.test_case "changed pairs" `Quick test_changed_pairs;
+    Alcotest.test_case "domination" `Quick test_dominates;
+    Alcotest.test_case "digit counts" `Quick test_counts;
+    Alcotest.test_case "string round trip" `Quick test_string_roundtrip;
+    Alcotest.test_case "of_string guards" `Quick test_of_string_rejects_garbage;
+    Alcotest.test_case "compare vs equal" `Quick
+      test_compare_consistent_with_equal;
+    QCheck_alcotest.to_alcotest prop_reflection_is_reflected;
+    QCheck_alcotest.to_alcotest prop_reflection_base;
+    QCheck_alcotest.to_alcotest prop_hamming_symmetric;
+    QCheck_alcotest.to_alcotest prop_changed_pairs_length;
+    QCheck_alcotest.to_alcotest prop_counts_sum;
+    QCheck_alcotest.to_alcotest prop_mutual_domination_is_equality;
+  ]
