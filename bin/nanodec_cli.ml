@@ -6,7 +6,8 @@
    - codes      print a code family's word sequence and transition spectrum
    - trace      print the fabrication trace (litho/doping passes) of a cave
    - figures    print the reproduction data of the paper's figures
-   - headlines  print the paper's headline numbers, measured vs reported *)
+   - headlines  print the paper's headline numbers, measured vs reported
+   - check      run the property-based paper-proposition oracles *)
 
 open Cmdliner
 open Nanodec_codes
@@ -393,11 +394,59 @@ let memory_cmd =
        ~doc:"Sample a defective crossbar memory and self-test the remap/ECC stack.")
     term
 
+(* --- check --- *)
+
+let check_cmd =
+  let run seed count names_only =
+    let open Nanodec_proptest in
+    if names_only then (
+      List.iter (fun p -> print_endline (Property.name p)) Oracles.all;
+      exit 0);
+    let reports = Property.run_suite ?seed ?count Oracles.all in
+    List.iter (fun r -> Format.printf "%a@." Property.pp_report r) reports;
+    let failures =
+      List.filter
+        (fun r ->
+          match r.Property.outcome with
+          | Property.Fail _ -> true
+          | Property.Pass _ -> false)
+        reports
+    in
+    if failures = [] then
+      Printf.printf "check: all %d properties passed (seed %d)\n"
+        (List.length reports)
+        (Property.effective_seed seed)
+    else (
+      Printf.printf "check: %d of %d properties FAILED\n" (List.length failures)
+        (List.length reports);
+      exit 1)
+  in
+  let seed_arg =
+    let doc =
+      "Master seed for the property run (also readable from \
+       $(b,PROPTEST_SEED)).  Failing cases print the exact seed that \
+       reproduces them."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let count_arg =
+    let doc = "Random cases per property (default 100, or $(b,PROPTEST_COUNT))." in
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"COUNT" ~doc)
+  in
+  let list_arg =
+    let doc = "Only list the property names, without running them." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the paper-proposition oracles as a correctness gate.")
+    Term.(const run $ seed_arg $ count_arg $ list_arg)
+
 let main_cmd =
   let doc = "MSPT nanowire-decoder design flow (DAC 2009 reproduction)." in
   Cmd.group
     (Cmd.info "nanodec" ~version:"1.0.0" ~doc)
     [ evaluate_cmd; sweep_cmd; codes_cmd; trace_cmd; figures_cmd; headlines_cmd;
-      export_cmd; ablate_cmd; baseline_cmd; memory_cmd ]
+      export_cmd; ablate_cmd; baseline_cmd; memory_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -22,9 +22,20 @@ let make ~state ~stream =
   rng.state <- Int64.add state increment;
   rng
 
-let create ~seed =
-  let s = Int64.of_int seed in
-  make ~state:(splitmix64 s) ~stream:(splitmix64 (Int64.lognot s))
+let of_int64 seed =
+  make ~state:(splitmix64 seed) ~stream:(splitmix64 (Int64.lognot seed))
+
+let create ~seed = of_int64 (Int64.of_int seed)
+let of_seed seed = create ~seed
+
+let mix_seed a b =
+  let z =
+    Int64.add (Int64.of_int a)
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (b + 1)))
+  in
+  (* Mask to 62 bits so the result survives an int_of_string round trip on
+     any platform and stays non-negative. *)
+  Int64.to_int (Int64.logand (splitmix64 z) 0x3FFFFFFFFFFFFFFFL)
 
 let advance rng =
   rng.state <- Int64.add (Int64.mul rng.state pcg_multiplier) rng.increment
@@ -56,6 +67,10 @@ let split rng =
     Int64.logor (Int64.of_int (uint32 rng)) (Int64.shift_left (Int64.of_int (uint32 rng)) 32)
   in
   make ~state:(splitmix64 state_word) ~stream:(splitmix64 stream_word)
+
+let split_n rng n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split rng)
 
 let copy rng = { rng with state = rng.state }
 

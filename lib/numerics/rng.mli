@@ -13,9 +13,26 @@ type t
 val create : seed:int -> t
 (** [create ~seed] builds a generator deterministically from [seed]. *)
 
+val of_seed : int -> t
+(** Positional alias of {!create}, convenient for [List.map]-style
+    plumbing in the property-test harness. *)
+
+val of_int64 : int64 -> t
+(** Seed from a full 64-bit word (the [int] path truncates on 32-bit
+    platforms). *)
+
+val mix_seed : int -> int -> int
+(** [mix_seed master i] derives the [i]-th child seed of [master]
+    (SplitMix64 finaliser), masked to 62 bits so it is non-negative and
+    round-trips through [string_of_int]/[int_of_string].  Used by
+    proptest to give every test case an independent, reportable seed. *)
+
 val split : t -> t
 (** [split rng] derives a fresh generator whose stream is independent of
     the parent's subsequent output (distinct PCG stream selector). *)
+
+val split_n : t -> int -> t array
+(** [split_n rng n] is [n] successive {!split}s. *)
 
 val copy : t -> t
 (** Snapshot of the current state; the copy evolves independently. *)

@@ -1,0 +1,220 @@
+open Nanodec_numerics
+
+type 'a t = { gen : size:int -> Rng.t -> 'a Shrink_tree.t }
+
+let make gen = { gen }
+let run t ~size rng = t.gen ~size rng
+let generate t ~size rng = Shrink_tree.root (t.gen ~size rng)
+
+let pure x = { gen = (fun ~size:_ _ -> Shrink_tree.pure x) }
+
+let map f t = { gen = (fun ~size rng -> Shrink_tree.map f (t.gen ~size rng)) }
+
+let map2 f a b =
+  {
+    gen =
+      (fun ~size rng ->
+        let ta = a.gen ~size rng in
+        let tb = b.gen ~size rng in
+        Shrink_tree.map2 f ta tb);
+  }
+
+let map3 f a b c = map2 (fun f c -> f c) (map2 f a b) c
+let pair a b = map2 (fun x y -> (x, y)) a b
+let triple a b c = map3 (fun x y z -> (x, y, z)) a b c
+
+let bind t f =
+  {
+    gen =
+      (fun ~size rng ->
+        (* The dependent generator must redraw from the same stream
+           deterministically when the outer tree re-binds a shrunk root,
+           so it runs on a split captured once per generation. *)
+        let outer = t.gen ~size rng in
+        let inner_rng = Rng.split rng in
+        Shrink_tree.bind outer (fun x ->
+            (f x).gen ~size (Rng.copy inner_rng)));
+  }
+
+let ( let* ) t f = bind t f
+let ( let+ ) t f = map f t
+let ( and+ ) a b = pair a b
+
+let sized f = { gen = (fun ~size rng -> (f size).gen ~size rng) }
+let resize size t = { gen = (fun ~size:_ rng -> t.gen ~size rng) }
+let scale f t = { gen = (fun ~size rng -> t.gen ~size:(f size) rng) }
+
+(* Halving shrinker: origin first, then points closing half the distance
+   from each side towards the failing value. *)
+let shrink_int ~origin x =
+  if x = origin then Seq.empty
+  else
+    let rec halves delta () =
+      if delta = 0 then Seq.Nil
+      else Seq.Cons (x - delta, halves (delta / 2))
+    in
+    fun () -> Seq.Cons (origin, halves ((x - origin) / 2))
+
+let int_range ?origin lo hi =
+  if lo > hi then invalid_arg "Gen.int_range: empty range";
+  let origin = match origin with Some o -> o | None -> lo in
+  let origin = max lo (min hi origin) in
+  {
+    gen =
+      (fun ~size:_ rng ->
+        let x = lo + Rng.int rng (hi - lo + 1) in
+        Shrink_tree.unfold (shrink_int ~origin) x);
+  }
+
+let small_nat = sized (fun size -> int_range 0 (max 0 size))
+
+let bool =
+  {
+    gen =
+      (fun ~size:_ rng ->
+        let b = Rng.bool rng in
+        if b then Shrink_tree.make true (Seq.return (Shrink_tree.pure false))
+        else Shrink_tree.pure false);
+  }
+
+let float_range lo hi =
+  let shrink x () =
+    if x = lo then Seq.Nil
+    else
+      let mid = lo +. ((x -. lo) /. 2.) in
+      if mid = x || x -. lo < 1e-12 then Seq.Cons (lo, Seq.empty)
+      else Seq.Cons (lo, fun () -> Seq.Cons (mid, Seq.empty))
+  in
+  {
+    gen =
+      (fun ~size:_ rng ->
+        let x = Rng.float_range rng ~min:lo ~max:hi in
+        Shrink_tree.unfold shrink x);
+  }
+
+let elements xs =
+  match xs with
+  | [] -> invalid_arg "Gen.elements: empty list"
+  | _ ->
+    let arr = Array.of_list xs in
+    map (Array.get arr) (int_range 0 (Array.length arr - 1))
+
+let oneof gens =
+  match gens with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ ->
+    let arr = Array.of_list gens in
+    {
+      gen =
+        (fun ~size rng ->
+          let g = arr.(Rng.int rng (Array.length arr)) in
+          g.gen ~size rng);
+    }
+
+let frequency weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 || List.exists (fun (w, _) -> w < 0) weighted then
+    invalid_arg "Gen.frequency: weights must be non-negative, sum positive";
+  {
+    gen =
+      (fun ~size rng ->
+        let roll = Rng.int rng total in
+        let rec pick acc = function
+          | [] -> assert false
+          | (w, g) :: rest ->
+            if roll < acc + w then g.gen ~size rng else pick (acc + w) rest
+        in
+        pick 0 weighted);
+  }
+
+let list_of_length n elt =
+  if n < 0 then invalid_arg "Gen.list_of_length: negative length";
+  {
+    gen =
+      (fun ~size rng ->
+        let trees = List.init n (fun _ -> elt.gen ~size rng) in
+        Shrink_tree.sequence_fixed trees);
+  }
+
+let list_shrinkable elt ~min_length ~max_length =
+  if min_length < 0 || max_length < min_length then
+    invalid_arg "Gen.list_shrinkable: bad bounds";
+  {
+    gen =
+      (fun ~size rng ->
+        let n = min_length + Rng.int rng (max_length - min_length + 1) in
+        let trees = List.init n (fun _ -> elt.gen ~size rng) in
+        if min_length = 0 then Shrink_tree.sequence_list trees
+        else
+          (* Prune structural shrinks below the floor. *)
+          let full = Shrink_tree.sequence_list trees in
+          let rec prune t =
+            Shrink_tree.make (Shrink_tree.root t)
+              (Seq.filter_map
+                 (fun c ->
+                   if List.length (Shrink_tree.root c) >= min_length then
+                     Some (prune c)
+                   else None)
+                 (Shrink_tree.children t))
+          in
+          prune full);
+  }
+
+let list elt =
+  sized (fun size -> list_shrinkable elt ~min_length:0 ~max_length:(max 0 size))
+
+let array_of_length n elt = map Array.of_list (list_of_length n elt)
+
+let shuffle xs =
+  let n = List.length xs in
+  if n <= 1 then pure xs
+  else
+    (* Draw the Fisher–Yates swap targets explicitly so the permutation
+       lives in shrinkable space: shrinking a target towards [i] undoes
+       that swap, and the all-identity draw is the original order. *)
+    let swaps =
+      List.init (n - 1) (fun k ->
+          let i = n - 1 - k in
+          int_range ~origin:i 0 i)
+    in
+    map
+      (fun targets ->
+        let a = Array.of_list xs in
+        List.iteri
+          (fun k j ->
+            let i = Array.length a - 1 - k in
+            let tmp = a.(i) in
+            a.(i) <- a.(j);
+            a.(j) <- tmp)
+          targets;
+        Array.to_list a)
+      (List.fold_right (map2 (fun x acc -> x :: acc)) swaps (pure []))
+
+let such_that ?(max_tries = 100) pred t =
+  {
+    gen =
+      (fun ~size rng ->
+        let rec attempt tries size =
+          if tries > max_tries then
+            failwith "Gen.such_that: too many rejected candidates"
+          else
+            let tree = t.gen ~size rng in
+            if pred (Shrink_tree.root tree) then tree
+            else attempt (tries + 1) (size + 1)
+        in
+        let tree = attempt 1 size in
+        (* Shrinks that violate the predicate are cut off (their own
+           children might satisfy it, but greedy pruning keeps the walk
+           cheap and sound). *)
+        let rec prune tr =
+          Shrink_tree.make (Shrink_tree.root tr)
+            (Seq.filter_map
+               (fun c ->
+                 if pred (Shrink_tree.root c) then Some (prune c) else None)
+               (Shrink_tree.children tr))
+        in
+        prune tree);
+  }
+
+let no_shrink t =
+  { gen = (fun ~size rng -> Shrink_tree.pure (generate t ~size rng)) }

@@ -1,0 +1,101 @@
+(** Seeded generators with integrated shrinking.
+
+    A generator maps a size hint and a {!Nanodec_numerics.Rng.t} to a
+    whole {!Shrink_tree.t} of candidates; the root is the generated value
+    and the children are its shrinks.  All combinators compose both the
+    generation and the shrinking, so domain generators built from these
+    primitives shrink to minimal counterexamples with no extra code.
+
+    Generation is deterministic: the same seed and size always produce
+    the same tree, which is what makes every failure reproducible from
+    the seed printed by {!Property}. *)
+
+open Nanodec_numerics
+
+type 'a t
+
+val run : 'a t -> size:int -> Rng.t -> 'a Shrink_tree.t
+(** Generate the full shrink tree. *)
+
+val generate : 'a t -> size:int -> Rng.t -> 'a
+(** Root of {!run} — generation without shrinking. *)
+
+val make : (size:int -> Rng.t -> 'a Shrink_tree.t) -> 'a t
+
+(** {1 Monadic core} *)
+
+val pure : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val map3 : ('a -> 'b -> 'c -> 'd) -> 'a t -> 'b t -> 'c t -> 'd t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
+
+(** {1 Size} *)
+
+val sized : (int -> 'a t) -> 'a t
+(** Read the runner's current size hint (grows over a run, so early cases
+    are small). *)
+
+val resize : int -> 'a t -> 'a t
+val scale : (int -> int) -> 'a t -> 'a t
+
+(** {1 Primitives} *)
+
+val int_range : ?origin:int -> int -> int -> int t
+(** [int_range lo hi] draws uniformly from [[lo, hi]] and shrinks by
+    halving towards [origin] (default [lo]).  Raises [Invalid_argument]
+    when the range is empty. *)
+
+val small_nat : int t
+(** [int_range 0 size] — scales with the run. *)
+
+val bool : bool t
+(** Shrinks towards [false]. *)
+
+val float_range : float -> float -> float t
+(** Uniform in [[lo, hi)]; shrinks by halving towards [lo]. *)
+
+val elements : 'a list -> 'a t
+(** Uniform choice; shrinks towards earlier elements of the list. *)
+
+val oneof : 'a t list -> 'a t
+(** Uniform choice of generator. *)
+
+val frequency : (int * 'a t) list -> 'a t
+(** Weighted choice; weights must be non-negative with a positive sum. *)
+
+val list : 'a t -> 'a list t
+(** Length uniform in [[0, size]]; shrinks both the length (dropping
+    chunks) and the elements. *)
+
+val list_of_length : int -> 'a t -> 'a list t
+(** Fixed length; shrinks elements only. *)
+
+val list_shrinkable : 'a t -> min_length:int -> max_length:int -> 'a list t
+(** Length uniform in [[min_length, max_length]]; drops elements down to
+    [min_length] and shrinks the survivors. *)
+
+val array_of_length : int -> 'a t -> 'a array t
+
+val shuffle : 'a list -> 'a list t
+(** Uniform permutation (Fisher–Yates).  Shrinks towards the original
+    order by undoing swaps from the end. *)
+
+val such_that : ?max_tries:int -> ('a -> bool) -> 'a t -> 'a t
+(** Retry (growing the size) until the predicate holds; shrink candidates
+    violating it are pruned.  Raises [Failure] after [max_tries]
+    (default 100) rejections. *)
+
+val no_shrink : 'a t -> 'a t
+
+(** {1 Shrink helpers} *)
+
+val shrink_int : origin:int -> int -> int Seq.t
+(** One-step candidates of the halving shrinker, exposed for reuse in
+    custom generators. *)

@@ -1,0 +1,136 @@
+open Nanodec_codes
+open Nanodec_mspt
+open Nanodec_crossbar
+
+let radix = Gen.int_range ~origin:2 2 4
+
+let digit ~radix = Gen.int_range 0 (radix - 1)
+
+let word ~radix ~length =
+  Gen.map
+    (fun digits -> Word.make ~radix (Array.of_list digits))
+    (Gen.list_of_length length (digit ~radix))
+
+let word_sized =
+  let open Gen in
+  let* r = radix in
+  let* length = int_range ~origin:1 1 8 in
+  map (fun w -> w) (word ~radix:r ~length)
+
+(* A (family, radix, length) triple that Codebook.validate_length accepts,
+   with spaces small enough for exhaustive-ish properties. *)
+let code_config =
+  let open Gen in
+  let* family = elements Codebook.all_types in
+  match family with
+  | Codebook.Tree | Codebook.Gray | Codebook.Balanced_gray ->
+    let* r = radix in
+    let* base = int_range ~origin:1 1 3 in
+    pure (family, r, 2 * base)
+  | Codebook.Hot | Codebook.Arranged_hot ->
+    let* r = Gen.int_range ~origin:2 2 3 in
+    let* k = int_range ~origin:1 1 (if r = 2 then 3 else 2) in
+    pure (family, r, r * k)
+
+(* Random pattern matrix: N wires of independent digits (not necessarily a
+   code sequence) — the fabrication-model identities hold for any P. *)
+let pattern =
+  let open Gen in
+  let* r = radix in
+  let* n_regions = int_range ~origin:1 1 6 in
+  let* n_wires = int_range ~origin:1 1 8 in
+  map
+    (fun words -> Pattern.of_words words)
+    (list_of_length n_wires (word ~radix:r ~length:n_regions))
+
+(* Pattern drawn from a code family's canonical sequence. *)
+let codebook_pattern =
+  let open Gen in
+  let* family, r, length = code_config in
+  let* n_wires = int_range ~origin:2 2 10 in
+  pure (Pattern.of_codebook ~radix:r ~length ~n_wires family)
+
+(* Generic injective digit→dose mapping with (almost surely) pairwise
+   distinct differences — the "incommensurable" h of Proposition 5's
+   dose/pattern equivalence.  Strictly increasing positive floats. *)
+let injective_h ~radix =
+  let open Gen in
+  map
+    (fun gaps ->
+      let levels = Array.make radix 0. in
+      List.iteri
+        (fun i gap ->
+          levels.(i) <- (if i = 0 then gap else levels.(i - 1) +. gap))
+        gaps;
+      fun d -> levels.(d))
+    (no_shrink (list_of_length radix (float_range 0.5 3.0)))
+
+let pattern_with_h =
+  let open Gen in
+  let* p = pattern in
+  let* h = injective_h ~radix:(Pattern.radix p) in
+  pure (p, h)
+
+(* Tree-code space descriptors.  [small] keeps the space size within
+   [max_size] so properties may enumerate all arrangements. *)
+let tree_space ?(max_size = 8) () =
+  let open Gen in
+  let configs =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun base_len ->
+            let rec pow acc i = if i = 0 then acc else pow (acc * r) (i - 1) in
+            let size = pow 1 base_len in
+            if size <= max_size then Some (r, base_len) else None)
+          [ 1; 2; 3 ])
+      [ 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  elements configs
+
+(* A random arrangement (permutation) of the full tree-code space,
+   reflected — shrinks towards the identity (counting) order. *)
+let arrangement ~radix ~base_len =
+  let space = Tree_code.words ~radix ~base_len ~count:(Tree_code.size ~radix ~base_len) in
+  Gen.map (List.map Word.reflect) (Gen.shuffle space)
+
+(* Small half-cave configurations for decoder-level properties.  Binary
+   balanced-Gray platform of the paper with reduced dimensions. *)
+let cave_config =
+  let open Gen in
+  let* length = elements [ 4; 6; 8 ] in
+  let* n_wires = int_range ~origin:2 2 12 in
+  pure
+    {
+      Cave.default_config with
+      Cave.code_type = Codebook.Balanced_gray;
+      code_length = length;
+      n_wires;
+    }
+
+(* Seeds for defect-map sampling; kept as plain ints so the counterexample
+   printout is directly replayable. *)
+let sample_seed = Gen.int_range 0 1_000_000
+
+(* --- printers for counterexample reports --- *)
+
+let string_of_words words =
+  String.concat " " (List.map Word.to_string words)
+
+let string_of_pattern p =
+  Format.asprintf "radix %d, %dx%d:@ %a" (Pattern.radix p) (Pattern.n_wires p)
+    (Pattern.n_regions p) Pattern.pp p
+
+let string_of_code_config (family, r, length) =
+  Printf.sprintf "%s n=%d M=%d" (Codebook.name family) r length
+
+let string_of_pattern_with_h (p, h) =
+  let doses =
+    String.concat ", "
+      (List.init (Pattern.radix p) (fun d -> Printf.sprintf "%d->%.4f" d (h d)))
+  in
+  Printf.sprintf "%s with h = {%s}" (string_of_pattern p) doses
+
+let string_of_cave_config (c : Cave.config) =
+  Printf.sprintf "%s n=%d M=%d N=%d" (Codebook.name c.Cave.code_type)
+    c.Cave.radix c.Cave.code_length c.Cave.n_wires

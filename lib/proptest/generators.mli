@@ -1,0 +1,54 @@
+(** Domain generators for the nanodec code spaces and fabrication model.
+
+    Everything shrinks: patterns lose wires and regions, arrangements
+    move back towards counting order, dimensions halve towards their
+    minima — so a failing paper proposition reports a near-minimal
+    instance. *)
+
+open Nanodec_codes
+open Nanodec_mspt
+open Nanodec_crossbar
+
+val radix : int Gen.t
+(** 2–4, shrinking to binary. *)
+
+val digit : radix:int -> int Gen.t
+
+val word : radix:int -> length:int -> Word.t Gen.t
+
+val word_sized : Word.t Gen.t
+(** Random radix (2–4) and length (1–8). *)
+
+val code_config : (Codebook.t * int * int) Gen.t
+(** [(family, radix, length)] accepted by {!Codebook.validate_length},
+    small enough to enumerate. *)
+
+val pattern : Pattern.t Gen.t
+(** Arbitrary digit matrix — up to 8 wires × 6 regions, radix 2–4. *)
+
+val codebook_pattern : Pattern.t Gen.t
+(** Pattern encoded with a random family's canonical sequence. *)
+
+val injective_h : radix:int -> (int -> float) Gen.t
+(** Strictly increasing random dose mapping (generic/incommensurable). *)
+
+val pattern_with_h : (Pattern.t * (int -> float)) Gen.t
+
+val tree_space : ?max_size:int -> unit -> (int * int) Gen.t
+(** [(radix, base_len)] with space size at most [max_size] (default 8). *)
+
+val arrangement : radix:int -> base_len:int -> Word.t list Gen.t
+(** Random permutation of the full reflected tree-code space. *)
+
+val cave_config : Cave.config Gen.t
+(** Small paper-platform half caves (binary BGC, M ∈ {4,6,8}, N ≤ 12). *)
+
+val sample_seed : int Gen.t
+
+(** {1 Counterexample printers} *)
+
+val string_of_words : Word.t list -> string
+val string_of_pattern : Pattern.t -> string
+val string_of_code_config : Codebook.t * int * int -> string
+val string_of_pattern_with_h : Pattern.t * (int -> float) -> string
+val string_of_cave_config : Cave.config -> string

@@ -1,0 +1,160 @@
+open Nanodec_numerics
+
+type 'a pred = 'a -> bool
+
+type t =
+  | Prop : {
+      name : string;
+      count : int option;
+      max_shrink_steps : int;
+      gen : 'a Gen.t;
+      print : 'a -> string;
+      pred : 'a pred;
+    }
+      -> t
+
+let make ?count ?(max_shrink_steps = 200) ~name ~print gen pred =
+  Prop { name; count; max_shrink_steps; gen; print; pred }
+
+type failure = {
+  seed : int;
+  case_index : int;
+  size : int;
+  shrink_steps : int;
+  counterexample : string;
+  message : string option;
+}
+
+type outcome = Pass of { cases : int } | Fail of failure
+
+let name (Prop p) = p.name
+let default_seed = 2009
+let default_count = 100
+let max_size = 30
+
+let case_seed ~master i = if i = 0 then master else Rng.mix_seed master i
+
+(* The size hint is derived from the case seed — not the case index — so
+   that one integer reproduces a failing case exactly. *)
+let size_of_seed seed = Rng.mix_seed seed 0x5152 mod (max_size + 1)
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let env_int var =
+  match Sys.getenv_opt var with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n -> Some n
+    | None ->
+      if not (Hashtbl.mem warned var) then (
+        Hashtbl.add warned var ();
+        Printf.eprintf "proptest: ignoring non-integer %s=%S\n%!" var s);
+      None)
+
+(* true = property holds; false/exception = counterexample. *)
+let eval pred x =
+  match pred x with
+  | true -> Ok ()
+  | false -> Error None
+  | exception exn -> Error (Some (Printexc.to_string exn))
+
+let max_shrink_evals = 10_000
+
+let minimize pred tree ~max_steps =
+  let evals = ref 0 in
+  let rec go tree steps message =
+    if steps >= max_steps then (tree, steps, message)
+    else
+      let rec first_failing seq =
+        if !evals >= max_shrink_evals then None
+        else
+          match seq () with
+          | Seq.Nil -> None
+          | Seq.Cons (child, rest) -> (
+            incr evals;
+            match eval pred (Shrink_tree.root child) with
+            | Ok () -> first_failing rest
+            | Error msg -> Some (child, msg))
+      in
+      match first_failing (Shrink_tree.children tree) with
+      | Some (child, msg) -> go child (steps + 1) msg
+      | None -> (tree, steps, message)
+  in
+  go tree 0
+
+let effective_seed seed =
+  match seed with
+  | Some s -> s
+  | None -> (
+    match env_int "PROPTEST_SEED" with
+    | Some s -> s
+    | None -> default_seed)
+
+let run ?seed ?count (Prop p) =
+  let master = effective_seed seed in
+  let count =
+    match count with
+    | Some c -> c
+    | None -> (
+      match env_int "PROPTEST_COUNT" with
+      | Some c -> c
+      | None -> ( match p.count with Some c -> c | None -> default_count))
+  in
+  let rec cases i =
+    if i >= count then Pass { cases = count }
+    else
+      let seed = case_seed ~master i in
+      let size = size_of_seed seed in
+      let rng = Rng.create ~seed in
+      let tree = Gen.run p.gen ~size rng in
+      match eval p.pred (Shrink_tree.root tree) with
+      | Ok () -> cases (i + 1)
+      | Error message ->
+        let minimal, steps, message =
+          minimize p.pred tree ~max_steps:p.max_shrink_steps message
+        in
+        Fail
+          {
+            seed;
+            case_index = i;
+            size;
+            shrink_steps = steps;
+            counterexample = p.print (Shrink_tree.root minimal);
+            message;
+          }
+  in
+  cases 0
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v 2>counterexample (after %d shrink step%s):@,%s@]" f.shrink_steps
+    (if f.shrink_steps = 1 then "" else "s")
+    f.counterexample;
+  (match f.message with
+  | Some m -> Format.fprintf ppf "@,raised: %s" m
+  | None -> ());
+  Format.fprintf ppf
+    "@,failing case %d (size %d)@,reproduce: PROPTEST_SEED=%d dune runtest"
+    f.case_index f.size f.seed
+
+let pp_outcome ppf = function
+  | Pass { cases } -> Format.fprintf ppf "pass (%d cases)" cases
+  | Fail f -> Format.fprintf ppf "@[<v>FAIL@,%a@]" pp_failure f
+
+type report = { property : t; outcome : outcome }
+
+let run_suite ?seed ?count props =
+  List.map (fun p -> { property = p; outcome = run ?seed ?count p }) props
+
+let all_passed reports =
+  List.for_all
+    (fun r -> match r.outcome with Pass _ -> true | Fail _ -> false)
+    reports
+
+let pp_report ppf { property; outcome } =
+  match outcome with
+  | Pass { cases } ->
+    Format.fprintf ppf "  ok    %-58s %4d cases" (name property) cases
+  | Fail f ->
+    Format.fprintf ppf "@[<v 2>  FAIL  %s@,%a@]" (name property) pp_failure f

@@ -1,0 +1,76 @@
+(** Properties and the shrinking runner.
+
+    A property is a named predicate over a generated value.  The runner
+    evaluates it on [count] cases of growing size, each case seeded
+    deterministically from a master seed; on failure it walks the case's
+    shrink tree greedily to a (locally) minimal counterexample and
+    reports the {e case seed} — rerunning the suite with
+    [PROPTEST_SEED=<that seed>] makes the failing case the first one, so
+    every failure reproduces as [PROPTEST_SEED=<n> dune runtest].
+
+    Environment overrides, read by {!run}:
+    {ul
+    {- [PROPTEST_SEED] — master seed (decimal int);}
+    {- [PROPTEST_COUNT] — cases per property.}} *)
+
+type t
+
+val make :
+  ?count:int ->
+  ?max_shrink_steps:int ->
+  name:string ->
+  print:('a -> string) ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  t
+(** [make ~name ~print gen pred].  [pred] may also signal failure by
+    raising; the exception text becomes the failure message.  [count]
+    defaults to the runner's (100 unless overridden); [max_shrink_steps]
+    bounds the number of {e accepted} shrink steps (default 200). *)
+
+type failure = {
+  seed : int;  (** reproduces the case when passed as the master seed *)
+  case_index : int;  (** which case of the run failed *)
+  size : int;  (** size hint of the failing case *)
+  shrink_steps : int;  (** accepted shrinks on the way down *)
+  counterexample : string;  (** printed minimal counterexample *)
+  message : string option;  (** exception text, when the predicate raised *)
+}
+
+type outcome =
+  | Pass of { cases : int }
+  | Fail of failure
+
+val name : t -> string
+
+val default_seed : int
+(** 2009 — the paper's year; fixed so bare [dune runtest] is
+    deterministic. *)
+
+val run : ?seed:int -> ?count:int -> t -> outcome
+(** Run one property.  [seed]/[count] fall back to the environment
+    overrides, then to [default_seed] / the property's own count. *)
+
+val effective_seed : int option -> int
+(** The master seed {!run} would use: the argument if given, else
+    [PROPTEST_SEED], else {!default_seed}.  For reporting. *)
+
+val case_seed : master:int -> int -> int
+(** Seed of case [i] under [master]; [case_seed ~master 0 = master], so a
+    reported failing seed replays immediately.  Exposed for tests. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Multi-line report with the reproduction command line. *)
+
+(** {1 Suites} *)
+
+type report = { property : t; outcome : outcome }
+
+val run_suite : ?seed:int -> ?count:int -> t list -> report list
+
+val all_passed : report list -> bool
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per pass, full failure block per fail. *)

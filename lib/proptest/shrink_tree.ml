@@ -1,0 +1,83 @@
+type 'a t = { root : 'a; children : 'a t Seq.t }
+
+let make root children = { root; children }
+let pure x = { root = x; children = Seq.empty }
+let root t = t.root
+let children t = t.children
+
+let rec map f t =
+  { root = f t.root; children = Seq.map (map f) t.children }
+
+let rec bind t f =
+  let bound = f t.root in
+  {
+    root = bound.root;
+    children =
+      Seq.append
+        (Seq.map (fun shrunk -> bind shrunk f) t.children)
+        bound.children;
+  }
+
+let rec unfold step x =
+  { root = x; children = Seq.map (unfold step) (step x) }
+
+let rec map2 f a b =
+  {
+    root = f a.root b.root;
+    children =
+      Seq.append
+        (Seq.map (fun a' -> map2 f a' b) a.children)
+        (Seq.map (fun b' -> map2 f a b') b.children);
+  }
+
+(* One-element-at-a-time shrinks of a list of trees, leftmost first.
+   Laziness matters: [shrink_elements] of a long list must not force the
+   whole suffix up front. *)
+let rec shrink_elements trees () =
+  match trees with
+  | [] -> Seq.Nil
+  | t :: rest ->
+    let here = Seq.map (fun t' -> t' :: rest) t.children in
+    let there = Seq.map (fun rest' -> t :: rest') (shrink_elements rest) in
+    Seq.append here there ()
+
+let rec sequence_fixed trees =
+  {
+    root = List.map root trees;
+    children = Seq.map sequence_fixed (shrink_elements trees);
+  }
+
+(* Structural list shrinks: remove chunks of k consecutive elements for
+   k = n, n/2, ..., 1 — the classic QuickCheck list shrinker, which
+   reaches [] in O(log n) steps when the property ignores the tail. *)
+let removals trees =
+  let n = List.length trees in
+  let drop_chunk k xs () =
+    if k <= 0 || k > List.length xs then Seq.Nil
+    else
+      let rec at i prefix rest () =
+        match rest with
+        | [] -> Seq.Nil
+        | _ when i + k > List.length xs -> Seq.Nil
+        | x :: tail ->
+          let without =
+            List.rev_append prefix
+              (List.filteri (fun j _ -> j >= k) rest)
+          in
+          Seq.Cons (without, at (i + 1) (x :: prefix) tail)
+      in
+      at 0 [] xs ()
+  in
+  let rec sizes k () =
+    if k < 1 then Seq.Nil else Seq.Cons (k, sizes (k / 2))
+  in
+  Seq.concat_map (fun k -> drop_chunk k trees) (sizes n)
+
+let rec sequence_list trees =
+  {
+    root = List.map root trees;
+    children =
+      Seq.append
+        (Seq.map sequence_list (removals trees))
+        (Seq.map sequence_list (shrink_elements trees));
+  }

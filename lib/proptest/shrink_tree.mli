@@ -1,0 +1,42 @@
+(** Lazy rose trees of shrink candidates.
+
+    A generated value carries its whole shrink space: the root is the
+    value itself and every child is a smaller candidate, itself carrying
+    further shrinks.  Trees compose through {!map} and {!bind}, so
+    shrinking is {e integrated}: derived generators shrink for free, and
+    the runner only ever walks a tree greedily towards a minimal failing
+    value.  Children are [Seq.t]s and therefore fully lazy — trees over
+    unbounded shrink spaces cost nothing until a failure forces them. *)
+
+type 'a t
+
+val make : 'a -> 'a t Seq.t -> 'a t
+val pure : 'a -> 'a t
+(** Leaf: a value with no shrinks. *)
+
+val root : 'a t -> 'a
+val children : 'a t -> 'a t Seq.t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Monadic composition: shrinks of the first argument are re-bound (the
+    dependent tree is regenerated from each shrunk root), then the second
+    tree's own shrinks follow. *)
+
+val unfold : ('a -> 'a Seq.t) -> 'a -> 'a t
+(** [unfold step x] grows the full tree of iterated shrink candidates
+    from a one-step shrink function. *)
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+(** Product tree: shrinks the first component first, then the second —
+    without regenerating the other side (unlike {!bind}). *)
+
+val sequence_fixed : 'a t list -> 'a list t
+(** Fixed-length list of trees: children shrink one element at a time,
+    leftmost first; the length never changes. *)
+
+val sequence_list : 'a t list -> 'a list t
+(** Like {!sequence_fixed} but the list may also shrink structurally:
+    dropping whole elements (largest chunks first) is tried before
+    shrinking individual elements. *)

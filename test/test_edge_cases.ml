@@ -1,0 +1,158 @@
+(* Degenerate-dimension behaviour that had no coverage: one-wire caves,
+   zero-region words/matrices and empty codebooks, across Imatrix,
+   Mspt.Doping and Codes.Metrics.  Degenerate inputs must either work
+   (N = 1 is a legal half cave) or fail loudly with Invalid_argument —
+   never return garbage. *)
+
+open Nanodec_numerics
+open Nanodec_codes
+open Nanodec_mspt
+open Nanodec_crossbar
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+(* --- Imatrix / Fmatrix: zero dimensions are rejected, 1x1 works --- *)
+
+let test_imatrix_zero_dims_rejected () =
+  Alcotest.(check bool) "0 rows" true
+    (raises_invalid (fun () -> Imatrix.make ~rows:0 ~cols:3 0));
+  Alcotest.(check bool) "0 cols" true
+    (raises_invalid (fun () -> Imatrix.make ~rows:3 ~cols:0 0));
+  Alcotest.(check bool) "init 0x0" true
+    (raises_invalid (fun () -> Imatrix.init ~rows:0 ~cols:0 (fun _ _ -> 0)));
+  Alcotest.(check bool) "of_arrays [||]" true
+    (raises_invalid (fun () -> Imatrix.of_arrays [||]));
+  Alcotest.(check bool) "of_arrays [| [||] |]" true
+    (raises_invalid (fun () -> Imatrix.of_arrays [| [||] |]))
+
+let test_imatrix_1x1 () =
+  let m = Imatrix.make ~rows:1 ~cols:1 7 in
+  Alcotest.(check int) "sum" 7 (Imatrix.sum m);
+  Alcotest.(check int) "max" 7 (Imatrix.max_entry m);
+  Alcotest.(check int) "min" 7 (Imatrix.min_entry m);
+  let t = Imatrix.transpose m in
+  Alcotest.(check bool) "transpose identity" true (Imatrix.equal m t);
+  Alcotest.(check int) "count" 1 (Imatrix.count (fun x -> x = 7) m)
+
+let test_imatrix_single_row_transpose () =
+  let m = Imatrix.of_arrays [| [| 1; 2; 3 |] |] in
+  let t = Imatrix.transpose m in
+  Alcotest.(check int) "rows" 3 (Imatrix.rows t);
+  Alcotest.(check int) "cols" 1 (Imatrix.cols t);
+  Alcotest.(check int) "entry" 3 (Imatrix.get t 2 0)
+
+(* --- M = 0 regions: empty words and patterns are rejected --- *)
+
+let test_empty_word_rejected () =
+  Alcotest.(check bool) "Word.make [||]" true
+    (raises_invalid (fun () -> Word.make ~radix:2 [||]));
+  Alcotest.(check bool) "Word.of_string \"\"" true
+    (raises_invalid (fun () -> Word.of_string ~radix:2 ""))
+
+let test_empty_pattern_rejected () =
+  Alcotest.(check bool) "Pattern.of_words []" true
+    (raises_invalid (fun () -> Pattern.of_words []));
+  Alcotest.(check bool) "Pattern.of_codebook ~n_wires:0" true
+    (raises_invalid (fun () ->
+         Pattern.of_codebook ~radix:2 ~length:4 ~n_wires:0 Codebook.Gray))
+
+(* --- N = 1: a single-wire cave is legal and self-consistent --- *)
+
+let test_single_wire_doping () =
+  let w = Word.of_string ~radix:3 "0212" in
+  let p = Pattern.of_words [ w ] in
+  let d, s = Doping.of_pattern ~h:Doping.paper_example_h p in
+  (* With one wire the only fabrication step deposits the full dose:
+     S = D. *)
+  Alcotest.(check bool) "S = D for N = 1" true (Fmatrix.equal s d);
+  Alcotest.(check bool) "round trip" true
+    (Fmatrix.equal (Doping.final_of_step s) d);
+  (* phi of the single step = distinct digit values of the word. *)
+  Alcotest.(check (array int)) "phi = distinct digits" [| 3 |]
+    (Complexity.phi_per_step p);
+  Alcotest.(check int) "Phi total" 3 (Complexity.total p);
+  (* Every region is doped exactly once. *)
+  let nu = Variability.nu_matrix p in
+  Alcotest.(check int) "nu all ones" (Word.length w) (Imatrix.sum nu);
+  Alcotest.(check (float 1e-12)) "||Sigma||_1 = M * sigma^2"
+    (4. *. 0.05 *. 0.05)
+    (Variability.sigma_norm1 ~sigma_t:0.05 p)
+
+let test_single_wire_cave_analysis () =
+  let config =
+    { Cave.default_config with Cave.code_length = 4; n_wires = 1 }
+  in
+  let analysis = Cave.analyze config in
+  Alcotest.(check int) "one wire probability" 1
+    (Array.length analysis.Cave.wire_probability);
+  Alcotest.(check bool) "yield in [0,1]" true
+    (analysis.Cave.yield >= 0. && analysis.Cave.yield <= 1.);
+  let map =
+    Defect_map.sample_layer (Rng.create ~seed:1) analysis ~wires:1
+  in
+  Alcotest.(check int) "one-wire defect map" 1 (Array.length map)
+
+(* --- Codes.Metrics: empty and single-word sequences --- *)
+
+let test_metrics_empty_rejected () =
+  Alcotest.(check bool) "of_words []" true
+    (raises_invalid (fun () -> Metrics.of_words []));
+  Alcotest.(check bool) "of_codebook ~count:0" true
+    (raises_invalid (fun () ->
+         Metrics.of_codebook ~radix:2 ~length:4 ~count:0 Codebook.Tree))
+
+let test_metrics_single_word () =
+  let m = Metrics.of_words [ Word.of_string ~radix:2 "0110" ] in
+  Alcotest.(check int) "n_words" 1 m.Metrics.n_words;
+  Alcotest.(check int) "no transitions" 0 m.Metrics.total_transitions;
+  Alcotest.(check int) "min step" 0 m.Metrics.min_step_transitions;
+  Alcotest.(check int) "max step" 0 m.Metrics.max_step_transitions;
+  Alcotest.(check int) "distinct" 1 m.Metrics.distinct_words;
+  Alcotest.(check int) "pairwise distance degenerate" 0
+    m.Metrics.min_pairwise_distance
+
+let test_metrics_duplicate_words () =
+  let w = Word.of_string ~radix:2 "01" in
+  let m = Metrics.of_words [ w; w; w ] in
+  Alcotest.(check int) "distinct" 1 m.Metrics.distinct_words;
+  Alcotest.(check int) "transitions" 0 m.Metrics.total_transitions;
+  Alcotest.(check int) "duplicates at distance 0" 0
+    m.Metrics.min_pairwise_distance
+
+(* --- empty codebook requests --- *)
+
+let test_codebook_count_zero () =
+  List.iter
+    (fun family ->
+      let length = if Codebook.uses_reflection family then 4 else 4 in
+      let words = Codebook.sequence ~radix:2 ~length ~count:0 family in
+      Alcotest.(check int)
+        (Codebook.name family ^ " count 0")
+        0 (List.length words))
+    Codebook.all_types
+
+let suite =
+  [
+    Alcotest.test_case "Imatrix: zero dimensions rejected" `Quick
+      test_imatrix_zero_dims_rejected;
+    Alcotest.test_case "Imatrix: 1x1" `Quick test_imatrix_1x1;
+    Alcotest.test_case "Imatrix: single-row transpose" `Quick
+      test_imatrix_single_row_transpose;
+    Alcotest.test_case "Word: empty rejected" `Quick test_empty_word_rejected;
+    Alcotest.test_case "Pattern: empty rejected" `Quick
+      test_empty_pattern_rejected;
+    Alcotest.test_case "Doping: single wire (N=1)" `Quick
+      test_single_wire_doping;
+    Alcotest.test_case "Cave: single wire analysis" `Quick
+      test_single_wire_cave_analysis;
+    Alcotest.test_case "Metrics: empty rejected" `Quick
+      test_metrics_empty_rejected;
+    Alcotest.test_case "Metrics: single word" `Quick test_metrics_single_word;
+    Alcotest.test_case "Metrics: duplicate words" `Quick
+      test_metrics_duplicate_words;
+    Alcotest.test_case "Codebook: count 0 is empty" `Quick
+      test_codebook_count_zero;
+  ]

@@ -1,0 +1,91 @@
+(* Exhaustive verification of Propositions 4-5: for EVERY tree-code
+   space with at most 8 words, brute-force all Omega! arrangements and
+   assert the Gray arrangement attains the minimum of both the
+   fabrication complexity Phi (its transition-driven part — the last
+   step's cost depends only on the final word, which the paper's proofs
+   hold fixed) and the variability cost ||Sigma||_1.
+
+   The largest spaces are 8! = 40320 arrangements; Heap's algorithm
+   enumerates them without materialising the permutation list. *)
+
+open Nanodec_codes
+open Nanodec_proptest
+
+let iter_permutations arr f =
+  let a = Array.copy arr in
+  let n = Array.length a in
+  let swap i j =
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  in
+  let rec heap k =
+    if k = 1 then f a
+    else
+      for i = 0 to k - 1 do
+        heap (k - 1);
+        if i < k - 1 then if k mod 2 = 0 then swap i (k - 1) else swap 0 (k - 1)
+      done
+  in
+  if n = 0 then () else heap n
+
+(* All (radix, base_len) with radix^base_len <= 8. *)
+let small_spaces =
+  [ (2, 1); (2, 2); (2, 3); (3, 1); (4, 1); (5, 1); (6, 1); (7, 1); (8, 1) ]
+
+let check_space (radix, base_len) =
+  let omega = Tree_code.size ~radix ~base_len in
+  let space = Array.of_list (Tree_code.words ~radix ~base_len ~count:omega) in
+  let gray_phi, gray_sigma =
+    Oracles.costs_of_words
+      (List.map Word.reflect (Gray_code.words ~radix ~base_len ~count:omega))
+  in
+  let min_phi = ref max_int and min_sigma = ref infinity in
+  let arrangements = ref 0 in
+  iter_permutations space (fun perm ->
+      incr arrangements;
+      let words = List.map Word.reflect (Array.to_list perm) in
+      let phi, sigma = Oracles.costs_of_words words in
+      if phi < !min_phi then min_phi := phi;
+      if sigma < !min_sigma then min_sigma := sigma);
+  let fact =
+    let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+    go 1 omega
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "n=%d base=%d: enumerated all arrangements" radix base_len)
+    fact !arrangements;
+  Alcotest.(check int)
+    (Printf.sprintf "n=%d base=%d: Gray minimises Phi over %d arrangements"
+       radix base_len fact)
+    !min_phi gray_phi;
+  Alcotest.(check (float 1e-9))
+    (Printf.sprintf "n=%d base=%d: Gray minimises ||Sigma||_1" radix base_len)
+    !min_sigma gray_sigma
+
+let test_small_spaces () = List.iter check_space small_spaces
+
+(* Same exhaustive claim for the arranged hot code on the smallest
+   interesting space: binary M = 4 (6 words, 720 arrangements).  AHC is
+   optimal among arrangements that exist within the hot space. *)
+let test_hot_space_exhaustive () =
+  let space = Array.of_list (Hot_code.all ~radix:2 ~length:4) in
+  let ahc_phi, ahc_sigma =
+    Oracles.costs_of_words (Arranged_hot.all ~radix:2 ~length:4)
+  in
+  let min_phi = ref max_int and min_sigma = ref infinity in
+  iter_permutations space (fun perm ->
+      let phi, sigma = Oracles.costs_of_words (Array.to_list perm) in
+      if phi < !min_phi then min_phi := phi;
+      if sigma < !min_sigma then min_sigma := sigma);
+  Alcotest.(check int) "AHC minimises Phi (binary M=4)" !min_phi ahc_phi;
+  Alcotest.(check (float 1e-9)) "AHC minimises ||Sigma||_1 (binary M=4)"
+    !min_sigma ahc_sigma
+
+let suite =
+  [
+    Alcotest.test_case "Props 4-5 exhaustive: all tree spaces with <= 8 words"
+      `Quick test_small_spaces;
+    Alcotest.test_case "AHC exhaustive: binary hot space M=4" `Quick
+      test_hot_space_exhaustive;
+  ]

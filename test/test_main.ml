@@ -17,4 +17,7 @@ let () =
       ("circuit extensions", Test_circuits.suite);
       ("fabrication economics", Test_fab_economics.suite);
       ("pipeline properties", Test_pipeline.suite);
+      ("degenerate dimensions", Test_edge_cases.suite);
+      ("exhaustive arrangements", Test_exhaustive.suite);
+      ("proptest oracles", Test_properties.suite);
     ]

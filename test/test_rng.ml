@@ -41,6 +41,72 @@ let test_split_independence () =
   done;
   Alcotest.(check bool) "split stream differs" true (!same < 4)
 
+(* Golden values pin the generator's output across runs, builds and
+   refactors: any change to the seeding or output function (which would
+   silently invalidate every recorded proptest reproduction seed) fails
+   here.  Values recorded from the reference implementation. *)
+let test_golden_stream () =
+  let expected =
+    [|
+      0x3225c1b3; 0x9452cd8f; 0x46c42e2c; 0xe4c06705;
+      0x6f26c3bc; 0xef94f07a; 0x05a7e525; 0xc52da243;
+    |]
+  in
+  let rng = Rng.create ~seed:42 in
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed 42 draw %d" i)
+        want (Rng.uint32 rng))
+    expected
+
+let test_golden_split_stream () =
+  let expected = [| 0xfaebf702; 0x78e55972; 0x1d4c4737; 0x6f04cf5a |] in
+  let child = Rng.split (Rng.create ~seed:2009) in
+  Array.iteri
+    (fun i want ->
+      Alcotest.(check int)
+        (Printf.sprintf "split draw %d" i)
+        want (Rng.uint32 child))
+    expected
+
+let test_golden_mix_seed () =
+  Alcotest.(check int) "mix_seed 2009 1" 3586226593598957013
+    (Rng.mix_seed 2009 1);
+  Alcotest.(check int) "mix_seed 2009 2" 3749792766342769158
+    (Rng.mix_seed 2009 2);
+  Alcotest.(check int) "mix_seed 0 0" 3348600503766967796 (Rng.mix_seed 0 0);
+  for i = 0 to 100 do
+    Alcotest.(check bool) "non-negative" true (Rng.mix_seed 2009 i >= 0)
+  done
+
+let test_of_seed_and_of_int64_agree () =
+  let a = Rng.of_seed 777 and b = Rng.create ~seed:777 in
+  let c = Rng.of_int64 777L in
+  for _ = 1 to 32 do
+    let x = Rng.uint32 a in
+    Alcotest.(check int) "of_seed = create" x (Rng.uint32 b);
+    Alcotest.(check int) "of_int64 = create on int seeds" x (Rng.uint32 c)
+  done
+
+let test_split_n_deterministic_and_distinct () =
+  let streams seed =
+    Array.map
+      (fun r -> List.init 16 (fun _ -> Rng.uint32 r))
+      (Rng.split_n (Rng.create ~seed) 8)
+  in
+  (* Same seed => identical family of split streams across two runs. *)
+  Alcotest.(check bool) "two runs agree" true (streams 99 = streams 99);
+  let s = streams 99 in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i < j && si = sj then
+            Alcotest.failf "split streams %d and %d identical" i j)
+        s)
+    s
+
 let test_uint32_range () =
   let rng = Rng.create ~seed:11 in
   for _ = 1 to 1000 do
@@ -150,6 +216,14 @@ let suite =
     Alcotest.test_case "different seeds differ" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy is independent" `Quick test_copy_independent;
     Alcotest.test_case "split is independent" `Quick test_split_independence;
+    Alcotest.test_case "golden stream (cross-run determinism)" `Quick
+      test_golden_stream;
+    Alcotest.test_case "golden split stream" `Quick test_golden_split_stream;
+    Alcotest.test_case "golden mix_seed" `Quick test_golden_mix_seed;
+    Alcotest.test_case "of_seed/of_int64 agree with create" `Quick
+      test_of_seed_and_of_int64_agree;
+    Alcotest.test_case "split_n deterministic and distinct" `Quick
+      test_split_n_deterministic_and_distinct;
     Alcotest.test_case "uint32 range" `Quick test_uint32_range;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int covers residues" `Quick test_int_covers_all_values;
