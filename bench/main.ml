@@ -296,18 +296,195 @@ let run_bechamel () =
         ols)
     bechamel_tests
 
+(* --- machine-readable parallel bench: --json [--quick] ---
+
+   Times the headline workloads sequentially and on 2- and 4-domain
+   pools, checks that every reproduced value is bit-for-bit identical
+   across the three runs (the determinism gate — any drift fails the
+   process), and writes BENCH_parallel.json so later PRs have a
+   perf trajectory to regress against. *)
+
+type parallel_workload = {
+  wname : string;
+  detail : string;
+  run : Nanodec_parallel.Pool.t option -> (string * float) list;
+      (* labelled reproduced values; the digest compared across runs *)
+}
+
+let parallel_workloads ~quick =
+  let mc_samples = if quick then 500 else 4_000 in
+  let label ct m = Printf.sprintf "%s-M%d" (Codebook.name ct) m in
+  [
+    {
+      wname = "fig7-mc-yield";
+      detail =
+        Printf.sprintf
+          "Monte-Carlo window yield, %d noise draws x %d designs" mc_samples
+          (List.length Figures.fig7_candidates);
+      run =
+        (fun pool ->
+          List.map
+            (fun (ct, m) ->
+              let spec = Design.spec ~code_type:ct ~code_length:m () in
+              let analysis =
+                Nanodec_crossbar.Cave.analyze spec.Design.cave
+              in
+              let e =
+                Nanodec_crossbar.Cave.mc_yield_window_par ?pool
+                  (Rng.create ~seed:2009) ~samples:mc_samples analysis
+              in
+              (label ct m, e.Montecarlo.mean))
+            Figures.fig7_candidates);
+    };
+    {
+      wname = "optimizer-sweep";
+      detail = "full code-family x length grid, analytic design flow";
+      run =
+        (fun pool ->
+          List.map
+            (fun (r : Design.report) ->
+              let c = r.Design.spec.Design.cave in
+              ( label c.Nanodec_crossbar.Cave.code_type
+                  c.Nanodec_crossbar.Cave.code_length,
+                r.Design.crossbar_yield ))
+            (Optimizer.sweep ?pool ()));
+    };
+    {
+      wname = "fig8-bit-area";
+      detail = "bit area, all five families at M in {6,8,10}";
+      run =
+        (fun pool ->
+          List.map
+            (fun (p : Figures.fig8_point) ->
+              (label p.Figures.code_type p.Figures.code_length, p.Figures.bit_area))
+            (Figures.fig8 ?pool ()));
+    };
+    {
+      wname = "ablation-sigma-t";
+      detail = "TC vs BGC yield across the sigma_T sweep";
+      run =
+        (fun pool ->
+          List.concat_map
+            (fun (p : Ablation.point) ->
+              [
+                (Printf.sprintf "TC@%g" p.Ablation.value, p.Ablation.tree_yield);
+                (Printf.sprintf "BGC@%g" p.Ablation.value, p.Ablation.bgc_yield);
+              ])
+            (Ablation.sigma_t ?pool ()).Ablation.points);
+    };
+  ]
+
+let time_best ~reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let run_json ~quick =
+  let reps = if quick then 1 else 3 in
+  let domain_counts = [ 2; 4 ] in
+  let all_deterministic = ref true in
+  let results =
+    List.map
+      (fun w ->
+        (* One untimed warm-up run populates the code-construction memo
+           tables so every timed run sees the same warm caches. *)
+        let reference = w.run None in
+        let _, seq_time = time_best ~reps (fun () -> w.run None) in
+        let pooled =
+          List.map
+            (fun domains ->
+              Nanodec_parallel.Pool.with_pool ~domains (fun pool ->
+                  let values, t =
+                    time_best ~reps (fun () -> w.run (Some pool))
+                  in
+                  (domains, t, values = reference)))
+            domain_counts
+        in
+        let deterministic = List.for_all (fun (_, _, ok) -> ok) pooled in
+        if not deterministic then all_deterministic := false;
+        Printf.printf "%-18s seq %8.4fs" w.wname seq_time;
+        List.iter
+          (fun (d, t, _) ->
+            Printf.printf "   %dd %8.4fs (%.2fx)" d t (seq_time /. t))
+          pooled;
+        Printf.printf "   deterministic: %b\n%!" deterministic;
+        (w, reference, seq_time, pooled, deterministic))
+      (parallel_workloads ~quick)
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated_by\": \"bench/main.exe --json%s\",\n"
+    (if quick then " --quick" else "");
+  out "  \"quick\": %b,\n" quick;
+  out "  \"reps\": %d,\n" reps;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"all_deterministic\": %b,\n" !all_deterministic;
+  out "  \"workloads\": [\n";
+  List.iteri
+    (fun i (w, reference, seq_time, pooled, deterministic) ->
+      out "    {\n";
+      out "      \"name\": \"%s\",\n" (json_escape w.wname);
+      out "      \"detail\": \"%s\",\n" (json_escape w.detail);
+      out "      \"seconds\": {\"seq\": %.6f" seq_time;
+      List.iter (fun (d, t, _) -> out ", \"domains%d\": %.6f" d t) pooled;
+      out "},\n";
+      out "      \"speedup\": {";
+      List.iteri
+        (fun j (d, t, _) ->
+          out "%s\"domains%d\": %.3f" (if j > 0 then ", " else "") d
+            (seq_time /. t))
+        pooled;
+      out "},\n";
+      out "      \"deterministic\": %b,\n" deterministic;
+      out "      \"values\": {";
+      List.iteri
+        (fun j (k, v) ->
+          out "%s\"%s\": %.17g" (if j > 0 then ", " else "") (json_escape k) v)
+        reference;
+      out "}\n";
+      out "    }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json (%d workloads)\n"
+    (List.length results);
+  if not !all_deterministic then begin
+    prerr_endline
+      "FAIL: parallel results diverged from the sequential reference";
+    exit 1
+  end
+
 let () =
-  print_endline "nanodec reproduction harness — Ben Jamaa et al., DAC 2009";
-  print_fig5 ();
-  print_fig6 ();
-  print_fig7 ();
-  print_fig8 ();
-  print_headlines ();
-  print_fig6_multivalued ();
-  print_multivalued ();
-  print_baseline ();
-  print_arranger ();
-  print_scaling ();
-  print_ablations ();
-  run_bechamel ();
-  print_endline "\ndone."
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--json" argv then
+    run_json ~quick:(List.mem "--quick" argv)
+  else begin
+    print_endline "nanodec reproduction harness — Ben Jamaa et al., DAC 2009";
+    print_fig5 ();
+    print_fig6 ();
+    print_fig7 ();
+    print_fig8 ();
+    print_headlines ();
+    print_fig6_multivalued ();
+    print_multivalued ();
+    print_baseline ();
+    print_arranger ();
+    print_scaling ();
+    print_ablations ();
+    run_bechamel ();
+    print_endline "\ndone."
+  end

@@ -59,6 +59,24 @@ let verbose_arg =
   let doc = "Enable debug logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Domains (OS-level parallelism) to evaluate with.  Defaults to \
+     $(b,NANODEC_DOMAINS), then to the machine's recommended domain \
+     count.  Results are bit-for-bit identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Every parallel entry point is domain-count invariant, so the flag
+   only changes wall-clock, never output. *)
+let with_domains domains f =
+  let domains =
+    match domains with
+    | Some n -> n
+    | None -> Nanodec_parallel.Pool.default_domains ()
+  in
+  Nanodec_parallel.Pool.with_pool ~domains f
+
 let make_spec code_type code_length radix n_wires raw_bits =
   let base = { Design.default_spec with Design.raw_bits } in
   Design.spec ~base ~radix ~n_wires ~code_type ~code_length ()
@@ -66,7 +84,8 @@ let make_spec code_type code_length radix n_wires raw_bits =
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run verbose code_type code_length radix n_wires raw_bits =
+  let run verbose code_type code_length radix n_wires raw_bits domains
+      mc_samples seed =
     setup_logging verbose;
     match
       Codebook.validate_length ~radix ~length:code_length code_type
@@ -75,12 +94,37 @@ let evaluate_cmd =
       Format.eprintf "error: %s@." msg;
       exit 1
     | Ok () ->
-      let report = Design.evaluate (make_spec code_type code_length radix n_wires raw_bits) in
-      Format.printf "%a@." Design.pp_report report
+      let spec = make_spec code_type code_length radix n_wires raw_bits in
+      let report = Design.evaluate spec in
+      Format.printf "%a@." Design.pp_report report;
+      if mc_samples > 0 then
+        with_domains domains (fun pool ->
+            let analysis = Nanodec_crossbar.Cave.analyze spec.Design.cave in
+            let e =
+              Nanodec_crossbar.Cave.mc_yield_window_par ~pool
+                (Rng.create ~seed) ~samples:mc_samples analysis
+            in
+            Printf.printf
+              "monte-carlo yield check: %.9f +/- %.9f (n=%d, seed %d)\n"
+              e.Montecarlo.mean e.Montecarlo.std_error e.Montecarlo.samples
+              seed)
+  in
+  let mc_samples_arg =
+    let doc =
+      "Also re-estimate the cave yield by Monte-Carlo with this many \
+       noise draws (0 disables).  The estimate runs on the $(b,--domains) \
+       pool and is bit-for-bit independent of the domain count."
+    in
+    Arg.(value & opt int 0 & info [ "mc-samples" ] ~docv:"SAMPLES" ~doc)
+  in
+  let seed_arg =
+    let doc = "Monte-Carlo noise seed." in
+    Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
   let term =
     Term.(const run $ verbose_arg $ code_type_arg $ length_arg $ radix_arg
-          $ wires_arg $ raw_bits_arg)
+          $ wires_arg $ raw_bits_arg $ domains_arg $ mc_samples_arg
+          $ seed_arg)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate one decoder design (yield, area, Phi, Sigma).")
@@ -107,22 +151,23 @@ let objective_conv =
   Arg.conv (parse, print)
 
 let sweep_cmd =
-  let run verbose objective radix n_wires raw_bits =
+  let run verbose objective radix n_wires raw_bits domains =
     setup_logging verbose;
     let spec =
       Design.spec
         ~base:{ Design.default_spec with Design.raw_bits }
         ~radix ~n_wires ~code_type:Codebook.Balanced_gray ~code_length:10 ()
     in
-    let reports = Optimizer.sweep ~spec () in
-    print_endline Design.report_header;
-    List.iter (fun r -> print_endline (Design.report_row r)) reports;
-    let winner = Optimizer.best ~spec objective in
-    Format.printf "@.winner:@.%a@." Design.pp_report winner;
-    print_endline "\npareto front (yield vs bit area):";
-    List.iter
-      (fun r -> print_endline ("  " ^ Design.report_row r))
-      (Optimizer.pareto_yield_area reports)
+    with_domains domains (fun pool ->
+        let reports = Optimizer.sweep ~pool ~spec () in
+        print_endline Design.report_header;
+        List.iter (fun r -> print_endline (Design.report_row r)) reports;
+        let winner = Optimizer.best ~pool ~spec objective in
+        Format.printf "@.winner:@.%a@." Design.pp_report winner;
+        print_endline "\npareto front (yield vs bit area):";
+        List.iter
+          (fun r -> print_endline ("  " ^ Design.report_row r))
+          (Optimizer.pareto_yield_area reports))
   in
   let objective_arg =
     let doc = "Objective: yield, area, fabrication or variability." in
@@ -131,7 +176,7 @@ let sweep_cmd =
   in
   let term =
     Term.(const run $ verbose_arg $ objective_arg $ radix_arg $ wires_arg
-          $ raw_bits_arg)
+          $ raw_bits_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the design space and pick the best decoder.")
@@ -241,7 +286,16 @@ let trace_cmd =
 (* --- figures / headlines --- *)
 
 let figures_cmd =
-  let run which =
+  let run which domains =
+    (* fig5/fig6 are closed-form and cheap; the design-evaluation grids
+       (fig7, fig8, multivalued) fan out across the pool. *)
+    let pooled f =
+      match which with
+      | "fig7" | "fig8" | "multivalued" ->
+        with_domains domains (fun pool -> f (Some pool))
+      | _ -> f None
+    in
+    pooled @@ fun pool ->
     match which with
     | "fig5" ->
       List.iter
@@ -260,20 +314,20 @@ let figures_cmd =
         (fun (p : Figures.fig7_point) ->
           Printf.printf "%s M=%d yield=%.3f\n" (Codebook.name p.code_type)
             p.code_length p.crossbar_yield)
-        (Figures.fig7 ())
+        (Figures.fig7 ?pool ())
     | "fig8" ->
       List.iter
         (fun (p : Figures.fig8_point) ->
           Printf.printf "%s M=%d bit_area=%.1f\n" (Codebook.name p.code_type)
             p.code_length p.bit_area)
-        (Figures.fig8 ())
+        (Figures.fig8 ?pool ())
     | "multivalued" ->
       List.iter
         (fun (p : Figures.multivalued_point) ->
           Printf.printf "n=%d %s M=%d Phi=%d yield=%.4f bit_area=%.1f\n"
             p.radix (Codebook.name p.code_type) p.code_length p.phi
             p.crossbar_yield p.bit_area)
-        (Figures.multivalued_designs ())
+        (Figures.multivalued_designs ?pool ())
     | s ->
       Format.eprintf "error: unknown figure %S (fig5..fig8, multivalued)@." s;
       exit 1
@@ -284,7 +338,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Print one figure's reproduction data.")
-    Term.(const run $ which_arg)
+    Term.(const run $ which_arg $ domains_arg)
 
 let headlines_cmd =
   let run () = Format.printf "%a@." Figures.pp_headlines (Figures.headlines ()) in

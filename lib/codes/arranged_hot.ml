@@ -82,11 +82,27 @@ let searched_arranged ~radix ~length =
   Array.to_list (Array.map (fun i -> space.(i)) path)
 
 (* Both outcomes are memoised: a failed search burns its whole budget and
-   would otherwise be re-run on every sweep. *)
+   would otherwise be re-run on every sweep.  The table is shared by
+   every domain of a parallel sweep, so accesses go through a mutex; the
+   search itself runs outside the lock (it is a pure function of the
+   key, so a concurrent duplicate computes the same entry and [replace]
+   keeps the table consistent). *)
 let memo : (int * int, Word.t array option) Hashtbl.t = Hashtbl.create 8
+let memo_mutex = Mutex.create ()
+
+let memo_find key =
+  Mutex.lock memo_mutex;
+  let r = Hashtbl.find_opt memo key in
+  Mutex.unlock memo_mutex;
+  r
+
+let memo_store key v =
+  Mutex.lock memo_mutex;
+  Hashtbl.replace memo key v;
+  Mutex.unlock memo_mutex
 
 let all_array ~radix ~length =
-  match Hashtbl.find_opt memo (radix, length) with
+  match memo_find (radix, length) with
   | Some (Some a) -> a
   | Some None -> raise Search_exhausted
   | None ->
@@ -96,10 +112,10 @@ let all_array ~radix ~length =
      with
     | sequence ->
       let a = Array.of_list sequence in
-      Hashtbl.add memo (radix, length) (Some a);
+      memo_store (radix, length) (Some a);
       a
     | exception Search_exhausted ->
-      Hashtbl.add memo (radix, length) None;
+      memo_store (radix, length) None;
       raise Search_exhausted)
 
 let all ~radix ~length = Array.to_list (all_array ~radix ~length)

@@ -133,22 +133,37 @@ let search ~radix ~base_len =
   attempt 0
 
 (* Exhausted searches are as expensive as successful ones (the full
-   backtracking budget); memoise both outcomes. *)
+   backtracking budget); memoise both outcomes.  Accesses are
+   mutex-guarded for domain-parallel sweeps; the search runs outside
+   the lock (pure in the key, so a concurrent duplicate recomputes the
+   same entry and [replace] keeps the table consistent). *)
 let memo : (int * int, int array array option) Hashtbl.t = Hashtbl.create 8
+let memo_mutex = Mutex.create ()
+
+let memo_find key =
+  Mutex.lock memo_mutex;
+  let r = Hashtbl.find_opt memo key in
+  Mutex.unlock memo_mutex;
+  r
+
+let memo_store key v =
+  Mutex.lock memo_mutex;
+  Hashtbl.replace memo key v;
+  Mutex.unlock memo_mutex
 
 let cycle_digits ~radix ~base_len =
   if radix < 2 then invalid_arg "Balanced_gray.cycle: radix must be >= 2";
   if base_len < 1 then invalid_arg "Balanced_gray.cycle: base_len must be >= 1";
-  match Hashtbl.find_opt memo (radix, base_len) with
+  match memo_find (radix, base_len) with
   | Some (Some c) -> c
   | Some None -> raise Search_exhausted
   | None ->
     (match search ~radix ~base_len with
     | c ->
-      Hashtbl.add memo (radix, base_len) (Some c);
+      memo_store (radix, base_len) (Some c);
       c
     | exception Search_exhausted ->
-      Hashtbl.add memo (radix, base_len) None;
+      memo_store (radix, base_len) None;
       raise Search_exhausted)
 
 let cycle ~radix ~base_len =

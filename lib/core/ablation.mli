@@ -20,29 +20,33 @@ type series = {
 }
 
 val sweep :
+  ?pool:Nanodec_parallel.Pool.t ->
   parameter:string ->
   unit_name:string ->
   values:float list ->
   apply:(Nanodec_crossbar.Cave.config -> float -> Nanodec_crossbar.Cave.config) ->
+  unit ->
   series
-(** Generic one-parameter ablation on the paper's platform. *)
+(** Generic one-parameter ablation on the paper's platform.  With
+    [pool], the swept values evaluate across the pool's domains with
+    identical results for every domain count. *)
 
-val sigma_t : unit -> series
+val sigma_t : ?pool:Nanodec_parallel.Pool.t -> unit -> series
 (** Per-implant noise, 10–120 mV. *)
 
-val sigma_base : unit -> series
+val sigma_base : ?pool:Nanodec_parallel.Pool.t -> unit -> series
 (** Intrinsic variability, 0–200 mV. *)
 
-val margin : unit -> series
+val margin : ?pool:Nanodec_parallel.Pool.t -> unit -> series
 (** Addressability window fraction, 0.2–0.5. *)
 
-val overlay : unit -> series
+val overlay : ?pool:Nanodec_parallel.Pool.t -> unit -> series
 (** Pad overlay margin, 0–28 nm. *)
 
-val cave_wires : unit -> series
+val cave_wires : ?pool:Nanodec_parallel.Pool.t -> unit -> series
 (** Nanowires per half cave, 10–60. *)
 
-val all : unit -> series list
+val all : ?pool:Nanodec_parallel.Pool.t -> unit -> series list
 
 val conclusion_holds : series -> bool
 (** BGC yield ≥ TC yield at every swept point. *)

@@ -74,18 +74,21 @@ type fig7_point = {
 let evaluate_design ~spec code_type code_length =
   Design.evaluate (Design.spec ~base:spec ~code_type ~code_length ())
 
-let fig7 ?(spec = Design.default_spec) () =
-  let point code_type code_length =
+let fig7_candidates =
+  List.concat
+    [
+      List.map (fun m -> (Codebook.Tree, m)) [ 6; 8; 10 ];
+      List.map (fun m -> (Codebook.Balanced_gray, m)) [ 6; 8; 10 ];
+      List.map (fun m -> (Codebook.Hot, m)) [ 4; 6; 8 ];
+      List.map (fun m -> (Codebook.Arranged_hot, m)) [ 4; 6; 8 ];
+    ]
+
+let fig7 ?pool ?(spec = Design.default_spec) () =
+  let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; crossbar_yield = r.Design.crossbar_yield }
   in
-  List.concat
-    [
-      List.map (point Codebook.Tree) [ 6; 8; 10 ];
-      List.map (point Codebook.Balanced_gray) [ 6; 8; 10 ];
-      List.map (point Codebook.Hot) [ 4; 6; 8 ];
-      List.map (point Codebook.Arranged_hot) [ 4; 6; 8 ];
-    ]
+  Nanodec_parallel.Pool.map_list_opt pool point fig7_candidates
 
 type fig8_point = {
   code_type : Codebook.t;
@@ -93,14 +96,17 @@ type fig8_point = {
   bit_area : float;
 }
 
-let fig8 ?(spec = Design.default_spec) () =
-  let point code_type code_length =
+let fig8 ?pool ?(spec = Design.default_spec) () =
+  let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; bit_area = r.Design.bit_area }
   in
-  List.concat_map
-    (fun ct -> List.map (point ct) [ 6; 8; 10 ])
-    Codebook.all_types
+  let candidates =
+    List.concat_map
+      (fun ct -> List.map (fun m -> (ct, m)) [ 6; 8; 10 ])
+      Codebook.all_types
+  in
+  Nanodec_parallel.Pool.map_list_opt pool point candidates
 
 (* Extension: multi-valued designs *)
 
@@ -113,8 +119,8 @@ type multivalued_point = {
   phi : int;
 }
 
-let multivalued_designs ?(spec = Design.default_spec) () =
-  let point radix code_type code_length =
+let multivalued_designs ?pool ?(spec = Design.default_spec) () =
+  let point (radix, code_type, code_length) =
     let design =
       Design.spec ~base:spec ~radix ~code_type ~code_length ()
     in
@@ -129,17 +135,20 @@ let multivalued_designs ?(spec = Design.default_spec) () =
     }
   in
   let n_wires = spec.Design.cave.Nanodec_crossbar.Cave.n_wires in
-  List.concat_map
-    (fun radix ->
-      let minimal =
-        Codebook.minimal_length ~radix ~min_size:n_wires Codebook.Tree
-      in
-      List.concat_map
-        (fun code_length ->
-          [ point radix Codebook.Tree code_length;
-            point radix Codebook.Gray code_length ])
-        [ minimal; minimal + 2 ])
-    [ 2; 3; 4 ]
+  let candidates =
+    List.concat_map
+      (fun radix ->
+        let minimal =
+          Codebook.minimal_length ~radix ~min_size:n_wires Codebook.Tree
+        in
+        List.concat_map
+          (fun code_length ->
+            [ (radix, Codebook.Tree, code_length);
+              (radix, Codebook.Gray, code_length) ])
+          [ minimal; minimal + 2 ])
+      [ 2; 3; 4 ]
+  in
+  Nanodec_parallel.Pool.map_list_opt pool point candidates
 
 (* Headlines *)
 

@@ -46,8 +46,15 @@ type fig7_point = {
   crossbar_yield : float;
 }
 
-val fig7 : ?spec:Design.spec -> unit -> fig7_point list
-(** TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8, on the paper platform. *)
+val fig7_candidates : (Codebook.t * int) list
+(** The figure's grid — TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8 —
+    exposed for the Monte-Carlo bench workload. *)
+
+val fig7 :
+  ?pool:Nanodec_parallel.Pool.t -> ?spec:Design.spec -> unit -> fig7_point list
+(** TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8, on the paper platform.
+    With [pool], points evaluate across the pool's domains; the result is
+    identical for every domain count. *)
 
 (** {1 Fig. 8 — bit area vs code type and length} *)
 
@@ -57,7 +64,8 @@ type fig8_point = {
   bit_area : float;
 }
 
-val fig8 : ?spec:Design.spec -> unit -> fig8_point list
+val fig8 :
+  ?pool:Nanodec_parallel.Pool.t -> ?spec:Design.spec -> unit -> fig8_point list
 (** All five families at M ∈ 6,8,10. *)
 
 (** {1 Extension — multi-valued decoder designs}
@@ -77,7 +85,11 @@ type multivalued_point = {
   phi : int;
 }
 
-val multivalued_designs : ?spec:Design.spec -> unit -> multivalued_point list
+val multivalued_designs :
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?spec:Design.spec ->
+  unit ->
+  multivalued_point list
 (** TC and GC at every radix in 2..4, at the two smallest valid lengths
     covering the half cave. *)
 

@@ -23,23 +23,33 @@ let valid ~spec { code_type; code_length } =
   | Ok () -> true
   | Error _ -> false
 
-let sweep ?(spec = Design.default_spec) ?(candidates = default_candidates) () =
-  List.filter_map
-    (fun { code_type; code_length } ->
-      match
-        Design.evaluate (Design.spec ~base:spec ~code_type ~code_length ())
-      with
-      | report -> Some report
-      | exception
-          ( Nanodec_codes.Balanced_gray.Search_exhausted
-          | Nanodec_codes.Arranged_hot.Search_exhausted ) ->
-        (* Exact code-construction searches are bounded; drop candidates
-           whose space is out of reach rather than aborting the sweep. *)
-        Log.warn (fun m ->
-            m "skipping %s M=%d: exact construction out of search range"
-              (Codebook.name code_type) code_length);
-        None)
+let sweep ?pool ?(spec = Design.default_spec) ?(candidates = default_candidates)
+    () =
+  let evaluate { code_type; code_length } =
+    match
+      Design.evaluate (Design.spec ~base:spec ~code_type ~code_length ())
+    with
+    | report -> Ok report
+    | exception
+        ( Nanodec_codes.Balanced_gray.Search_exhausted
+        | Nanodec_codes.Arranged_hot.Search_exhausted ) ->
+      (* Exact code-construction searches are bounded; drop candidates
+         whose space is out of reach rather than aborting the sweep. *)
+      Error { code_type; code_length }
+  in
+  (* Candidates evaluate across the pool; the outcome list keeps the
+     candidate order, so the sweep is domain-count invariant.  Skip
+     warnings are logged here, after the join, to keep the chunk bodies
+     free of shared logging state. *)
+  Nanodec_parallel.Pool.map_list_opt pool evaluate
     (List.filter (valid ~spec) candidates)
+  |> List.filter_map (function
+       | Ok report -> Some report
+       | Error { code_type; code_length } ->
+         Log.warn (fun m ->
+             m "skipping %s M=%d: exact construction out of search range"
+               (Codebook.name code_type) code_length);
+         None)
 
 let score objective (r : Design.report) =
   match objective with
@@ -51,8 +61,8 @@ let score objective (r : Design.report) =
   | Min_variability ->
     r.Design.sigma_norm1 -. (r.Design.crossbar_yield /. 1000.)
 
-let best ?spec ?candidates objective =
-  match sweep ?spec ?candidates () with
+let best ?pool ?spec ?candidates objective =
+  match sweep ?pool ?spec ?candidates () with
   | [] -> invalid_arg "Optimizer.best: no valid candidate"
   | first :: rest ->
     let winner =

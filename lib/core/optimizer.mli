@@ -22,13 +22,20 @@ val default_candidates : candidate list
     combinations dropped). *)
 
 val sweep :
-  ?spec:Design.spec -> ?candidates:candidate list -> unit -> Design.report list
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?spec:Design.spec ->
+  ?candidates:candidate list ->
+  unit ->
+  Design.report list
 (** Evaluates every valid candidate on the platform of [spec].  Candidates
     whose exact code construction is out of search range (balanced-Gray or
     arranged-hot spaces beyond the documented limits) are skipped with a
-    warning rather than aborting the sweep. *)
+    warning rather than aborting the sweep.  With [pool], candidates
+    evaluate across the pool's domains; the report list (order included)
+    is identical for every domain count. *)
 
 val best :
+  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   ?candidates:candidate list ->
   objective ->

@@ -53,13 +53,19 @@ let best_point node raw_bits =
     crossbar_yield = report.Design.crossbar_yield;
   }
 
-let sweep_nodes ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes) () =
-  List.map (fun node -> best_point node raw_bits) nodes
+(* The grid parallelises over nodes/sizes; each grid point's inner sweep
+   stays sequential (a nested submission would run inline anyway). *)
+let sweep_nodes ?pool ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes) () =
+  Nanodec_parallel.Pool.map_list_opt pool
+    (fun node -> best_point node raw_bits)
+    nodes
 
 let paper_node = { label = "32nm-class (paper)"; litho_pitch = 32.; nanowire_pitch = 10. }
 
-let sweep_memory_sizes ?(sizes = [ 4; 16; 64; 256 ]) () =
-  List.map (fun kb -> best_point paper_node (kb * 1024 * 8)) sizes
+let sweep_memory_sizes ?pool ?(sizes = [ 4; 16; 64; 256 ]) () =
+  Nanodec_parallel.Pool.map_list_opt pool
+    (fun kb -> best_point paper_node (kb * 1024 * 8))
+    sizes
 
 let pp_point ppf p =
   Format.fprintf ppf

@@ -27,10 +27,18 @@ type point = {
   crossbar_yield : float;
 }
 
-val sweep_nodes : ?raw_bits:int -> ?nodes:node list -> unit -> point list
-(** Minimum-bit-area design per node. *)
+val sweep_nodes :
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?raw_bits:int ->
+  ?nodes:node list ->
+  unit ->
+  point list
+(** Minimum-bit-area design per node.  With [pool], nodes evaluate
+    across the pool's domains (each node's inner sweep stays
+    sequential); results are identical for every domain count. *)
 
-val sweep_memory_sizes : ?sizes:int list -> unit -> point list
+val sweep_memory_sizes :
+  ?pool:Nanodec_parallel.Pool.t -> ?sizes:int list -> unit -> point list
 (** Minimum-bit-area design per raw density (default 4 kB – 256 kB) on
     the paper's 32 nm node. *)
 

@@ -128,6 +128,29 @@ let noise_offsets rng analysis passes =
       (fun x -> x +. Rng.gaussian ~sigma:analysis.config.sigma_base rng)
       implant_noise
 
+let mc_window_draw analysis ~passes ~w rng =
+  let n = analysis.config.n_wires in
+  let noise = noise_offsets rng analysis passes in
+  let good = ref 0 in
+  for i = 0 to n - 1 do
+    if is_usable analysis.layout.Geometry.statuses.(i) then begin
+      let wire_ok = ref true in
+      for j = 0 to analysis.config.code_length - 1 do
+        if Float.abs (Fmatrix.get noise i j) >= w then wire_ok := false
+      done;
+      if !wire_ok then incr good
+    end
+  done;
+  float_of_int !good /. float_of_int n
+
+let mc_yield_window_par ?pool ?chunks rng ~samples analysis =
+  (* Everything the chunk bodies share is computed here, before the
+     fan-out; the bodies only read it (and mutate their own stream). *)
+  let passes = passes_of_analysis analysis in
+  let w = window analysis.config in
+  Montecarlo.estimate_par ?pool ?chunks rng ~samples
+    (mc_window_draw analysis ~passes ~w)
+
 let mc_yield_window rng ~samples analysis =
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in

@@ -68,3 +68,17 @@ val mc_yield_functional :
   Rng.t -> samples:int -> analysis -> Montecarlo.estimate
 (** Monte-Carlo yield under the full electrical semantics: a wire counts
     when it is the unique conductor of its pad under its own address. *)
+
+val mc_yield_window_par :
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?chunks:int ->
+  Rng.t ->
+  samples:int ->
+  analysis ->
+  Montecarlo.estimate
+(** Chunked {!mc_yield_window} on {!Montecarlo.estimate_par}: the
+    result is bit-for-bit identical for every domain count (including
+    [pool = None]), though it differs from the single-stream
+    {!mc_yield_window} of the same seed.  All shared state (passes,
+    window, layout) is computed before the fan-out; chunk bodies only
+    read it. *)

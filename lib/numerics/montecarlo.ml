@@ -36,6 +36,80 @@ let estimate_proportion rng ~samples f =
   let std_error = sqrt (p *. (1. -. p) /. n) in
   of_mean_se ~samples ~mean:p ~std_error
 
+(* --- chunked parallel estimators ---
+
+   The job is cut into a fixed number of chunks (independent of the
+   domain count), chunk [i] draws from the [i]-th stream of
+   [Rng.split_n], and the partial accumulators merge left-to-right in
+   chunk index order.  Every float operation therefore happens in an
+   order fixed by [chunks] alone, making the result bit-for-bit
+   identical whether the chunks run on 1 domain or 64. *)
+
+let default_chunks = 64
+
+let chunk_size ~samples ~chunks i =
+  (samples / chunks) + if i < samples mod chunks then 1 else 0
+
+let estimate_par ?pool ?(chunks = default_chunks) rng ~samples f =
+  if samples < 2 then invalid_arg "Montecarlo.estimate_par: need >= 2 samples";
+  if chunks < 1 then invalid_arg "Montecarlo.estimate_par: need >= 1 chunk";
+  let rngs = Rng.split_n rng chunks in
+  let partial i =
+    let rng = rngs.(i) in
+    let n = chunk_size ~samples ~chunks i in
+    let sum = ref 0. and sum_sq = ref 0. in
+    for _ = 1 to n do
+      let x = f rng in
+      sum := !sum +. x;
+      sum_sq := !sum_sq +. (x *. x)
+    done;
+    (n, !sum, !sum_sq)
+  in
+  let indices = Array.init chunks Fun.id in
+  let partials =
+    match pool with
+    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
+    | None -> Array.map partial indices
+  in
+  let count = ref 0 and sum = ref 0. and sum_sq = ref 0. in
+  Array.iter
+    (fun (n, s, q) ->
+      count := !count + n;
+      sum := !sum +. s;
+      sum_sq := !sum_sq +. q)
+    partials;
+  let n = float_of_int !count in
+  let mean = !sum /. n in
+  let variance = Float.max 0. ((!sum_sq -. (n *. mean *. mean)) /. (n -. 1.)) in
+  of_mean_se ~samples ~mean ~std_error:(sqrt (variance /. n))
+
+let estimate_proportion_par ?pool ?(chunks = default_chunks) rng ~samples f =
+  if samples < 2 then
+    invalid_arg "Montecarlo.estimate_proportion_par: need >= 2 samples";
+  if chunks < 1 then
+    invalid_arg "Montecarlo.estimate_proportion_par: need >= 1 chunk";
+  let rngs = Rng.split_n rng chunks in
+  let partial i =
+    let rng = rngs.(i) in
+    let n = chunk_size ~samples ~chunks i in
+    let hits = ref 0 in
+    for _ = 1 to n do
+      if f rng then incr hits
+    done;
+    !hits
+  in
+  let indices = Array.init chunks Fun.id in
+  let partials =
+    match pool with
+    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
+    | None -> Array.map partial indices
+  in
+  let hits = Array.fold_left ( + ) 0 partials in
+  let n = float_of_int samples in
+  let p = float_of_int hits /. n in
+  let std_error = sqrt (p *. (1. -. p) /. n) in
+  of_mean_se ~samples ~mean:p ~std_error
+
 let within e x = x >= e.ci95_low && x <= e.ci95_high
 
 let pp ppf e =

@@ -18,6 +18,43 @@ val estimate_proportion : Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
 (** Bernoulli specialisation: the standard error uses the Wilson-style
     p(1-p)/n variance, never larger than the generic estimator's. *)
 
+(** {1 Domain-parallel chunked estimators}
+
+    [estimate_par] and [estimate_proportion_par] split the job into
+    [chunks] fixed chunks (independent of the pool size), give chunk
+    [i] the [i]-th stream of {!Rng.split_n}, and merge the partial
+    (count, sum, sum-of-squares) accumulators in chunk index order.
+    The result is therefore {e bit-for-bit identical} for every domain
+    count — including [pool = None], the sequential reference path —
+    though it differs from the single-stream {!estimate} of the same
+    seed, which consumes the generator differently. *)
+
+val default_chunks : int
+(** 64 — comfortably more chunks than any realistic pool has domains,
+    so the fan-out load-balances without changing results. *)
+
+val estimate_par :
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?chunks:int ->
+  Rng.t ->
+  samples:int ->
+  (Rng.t -> float) ->
+  estimate
+(** Chunked {!estimate}.  [samples] must be at least 2 and [chunks]
+    ([default_chunks] by default) at least 1; [chunks > samples] leaves
+    the excess chunks empty and is valid. *)
+
+val estimate_proportion_par :
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?chunks:int ->
+  Rng.t ->
+  samples:int ->
+  (Rng.t -> bool) ->
+  estimate
+(** Chunked {!estimate_proportion}; the per-chunk hit counts are exact
+    integers, so the merge is exact in any order (kept in chunk order
+    anyway for uniformity). *)
+
 val within : estimate -> float -> bool
 (** [within e x] tests whether [x] lies inside the 95 % interval of [e]. *)
 

@@ -1,0 +1,202 @@
+(* A single-job work queue over a fixed set of worker domains.
+
+   Chunk claiming, in-flight accounting and completion signalling all
+   happen under one mutex; chunk bodies run outside it.  Claim traffic
+   is a few dozen transitions per job in this code base, so a mutex
+   costs nothing measurable and keeps the invariants easy to audit.
+
+   Memory-model note: a chunk body's writes (into caller-owned result
+   slots) happen before that domain's mutex acquisition in the
+   completion path, and the submitter only reads the slots after
+   observing [finished] under the same mutex — so the fan-in is
+   data-race free without per-slot atomics. *)
+
+type job = {
+  chunks : int;
+  body : int -> unit;
+  mutable next : int;  (* next unclaimed chunk index *)
+  mutable in_flight : int;  (* chunks claimed but not yet completed *)
+  mutable cancelled : bool;  (* stop claiming; set on first failure *)
+  mutable finished : bool;
+  mutable error : (int * exn * Printexc.raw_backtrace) option;
+      (* failure with the lowest chunk index seen so far *)
+}
+
+type t = {
+  n_domains : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* workers wait here for a job *)
+  job_done : Condition.t;  (* the submitter waits here for the join *)
+  mutable current : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let max_domains = 64
+
+let parse_domains s =
+  (* Strictly decimal: [int_of_string_opt] would also accept hex,
+     underscores and surrounding junk after a trim. *)
+  let decimal = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s in
+  if not decimal then None
+  else match int_of_string_opt s with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None
+
+let default_domains () =
+  match Sys.getenv_opt "NANODEC_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match parse_domains s with
+    | Some n -> n
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "NANODEC_DOMAINS=%S: expected a positive decimal integer" s))
+
+let domains t = t.n_domains
+
+(* Claim and run chunks of [j] until none are left.  Called with
+   [t.mutex] held; returns with it held. *)
+let rec work_on t j =
+  if (not j.cancelled) && j.next < j.chunks then begin
+    let i = j.next in
+    j.next <- j.next + 1;
+    j.in_flight <- j.in_flight + 1;
+    Mutex.unlock t.mutex;
+    let failure =
+      match j.body i with
+      | () -> None
+      | exception e -> Some (i, e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    (match failure with
+    | None -> ()
+    | Some ((i, _, _) as f) -> (
+      j.cancelled <- true;
+      match j.error with
+      | Some (i0, _, _) when i0 <= i -> ()
+      | Some _ | None -> j.error <- Some f));
+    j.in_flight <- j.in_flight - 1;
+    if j.in_flight = 0 && (j.cancelled || j.next >= j.chunks) then begin
+      j.finished <- true;
+      Condition.broadcast t.job_done
+    end;
+    work_on t j
+  end
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match t.current with
+      | Some j when (not j.cancelled) && j.next < j.chunks ->
+        work_on t j;
+        loop ()
+      | Some _ | None ->
+        Condition.wait t.work_available t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let requested =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if requested < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let n = min requested max_domains in
+  let t =
+    {
+      n_domains = n;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      job_done = Condition.create ();
+      current = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let parallel_for t ~chunks body =
+  if chunks < 0 then invalid_arg "Pool.parallel_for: negative chunk count";
+  if chunks > 0 then begin
+    let inline () =
+      for i = 0 to chunks - 1 do
+        body i
+      done
+    in
+    if Array.length t.workers = 0 || chunks = 1 then
+      if t.stop then invalid_arg "Pool: used after shutdown" else inline ()
+    else begin
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool: used after shutdown"
+      end
+      else if t.current <> None then begin
+        (* Busy: a chunk body (or another domain) submitted a job.
+           Run it inline — identical results, no deadlock. *)
+        Mutex.unlock t.mutex;
+        inline ()
+      end
+      else begin
+        let j =
+          {
+            chunks;
+            body;
+            next = 0;
+            in_flight = 0;
+            cancelled = false;
+            finished = false;
+            error = None;
+          }
+        in
+        t.current <- Some j;
+        Condition.broadcast t.work_available;
+        work_on t j;
+        while not j.finished do
+          Condition.wait t.job_done t.mutex
+        done;
+        t.current <- None;
+        Mutex.unlock t.mutex;
+        match j.error with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+  end
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~chunks:n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let map_list_opt pool f xs =
+  match pool with Some t -> map_list t f xs | None -> List.map f xs
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map t f xs)

@@ -1,0 +1,75 @@
+(** Fixed-size domain pool with chunked fan-out/fan-in.
+
+    A pool owns [domains - 1] worker domains (the submitting domain is
+    the remaining one — it always participates in its own jobs), fed
+    through a single-job work queue.  Jobs are sets of independent,
+    index-addressed chunks; results land in caller-owned slots keyed by
+    chunk index, so the outcome of a job is a pure function of the chunk
+    bodies and {e never} of the domain count or the scheduling order.
+    Every parallel entry point in the library builds on this contract to
+    stay bit-for-bit deterministic.
+
+    Guarantees:
+    {ul
+    {- [domains = 1] (no workers) degrades to a plain in-order loop on
+       the calling domain — no spawning, no synchronisation;}
+    {- an exception raised inside a chunk cancels the job's unclaimed
+       chunks, is recorded, and is re-raised at the join point {e after}
+       every in-flight chunk has drained — no orphaned domains, and the
+       pool stays usable for subsequent jobs;}
+    {- when several chunks fail, the one with the lowest chunk index
+       wins, matching what the sequential loop would have raised;}
+    {- a job submitted while the pool is busy (nested submission from
+       inside a chunk, or a concurrent job from another domain) runs
+       inline on the submitting domain — same results, no deadlock.}} *)
+
+type t
+
+val parse_domains : string -> int option
+(** Parse a [NANODEC_DOMAINS]-style value: [Some n] for a positive
+    decimal integer, [None] otherwise.  Exposed for tests. *)
+
+val default_domains : unit -> int
+(** The [NANODEC_DOMAINS] environment override when set to a positive
+    integer (raises [Invalid_argument] on a malformed value), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    ([domains] defaults to {!default_domains}; clamped to at most 64).
+    Raises [Invalid_argument] if [domains < 1]. *)
+
+val domains : t -> int
+(** Total domains working a job, including the submitter. *)
+
+val shutdown : t -> unit
+(** Join every worker domain.  Idempotent.  Using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,
+    normal or exceptional. *)
+
+val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+(** [parallel_for pool ~chunks body] runs [body i] for every
+    [i] in [0 .. chunks - 1], work-stealing chunk indices across the
+    pool's domains.  Returns when all chunks have completed. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] is [Array.map f xs] with the elements evaluated
+    across the pool; result order is the input order. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val map_list_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list] through an optional pool; [None] is [List.map].  The
+    convenience spelling used by the sweep/figure pipelines. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [map_reduce pool ~map ~reduce ~init xs] evaluates [map] across the
+    pool, then folds the results {e left-to-right in index order} —
+    [reduce (... (reduce init y0) ...) yn] — so non-associative or
+    non-commutative reductions (floating-point sums included) are
+    reproducible for every domain count. *)

@@ -332,6 +332,50 @@ let defect_map_determinism =
            (fun i -> a.(i) = Defect_map.Working)
            (Defect_map.usable_indices a))
 
+(* --- Domain-parallel engine (bit-for-bit determinism contract) --- *)
+
+let pool_map_sequential_equivalence =
+  Property.make
+    ~name:"Pool.map equals the in-order sequential map"
+    ~print:(fun (xs, domains) ->
+      Printf.sprintf "[%s] on %d domains"
+        (String.concat "; " (List.map string_of_int xs))
+        domains)
+    (pair (list (int_range (-1000) 1000)) (int_range 1 4))
+    (fun (xs, domains) ->
+      (* A pure but order-sensitive function: any chunk mix-up or
+         reordering of the fan-in changes the output. *)
+      let f x = (x * 2654435761) lxor (x lsr 3) in
+      let expected = List.map f xs in
+      Nanodec_parallel.Pool.with_pool ~domains (fun pool ->
+          Nanodec_parallel.Pool.map_list pool f xs = expected))
+
+let chunked_mc_domain_invariance =
+  Property.make
+    ~name:"Chunked MC estimates are domain-count invariant"
+    ~print:(fun (seed, (samples, chunks), domains) ->
+      Printf.sprintf "seed %d, %d samples / %d chunks, %d domains" seed samples
+        chunks domains)
+    (triple Generators.sample_seed
+       (pair (int_range 2 200) (int_range 1 32))
+       (int_range 1 4))
+    (fun (seed, (samples, chunks), domains) ->
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let p rng = Rng.float rng < 0.5 in
+      let sequential =
+        Montecarlo.estimate_par ~chunks (Rng.create ~seed) ~samples f
+      in
+      let sequential_prop =
+        Montecarlo.estimate_proportion_par ~chunks (Rng.create ~seed) ~samples
+          p
+      in
+      Nanodec_parallel.Pool.with_pool ~domains (fun pool ->
+          Montecarlo.estimate_par ~pool ~chunks (Rng.create ~seed) ~samples f
+          = sequential
+          && Montecarlo.estimate_proportion_par ~pool ~chunks
+               (Rng.create ~seed) ~samples p
+             = sequential_prop))
+
 let all =
   [
     h_bijectivity;
@@ -352,4 +396,6 @@ let all =
     metrics_consistency;
     pattern_transitions;
     defect_map_determinism;
+    pool_map_sequential_equivalence;
+    chunked_mc_domain_invariance;
   ]

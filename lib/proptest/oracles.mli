@@ -36,6 +36,8 @@ val codebook_space_coverage : Property.t
 val metrics_consistency : Property.t
 val pattern_transitions : Property.t
 val defect_map_determinism : Property.t
+val pool_map_sequential_equivalence : Property.t
+val chunked_mc_domain_invariance : Property.t
 
 val all : Property.t list
 (** Every oracle, in paper order. *)

@@ -19,5 +19,6 @@ let () =
       ("pipeline properties", Test_pipeline.suite);
       ("degenerate dimensions", Test_edge_cases.suite);
       ("exhaustive arrangements", Test_exhaustive.suite);
+      ("parallel engine", Test_parallel.suite);
       ("proptest oracles", Test_properties.suite);
     ]

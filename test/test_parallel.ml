@@ -1,0 +1,327 @@
+(* Domain-parallel engine: the bit-for-bit determinism contract and the
+   pool's failure/robustness guarantees.
+
+   The headline property: every parallel entry point returns a value
+   structurally identical to its sequential counterpart for every domain
+   count — the chunk structure, not the scheduling, decides the result. *)
+
+open Nanodec_numerics
+open Nanodec_parallel
+
+let domain_counts = [ 1; 2; 4; 8 ]
+let seeds = [ 1; 2009; 424242 ]
+
+let estimate : Montecarlo.estimate Alcotest.testable =
+  Alcotest.testable Montecarlo.pp ( = )
+
+(* --- NANODEC_DOMAINS parsing --- *)
+
+let test_parse_domains () =
+  let some = [ ("1", 1); ("2", 2); ("16", 16); ("0007", 7) ] in
+  List.iter
+    (fun (s, n) ->
+      Alcotest.(check (option int)) s (Some n) (Pool.parse_domains s))
+    some;
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) ("reject " ^ s) None (Pool.parse_domains s))
+    [ ""; "0"; "-3"; "four"; "2.5"; " 2"; "2 "; "0x2" ]
+
+(* --- Monte-Carlo equivalence: parallel = sequential, all domain counts --- *)
+
+(* A deterministic integrand with enough structure to expose any chunk
+   or stream mix-up: mean of a few uniforms, squashed nonlinearly. *)
+let integrand rng =
+  let a = Rng.float rng in
+  let b = Rng.float rng in
+  sin (3.0 *. a) *. cos (2.0 *. b) +. (a *. b)
+
+let predicate rng = Rng.float rng < 0.37
+
+let check_estimate_invariance ~samples ~chunks () =
+  List.iter
+    (fun seed ->
+      let baseline =
+        Montecarlo.estimate_par ~chunks (Rng.create ~seed) ~samples integrand
+      in
+      let baseline_prop =
+        Montecarlo.estimate_proportion_par ~chunks (Rng.create ~seed) ~samples
+          predicate
+      in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let e =
+                Montecarlo.estimate_par ~pool ~chunks (Rng.create ~seed)
+                  ~samples integrand
+              in
+              Alcotest.check estimate
+                (Printf.sprintf "estimate seed=%d domains=%d" seed domains)
+                baseline e;
+              let p =
+                Montecarlo.estimate_proportion_par ~pool ~chunks
+                  (Rng.create ~seed) ~samples predicate
+              in
+              Alcotest.check estimate
+                (Printf.sprintf "proportion seed=%d domains=%d" seed domains)
+                baseline_prop p))
+        domain_counts)
+    seeds
+
+let test_estimate_invariance () =
+  check_estimate_invariance ~samples:1000 ~chunks:Montecarlo.default_chunks ()
+
+let test_estimate_degenerate () =
+  (* chunks > samples: most chunks are empty and must contribute nothing. *)
+  check_estimate_invariance ~samples:2 ~chunks:64 ();
+  (* ragged split: 3 samples over 7 chunks. *)
+  check_estimate_invariance ~samples:3 ~chunks:7 ();
+  (* single chunk: the parallel path is one sequential run. *)
+  check_estimate_invariance ~samples:50 ~chunks:1 ()
+
+let test_estimate_agrees_with_plain () =
+  (* The chunked estimator draws from split sub-streams, so it is a
+     different (equally valid) sample than the plain estimator — the two
+     must agree statistically, not bitwise: means within a few combined
+     standard errors, standard errors of similar magnitude. *)
+  List.iter
+    (fun seed ->
+      let samples = 4000 in
+      let plain = Montecarlo.estimate (Rng.create ~seed) ~samples integrand in
+      let chunked =
+        Montecarlo.estimate_par (Rng.create ~seed) ~samples integrand
+      in
+      let gap = Float.abs (plain.Montecarlo.mean -. chunked.Montecarlo.mean) in
+      let combined_se =
+        sqrt
+          ((plain.Montecarlo.std_error ** 2.)
+          +. (chunked.Montecarlo.std_error ** 2.))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "means agree within 5 SE, seed %d" seed)
+        true
+        (gap <= 5. *. combined_se);
+      Alcotest.(check bool)
+        (Printf.sprintf "std errors comparable, seed %d" seed)
+        true
+        (chunked.Montecarlo.std_error < 2. *. plain.Montecarlo.std_error
+        && plain.Montecarlo.std_error < 2. *. chunked.Montecarlo.std_error))
+    seeds
+
+let test_estimate_validation () =
+  Alcotest.check_raises "samples < 2"
+    (Invalid_argument "Montecarlo.estimate_par: need >= 2 samples")
+    (fun () ->
+      ignore (Montecarlo.estimate_par (Rng.create ~seed:1) ~samples:1 integrand));
+  Alcotest.check_raises "chunks < 1"
+    (Invalid_argument "Montecarlo.estimate_par: need >= 1 chunk")
+    (fun () ->
+      ignore
+        (Montecarlo.estimate_par ~chunks:0 (Rng.create ~seed:1) ~samples:10
+           integrand))
+
+(* --- crossbar Monte-Carlo yield --- *)
+
+let test_mc_yield_window_invariance () =
+  let spec =
+    Nanodec.Design.spec ~code_type:Nanodec_codes.Codebook.Tree ~code_length:8 ()
+  in
+  let analysis = Nanodec_crossbar.Cave.analyze spec.Nanodec.Design.cave in
+  let samples = 200 in
+  let baseline =
+    Nanodec_crossbar.Cave.mc_yield_window_par (Rng.create ~seed:2009) ~samples
+      analysis
+  in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let e =
+            Nanodec_crossbar.Cave.mc_yield_window_par ~pool
+              (Rng.create ~seed:2009) ~samples analysis
+          in
+          Alcotest.check estimate
+            (Printf.sprintf "mc yield, domains=%d" domains)
+            baseline e))
+    domain_counts
+
+(* --- sweep / figures / scaling / ablation equivalence --- *)
+
+let small_candidates =
+  Nanodec.Optimizer.
+    [
+      { code_type = Nanodec_codes.Codebook.Tree; code_length = 6 };
+      { code_type = Nanodec_codes.Codebook.Gray; code_length = 6 };
+      { code_type = Nanodec_codes.Codebook.Balanced_gray; code_length = 6 };
+      { code_type = Nanodec_codes.Codebook.Hot; code_length = 4 };
+      { code_type = Nanodec_codes.Codebook.Arranged_hot; code_length = 4 };
+    ]
+
+let test_sweep_invariance () =
+  let baseline = Nanodec.Optimizer.sweep ~candidates:small_candidates () in
+  Alcotest.(check int) "baseline size" 5 (List.length baseline);
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let reports =
+            Nanodec.Optimizer.sweep ~pool ~candidates:small_candidates ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "sweep identical, domains=%d" domains)
+            true
+            (reports = baseline)))
+    domain_counts
+
+let test_figures_invariance () =
+  let fig7 = Nanodec.Figures.fig7 () in
+  let fig8 = Nanodec.Figures.fig8 () in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fig7 identical, domains=%d" domains)
+            true
+            (Nanodec.Figures.fig7 ~pool () = fig7);
+          Alcotest.(check bool)
+            (Printf.sprintf "fig8 identical, domains=%d" domains)
+            true
+            (Nanodec.Figures.fig8 ~pool () = fig8)))
+    [ 1; 4 ]
+
+let test_scaling_ablation_invariance () =
+  let nodes = Nanodec.Scaling.sweep_nodes () in
+  let ablation = Nanodec.Ablation.sigma_t () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check bool)
+        "scaling nodes identical" true
+        (Nanodec.Scaling.sweep_nodes ~pool () = nodes);
+      Alcotest.(check bool)
+        "sigma_t ablation identical" true
+        (Nanodec.Ablation.sigma_t ~pool () = ablation))
+
+(* --- pool robustness --- *)
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "failure re-raised, domains=%d" domains)
+            (Failure "boom")
+            (fun () ->
+              ignore
+                (Pool.map pool
+                   (fun i -> if i = 5 then failwith "boom" else i)
+                   (Array.init 32 Fun.id)))))
+    [ 1; 4 ]
+
+let test_lowest_failure_wins () =
+  (* Every chunk fails; the sequential loop would have raised chunk 0's
+     exception first, so the pool must report exactly that one. *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "lowest index wins" (Failure "chunk 0") (fun () ->
+          Pool.parallel_for pool ~chunks:16 (fun i ->
+              failwith (Printf.sprintf "chunk %d" i))))
+
+let test_pool_reusable_after_failure () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try
+         ignore
+           (Pool.map pool
+              (fun i -> if i mod 3 = 0 then failwith "flaky" else i)
+              (Array.init 24 Fun.id))
+       with Failure _ -> ());
+      let xs = Array.init 100 Fun.id in
+      let doubled = Pool.map pool (fun x -> 2 * x) xs in
+      Alcotest.(check (array int))
+        "pool still works after a failed job"
+        (Array.map (fun x -> 2 * x) xs)
+        doubled)
+
+let test_nested_submission_inline () =
+  (* A job submitted from inside a running chunk must complete inline
+     with the same result, not deadlock. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let outer =
+        Pool.map pool
+          (fun i ->
+            let inner = Pool.map pool (fun j -> i + j) (Array.init 4 Fun.id) in
+            Array.fold_left ( + ) 0 inner)
+          (Array.init 8 Fun.id)
+      in
+      let expected = Array.init 8 (fun i -> (4 * i) + 6) in
+      Alcotest.(check (array int)) "nested jobs" expected outer)
+
+let test_many_successive_jobs () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      for round = 1 to 60 do
+        let xs = Array.init (1 + (round mod 17)) Fun.id in
+        let got = Pool.map pool (fun x -> x * x) xs in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.map (fun x -> x * x) xs)
+          got
+      done)
+
+let test_map_reduce_order () =
+  (* String concatenation is non-commutative: any out-of-order reduction
+     changes the answer. *)
+  let xs = Array.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+  let expected = String.concat "" (Array.to_list xs) in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let got =
+            Pool.map_reduce pool ~map:Fun.id ~reduce:( ^ ) ~init:"" xs
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "in-order reduce, domains=%d" domains)
+            expected got))
+    domain_counts
+
+let test_shutdown () =
+  let pool = Pool.create ~domains:4 () in
+  Alcotest.(check int) "domains" 4 (Pool.domains pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool: used after shutdown") (fun () ->
+      Pool.parallel_for pool ~chunks:2 ignore)
+
+let test_create_validation () =
+  Alcotest.check_raises "domains < 1"
+    (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "NANODEC_DOMAINS parsing" `Quick test_parse_domains;
+    Alcotest.test_case "MC estimate invariant across domain counts" `Quick
+      test_estimate_invariance;
+    Alcotest.test_case "MC estimate degenerate chunkings" `Quick
+      test_estimate_degenerate;
+    Alcotest.test_case "chunked estimator agrees with plain statistically"
+      `Quick test_estimate_agrees_with_plain;
+    Alcotest.test_case "estimator argument validation" `Quick
+      test_estimate_validation;
+    Alcotest.test_case "crossbar MC yield invariant" `Quick
+      test_mc_yield_window_invariance;
+    Alcotest.test_case "optimizer sweep invariant" `Quick test_sweep_invariance;
+    Alcotest.test_case "figures 7/8 invariant" `Quick test_figures_invariance;
+    Alcotest.test_case "scaling and ablation invariant" `Quick
+      test_scaling_ablation_invariance;
+    Alcotest.test_case "chunk exception re-raised at join" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "lowest-index failure wins" `Quick
+      test_lowest_failure_wins;
+    Alcotest.test_case "pool reusable after a failed job" `Quick
+      test_pool_reusable_after_failure;
+    Alcotest.test_case "nested submission runs inline" `Quick
+      test_nested_submission_inline;
+    Alcotest.test_case "many successive jobs" `Quick test_many_successive_jobs;
+    Alcotest.test_case "map_reduce folds in index order" `Quick
+      test_map_reduce_order;
+    Alcotest.test_case "shutdown is idempotent and final" `Quick test_shutdown;
+    Alcotest.test_case "create validates domain count" `Quick
+      test_create_validation;
+  ]
