@@ -296,18 +296,26 @@ let run_bechamel () =
         ols)
     bechamel_tests
 
-(* --- machine-readable parallel bench: --json [--quick] ---
+(* --- machine-readable parallel bench: --json [--quick] [--gate-overhead] ---
 
    Times the headline workloads sequentially and on 2- and 4-domain
    pools, checks that every reproduced value is bit-for-bit identical
-   across the three runs (the determinism gate — any drift fails the
-   process), and writes BENCH_parallel.json so later PRs have a
-   perf trajectory to regress against. *)
+   across the three runs AND across a telemetry-instrumented run (the
+   determinism gate — any drift fails the process), and writes
+   BENCH_parallel.json (now with a per-stage breakdown from the span
+   totals and pool counters of the instrumented run) plus
+   BENCH_telemetry.json (the full span-tree export per workload) so
+   later PRs have both a perf trajectory and a stage profile to regress
+   against.  --gate-overhead additionally times the first workload with
+   and without a sink and fails if telemetry costs more than 5 %. *)
+
+module Run_ctx = Nanodec_parallel.Run_ctx
+module Telemetry = Nanodec_telemetry.Telemetry
 
 type parallel_workload = {
   wname : string;
   detail : string;
-  run : Nanodec_parallel.Pool.t option -> (string * float) list;
+  run : ?ctx:Run_ctx.t -> unit -> (string * float) list;
       (* labelled reproduced values; the digest compared across runs *)
 }
 
@@ -322,7 +330,7 @@ let parallel_workloads ~quick =
           "Monte-Carlo window yield, %d noise draws x %d designs" mc_samples
           (List.length Figures.fig7_candidates);
       run =
-        (fun pool ->
+        (fun ?ctx () ->
           List.map
             (fun (ct, m) ->
               let spec = Design.spec ~code_type:ct ~code_length:m () in
@@ -330,7 +338,7 @@ let parallel_workloads ~quick =
                 Nanodec_crossbar.Cave.analyze spec.Design.cave
               in
               let e =
-                Nanodec_crossbar.Cave.mc_yield_window_par ?pool
+                Nanodec_crossbar.Cave.mc_yield_window_par ?ctx
                   (Rng.create ~seed:2009) ~samples:mc_samples analysis
               in
               (label ct m, e.Montecarlo.mean))
@@ -340,37 +348,37 @@ let parallel_workloads ~quick =
       wname = "optimizer-sweep";
       detail = "full code-family x length grid, analytic design flow";
       run =
-        (fun pool ->
+        (fun ?ctx () ->
           List.map
             (fun (r : Design.report) ->
               let c = r.Design.spec.Design.cave in
               ( label c.Nanodec_crossbar.Cave.code_type
                   c.Nanodec_crossbar.Cave.code_length,
                 r.Design.crossbar_yield ))
-            (Optimizer.sweep ?pool ()));
+            (Optimizer.sweep ?ctx ()));
     };
     {
       wname = "fig8-bit-area";
       detail = "bit area, all five families at M in {6,8,10}";
       run =
-        (fun pool ->
+        (fun ?ctx () ->
           List.map
             (fun (p : Figures.fig8_point) ->
               (label p.Figures.code_type p.Figures.code_length, p.Figures.bit_area))
-            (Figures.fig8 ?pool ()));
+            (Figures.fig8 ?ctx ()));
     };
     {
       wname = "ablation-sigma-t";
       detail = "TC vs BGC yield across the sigma_T sweep";
       run =
-        (fun pool ->
+        (fun ?ctx () ->
           List.concat_map
             (fun (p : Ablation.point) ->
               [
                 (Printf.sprintf "TC@%g" p.Ablation.value, p.Ablation.tree_yield);
                 (Printf.sprintf "BGC@%g" p.Ablation.value, p.Ablation.bgc_yield);
               ])
-            (Ablation.sigma_t ?pool ()).Ablation.points);
+            (Ablation.sigma_t ?ctx ()).Ablation.points);
     };
   ]
 
@@ -392,6 +400,14 @@ let json_escape s =
          | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* The pool counters worth tracking per workload in the stage
+   breakdown. *)
+let stage_counters = [
+  "pool.jobs"; "pool.jobs.sequential"; "pool.jobs.inline_nested";
+  "pool.chunks.submitter"; "pool.chunks.worker";
+  "optimizer.candidates"; "mc.samples";
+]
+
 let run_json ~quick =
   let reps = if quick then 1 else 3 in
   let domain_counts = [ 2; 4 ] in
@@ -401,19 +417,30 @@ let run_json ~quick =
       (fun w ->
         (* One untimed warm-up run populates the code-construction memo
            tables so every timed run sees the same warm caches. *)
-        let reference = w.run None in
-        let _, seq_time = time_best ~reps (fun () -> w.run None) in
+        let reference = w.run () in
+        let _, seq_time = time_best ~reps (fun () -> w.run ()) in
         let pooled =
           List.map
             (fun domains ->
-              Nanodec_parallel.Pool.with_pool ~domains (fun pool ->
+              Run_ctx.with_ctx ~domains (fun ctx ->
                   let values, t =
-                    time_best ~reps (fun () -> w.run (Some pool))
+                    time_best ~reps (fun () -> w.run ~ctx ())
                   in
                   (domains, t, values = reference)))
             domain_counts
         in
-        let deterministic = List.for_all (fun (_, _, ok) -> ok) pooled in
+        (* One instrumented 4-domain run: its span totals and counters
+           become the per-stage breakdown, its full export lands in
+           BENCH_telemetry.json, and its values join the determinism
+           gate — telemetry must be a pure observer. *)
+        let sink = Telemetry.create () in
+        let tele_ok =
+          Run_ctx.with_ctx ~domains:4 ~telemetry:sink (fun ctx ->
+              w.run ~ctx () = reference)
+        in
+        let deterministic =
+          List.for_all (fun (_, _, ok) -> ok) pooled && tele_ok
+        in
         if not deterministic then all_deterministic := false;
         Printf.printf "%-18s seq %8.4fs" w.wname seq_time;
         List.iter
@@ -421,7 +448,7 @@ let run_json ~quick =
             Printf.printf "   %dd %8.4fs (%.2fx)" d t (seq_time /. t))
           pooled;
         Printf.printf "   deterministic: %b\n%!" deterministic;
-        (w, reference, seq_time, pooled, deterministic))
+        (w, reference, seq_time, pooled, deterministic, sink))
       (parallel_workloads ~quick)
   in
   let oc = open_out "BENCH_parallel.json" in
@@ -435,7 +462,7 @@ let run_json ~quick =
   out "  \"all_deterministic\": %b,\n" !all_deterministic;
   out "  \"workloads\": [\n";
   List.iteri
-    (fun i (w, reference, seq_time, pooled, deterministic) ->
+    (fun i (w, reference, seq_time, pooled, deterministic, sink) ->
       out "    {\n";
       out "      \"name\": \"%s\",\n" (json_escape w.wname);
       out "      \"detail\": \"%s\",\n" (json_escape w.detail);
@@ -450,6 +477,26 @@ let run_json ~quick =
         pooled;
       out "},\n";
       out "      \"deterministic\": %b,\n" deterministic;
+      (* Stage breakdown of the instrumented 4-domain run: total
+         seconds per span name plus the pool/estimator counters. *)
+      out "      \"stages\": {";
+      List.iteri
+        (fun j (name, (count, seconds)) ->
+          out "%s\"%s\": {\"count\": %d, \"seconds\": %.6f}"
+            (if j > 0 then ", " else "")
+            (json_escape name) count seconds)
+        (Telemetry.span_totals sink);
+      out "},\n";
+      out "      \"counters\": {";
+      let counters = Telemetry.counters sink in
+      List.iteri
+        (fun j name ->
+          let v =
+            Option.value ~default:0 (List.assoc_opt name counters)
+          in
+          out "%s\"%s\": %d" (if j > 0 then ", " else "") (json_escape name) v)
+        stage_counters;
+      out "},\n";
       out "      \"values\": {";
       List.iteri
         (fun j (k, v) ->
@@ -462,16 +509,53 @@ let run_json ~quick =
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json (%d workloads)\n"
     (List.length results);
+  (* Full span-tree export of every workload's instrumented run. *)
+  let oc = open_out "BENCH_telemetry.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun i (w, _, _, _, _, sink) ->
+      out "    {\"name\": \"%s\", \"telemetry\": %s}%s\n" (json_escape w.wname)
+        (Telemetry.to_json sink)
+        (if i < List.length results - 1 then "," else ""))
+    results;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_telemetry.json (%d workloads)\n"
+    (List.length results);
   if not !all_deterministic then begin
     prerr_endline
       "FAIL: parallel results diverged from the sequential reference";
     exit 1
   end
 
+(* --gate-overhead: a sink on the sequential path must cost < 5 %.
+   Best-of-5 on the Monte-Carlo workload, whose per-chunk probes make
+   it the most telemetry-dense of the four. *)
+let gate_overhead ~quick =
+  let w = List.hd (parallel_workloads ~quick) in
+  let reps = 5 in
+  ignore (w.run ());
+  let _, off = time_best ~reps (fun () -> w.run ()) in
+  let sink = Telemetry.create () in
+  let ctx = Run_ctx.make ~telemetry:sink () in
+  let _, on_t = time_best ~reps (fun () -> w.run ~ctx ()) in
+  let overhead = (on_t -. off) /. off in
+  Printf.printf
+    "telemetry overhead (%s, seq, best of %d): off %.4fs, on %.4fs (%+.2f%%)\n"
+    w.wname reps off on_t (100. *. overhead);
+  if overhead > 0.05 then begin
+    prerr_endline "FAIL: telemetry overhead exceeds 5%";
+    exit 1
+  end
+
 let () =
   let argv = Array.to_list Sys.argv in
-  if List.mem "--json" argv then
-    run_json ~quick:(List.mem "--quick" argv)
+  if List.mem "--json" argv then begin
+    run_json ~quick:(List.mem "--quick" argv);
+    if List.mem "--gate-overhead" argv then
+      gate_overhead ~quick:(List.mem "--quick" argv)
+  end
   else begin
     print_endline "nanodec reproduction harness — Ben Jamaa et al., DAC 2009";
     print_fig5 ();

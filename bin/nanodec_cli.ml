@@ -67,15 +67,95 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-(* Every parallel entry point is domain-count invariant, so the flag
-   only changes wall-clock, never output. *)
-let with_domains domains f =
-  let domains =
-    match domains with
-    | Some n -> n
-    | None -> Nanodec_parallel.Pool.default_domains ()
-  in
-  Nanodec_parallel.Pool.with_pool ~domains f
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+(* --- execution-context flags ---
+
+   The one place the CLI's execution knobs live: a subcommand that does
+   heavy work composes [Ctx_flags.term] and gets --domains, --seed,
+   --mc-samples, --telemetry and --profile in one line, and
+   [Ctx_flags.with_ctx] turns the parsed record into a [Run_ctx.t]
+   (pool spawned, sink attached when requested), runs the command body,
+   and only after the pool has joined — as the sink contract requires —
+   writes the JSON export and prints the stderr profile.  Every flag is
+   wall-clock/observability only except --seed and --mc-samples, which
+   the context carries explicitly; stdout is bit-for-bit identical with
+   and without --telemetry/--profile at every domain count. *)
+
+module Ctx_flags = struct
+  type t = {
+    domains : int option;
+    seed : int;
+    mc_samples : int;
+    telemetry : string option;
+    profile : bool;
+  }
+
+  let term =
+    let make domains seed mc_samples telemetry profile =
+      { domains; seed; mc_samples; telemetry; profile }
+    in
+    let seed_arg =
+      let doc = "Monte-Carlo noise seed." in
+      Arg.(value & opt int Run_ctx.default_seed
+           & info [ "seed" ] ~docv:"SEED" ~doc)
+    in
+    let mc_samples_arg =
+      let doc =
+        "Monte-Carlo noise draws, where the command uses them (0 \
+         disables).  The estimate runs on the $(b,--domains) pool and is \
+         bit-for-bit independent of the domain count."
+      in
+      Arg.(value & opt int 0 & info [ "mc-samples" ] ~docv:"SAMPLES" ~doc)
+    in
+    let telemetry_arg =
+      let doc =
+        "Write the run's telemetry (span trees, counters, latency \
+         histograms) to this JSON file."
+      in
+      Arg.(value & opt (some string) None
+           & info [ "telemetry" ] ~docv:"FILE" ~doc)
+    in
+    let profile_arg =
+      let doc =
+        "Print a human-readable profile (spans by name with %-of-wall, \
+         counters, histograms) to stderr after the run."
+      in
+      Arg.(value & flag & info [ "profile" ] ~doc)
+    in
+    Term.(const make $ domains_arg $ seed_arg $ mc_samples_arg
+          $ telemetry_arg $ profile_arg)
+
+  (* [want_pool = false] keeps cheap closed-form commands from spawning
+     domains they would never use; telemetry still works. *)
+  let with_ctx ?(want_pool = true) flags f =
+    let sink =
+      if flags.telemetry <> None || flags.profile then
+        Some (Telemetry.create ())
+      else None
+    in
+    let domains =
+      if want_pool then
+        Some
+          (match flags.domains with
+          | Some n -> n
+          | None -> Nanodec_parallel.Pool.default_domains ())
+      else None
+    in
+    let result =
+      Run_ctx.with_ctx ?domains ~seed:flags.seed
+        ~mc_samples:flags.mc_samples ?telemetry:sink f
+    in
+    Option.iter
+      (fun sink ->
+        Option.iter
+          (fun path -> Telemetry.write_json sink ~path)
+          flags.telemetry;
+        if flags.profile then Format.eprintf "%a@." Telemetry.pp_summary sink)
+      sink;
+    result
+end
 
 let make_spec code_type code_length radix n_wires raw_bits =
   let base = { Design.default_spec with Design.raw_bits } in
@@ -84,8 +164,7 @@ let make_spec code_type code_length radix n_wires raw_bits =
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run verbose code_type code_length radix n_wires raw_bits domains
-      mc_samples seed =
+  let run verbose code_type code_length radix n_wires raw_bits flags =
     setup_logging verbose;
     match
       Codebook.validate_length ~radix ~length:code_length code_type
@@ -94,37 +173,30 @@ let evaluate_cmd =
       Format.eprintf "error: %s@." msg;
       exit 1
     | Ok () ->
+      (* The pool is only worth spawning for the Monte-Carlo check; the
+         closed-form report is sequential either way. *)
+      let mc = flags.Ctx_flags.mc_samples > 0 in
+      Ctx_flags.with_ctx ~want_pool:mc flags @@ fun ctx ->
       let spec = make_spec code_type code_length radix n_wires raw_bits in
       let report = Design.evaluate spec in
       Format.printf "%a@." Design.pp_report report;
-      if mc_samples > 0 then
-        with_domains domains (fun pool ->
-            let analysis = Nanodec_crossbar.Cave.analyze spec.Design.cave in
-            let e =
-              Nanodec_crossbar.Cave.mc_yield_window_par ~pool
-                (Rng.create ~seed) ~samples:mc_samples analysis
-            in
-            Printf.printf
-              "monte-carlo yield check: %.9f +/- %.9f (n=%d, seed %d)\n"
-              e.Montecarlo.mean e.Montecarlo.std_error e.Montecarlo.samples
-              seed)
-  in
-  let mc_samples_arg =
-    let doc =
-      "Also re-estimate the cave yield by Monte-Carlo with this many \
-       noise draws (0 disables).  The estimate runs on the $(b,--domains) \
-       pool and is bit-for-bit independent of the domain count."
-    in
-    Arg.(value & opt int 0 & info [ "mc-samples" ] ~docv:"SAMPLES" ~doc)
-  in
-  let seed_arg =
-    let doc = "Monte-Carlo noise seed." in
-    Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc)
+      if mc then (
+        let analysis = Nanodec_crossbar.Cave.analyze spec.Design.cave in
+        let seed = Run_ctx.seed ctx in
+        let e =
+          Nanodec_crossbar.Cave.mc_yield_window_par ~ctx
+            (Rng.create ~seed)
+            ~samples:(Run_ctx.mc_samples ctx)
+            analysis
+        in
+        Printf.printf
+          "monte-carlo yield check: %.9f +/- %.9f (n=%d, seed %d)\n"
+          e.Montecarlo.mean e.Montecarlo.std_error e.Montecarlo.samples
+          seed)
   in
   let term =
     Term.(const run $ verbose_arg $ code_type_arg $ length_arg $ radix_arg
-          $ wires_arg $ raw_bits_arg $ domains_arg $ mc_samples_arg
-          $ seed_arg)
+          $ wires_arg $ raw_bits_arg $ Ctx_flags.term)
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate one decoder design (yield, area, Phi, Sigma).")
@@ -151,18 +223,18 @@ let objective_conv =
   Arg.conv (parse, print)
 
 let sweep_cmd =
-  let run verbose objective radix n_wires raw_bits domains =
+  let run verbose objective radix n_wires raw_bits flags =
     setup_logging verbose;
     let spec =
       Design.spec
         ~base:{ Design.default_spec with Design.raw_bits }
         ~radix ~n_wires ~code_type:Codebook.Balanced_gray ~code_length:10 ()
     in
-    with_domains domains (fun pool ->
-        let reports = Optimizer.sweep ~pool ~spec () in
+    Ctx_flags.with_ctx flags (fun ctx ->
+        let reports = Optimizer.sweep ~ctx ~spec () in
         print_endline Design.report_header;
         List.iter (fun r -> print_endline (Design.report_row r)) reports;
-        let winner = Optimizer.best ~pool ~spec objective in
+        let winner = Optimizer.best ~ctx ~spec objective in
         Format.printf "@.winner:@.%a@." Design.pp_report winner;
         print_endline "\npareto front (yield vs bit area):";
         List.iter
@@ -176,7 +248,7 @@ let sweep_cmd =
   in
   let term =
     Term.(const run $ verbose_arg $ objective_arg $ radix_arg $ wires_arg
-          $ raw_bits_arg $ domains_arg)
+          $ raw_bits_arg $ Ctx_flags.term)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the design space and pick the best decoder.")
@@ -286,16 +358,15 @@ let trace_cmd =
 (* --- figures / headlines --- *)
 
 let figures_cmd =
-  let run which domains =
+  let run which flags =
     (* fig5/fig6 are closed-form and cheap; the design-evaluation grids
        (fig7, fig8, multivalued) fan out across the pool. *)
-    let pooled f =
+    let pooled =
       match which with
-      | "fig7" | "fig8" | "multivalued" ->
-        with_domains domains (fun pool -> f (Some pool))
-      | _ -> f None
+      | "fig7" | "fig8" | "multivalued" -> true
+      | _ -> false
     in
-    pooled @@ fun pool ->
+    Ctx_flags.with_ctx ~want_pool:pooled flags @@ fun ctx ->
     match which with
     | "fig5" ->
       List.iter
@@ -314,20 +385,20 @@ let figures_cmd =
         (fun (p : Figures.fig7_point) ->
           Printf.printf "%s M=%d yield=%.3f\n" (Codebook.name p.code_type)
             p.code_length p.crossbar_yield)
-        (Figures.fig7 ?pool ())
+        (Figures.fig7 ~ctx ())
     | "fig8" ->
       List.iter
         (fun (p : Figures.fig8_point) ->
           Printf.printf "%s M=%d bit_area=%.1f\n" (Codebook.name p.code_type)
             p.code_length p.bit_area)
-        (Figures.fig8 ?pool ())
+        (Figures.fig8 ~ctx ())
     | "multivalued" ->
       List.iter
         (fun (p : Figures.multivalued_point) ->
           Printf.printf "n=%d %s M=%d Phi=%d yield=%.4f bit_area=%.1f\n"
             p.radix (Codebook.name p.code_type) p.code_length p.phi
             p.crossbar_yield p.bit_area)
-        (Figures.multivalued_designs ?pool ())
+        (Figures.multivalued_designs ~ctx ())
     | s ->
       Format.eprintf "error: unknown figure %S (fig5..fig8, multivalued)@." s;
       exit 1
@@ -338,7 +409,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Print one figure's reproduction data.")
-    Term.(const run $ which_arg $ domains_arg)
+    Term.(const run $ which_arg $ Ctx_flags.term)
 
 let headlines_cmd =
   let run () = Format.printf "%a@." Figures.pp_headlines (Figures.headlines ()) in
@@ -367,15 +438,16 @@ let export_cmd =
 (* --- ablate --- *)
 
 let ablate_cmd =
-  let run () =
-    List.iter
-      (fun series -> Format.printf "%a@.@." Ablation.pp series)
-      (Ablation.all ())
+  let run flags =
+    Ctx_flags.with_ctx flags (fun ctx ->
+        List.iter
+          (fun series -> Format.printf "%a@.@." Ablation.pp series)
+          (Ablation.all ~ctx ()))
   in
   Cmd.v
     (Cmd.info "ablate"
        ~doc:"Sweep platform parameters and check the BGC-beats-TC conclusion.")
-    Term.(const run $ const ())
+    Term.(const run $ Ctx_flags.term)
 
 (* --- baseline --- *)
 

@@ -17,10 +17,16 @@ let crossbar_yield cave =
   (Array_sim.evaluate { Array_sim.cave; raw_bits = 16 * 1024 * 8 })
     .Array_sim.crossbar_yield
 
-let sweep ?pool ~parameter ~unit_name ~values ~apply () =
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+let sweep ?ctx ?pool ~parameter ~unit_name ~values ~apply () =
+  let ctx = Run_ctx.resolve ?ctx ?pool () in
   let base = { Cave.default_config with Cave.code_length = 8 } in
   let points =
-    Nanodec_parallel.Pool.map_list_opt pool
+    Telemetry.with_span (Run_ctx.telemetry ctx) ("ablation." ^ parameter)
+    @@ fun () ->
+    Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx)
       (fun value ->
         let at code_type =
           crossbar_yield (apply { base with Cave.code_type } value)
@@ -34,40 +40,40 @@ let sweep ?pool ~parameter ~unit_name ~values ~apply () =
   in
   { parameter; unit_name; points }
 
-let sigma_t ?pool () =
-  sweep ?pool ~parameter:"sigma_T" ~unit_name:"V"
+let sigma_t ?ctx ?pool () =
+  sweep ?ctx ?pool ~parameter:"sigma_T" ~unit_name:"V"
     ~values:[ 0.01; 0.03; 0.05; 0.08; 0.12 ]
     ~apply:(fun c sigma_t -> { c with Cave.sigma_t })
     ()
 
-let sigma_base ?pool () =
-  sweep ?pool ~parameter:"sigma_0" ~unit_name:"V"
+let sigma_base ?ctx ?pool () =
+  sweep ?ctx ?pool ~parameter:"sigma_0" ~unit_name:"V"
     ~values:[ 0.0; 0.05; 0.10; 0.15; 0.20 ]
     ~apply:(fun c v -> { c with Cave.sigma_base = v })
     ()
 
-let margin ?pool () =
-  sweep ?pool ~parameter:"window margin" ~unit_name:"x separation"
+let margin ?ctx ?pool () =
+  sweep ?ctx ?pool ~parameter:"window margin" ~unit_name:"x separation"
     ~values:[ 0.20; 0.30; 0.42; 0.50 ]
     ~apply:(fun c margin_fraction -> { c with Cave.margin_fraction })
     ()
 
-let overlay ?pool () =
-  sweep ?pool ~parameter:"pad overlay" ~unit_name:"nm"
+let overlay ?ctx ?pool () =
+  sweep ?ctx ?pool ~parameter:"pad overlay" ~unit_name:"nm"
     ~values:[ 0.; 8.; 16.; 24.; 28. ]
     ~apply:(fun c v ->
       { c with Cave.rules = { c.Cave.rules with Geometry.pad_overlap = v } })
     ()
 
-let cave_wires ?pool () =
-  sweep ?pool ~parameter:"wires per half cave" ~unit_name:"wires"
+let cave_wires ?ctx ?pool () =
+  sweep ?ctx ?pool ~parameter:"wires per half cave" ~unit_name:"wires"
     ~values:[ 10.; 20.; 30.; 40.; 60. ]
     ~apply:(fun c v -> { c with Cave.n_wires = int_of_float v })
     ()
 
-let all ?pool () =
-  [ sigma_t ?pool (); sigma_base ?pool (); margin ?pool (); overlay ?pool ();
-    cave_wires ?pool () ]
+let all ?ctx ?pool () =
+  [ sigma_t ?ctx ?pool (); sigma_base ?ctx ?pool (); margin ?ctx ?pool ();
+    overlay ?ctx ?pool (); cave_wires ?ctx ?pool () ]
 
 let conclusion_holds series =
   List.for_all (fun p -> p.bgc_yield >= p.tree_yield -. 1e-9) series.points

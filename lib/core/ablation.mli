@@ -20,6 +20,7 @@ type series = {
 }
 
 val sweep :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   parameter:string ->
   unit_name:string ->
@@ -27,26 +28,51 @@ val sweep :
   apply:(Nanodec_crossbar.Cave.config -> float -> Nanodec_crossbar.Cave.config) ->
   unit ->
   series
-(** Generic one-parameter ablation on the paper's platform.  With
-    [pool], the swept values evaluate across the pool's domains with
-    identical results for every domain count. *)
+(** Generic one-parameter ablation on the paper's platform (span
+    [ablation.<parameter>]).  The swept values evaluate across the
+    context's pool with identical results for every domain count; the
+    deprecated [?pool] is folded in via [Run_ctx.resolve]. *)
 
-val sigma_t : ?pool:Nanodec_parallel.Pool.t -> unit -> series
+val sigma_t :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series
 (** Per-implant noise, 10–120 mV. *)
 
-val sigma_base : ?pool:Nanodec_parallel.Pool.t -> unit -> series
+val sigma_base :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series
 (** Intrinsic variability, 0–200 mV. *)
 
-val margin : ?pool:Nanodec_parallel.Pool.t -> unit -> series
+val margin :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series
 (** Addressability window fraction, 0.2–0.5. *)
 
-val overlay : ?pool:Nanodec_parallel.Pool.t -> unit -> series
+val overlay :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series
 (** Pad overlay margin, 0–28 nm. *)
 
-val cave_wires : ?pool:Nanodec_parallel.Pool.t -> unit -> series
+val cave_wires :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series
 (** Nanowires per half cave, 10–60. *)
 
-val all : ?pool:Nanodec_parallel.Pool.t -> unit -> series list
+val all :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  unit ->
+  series list
 
 val conclusion_holds : series -> bool
 (** BGC yield ≥ TC yield at every swept point. *)

@@ -83,12 +83,23 @@ let fig7_candidates =
       List.map (fun m -> (Codebook.Arranged_hot, m)) [ 4; 6; 8 ];
     ]
 
-let fig7 ?pool ?(spec = Design.default_spec) () =
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+(* Every figure generator follows the same shape: resolve pool and sink
+   from the execution context (deprecated [?pool] folded in), wrap the
+   whole figure in a span, fan the points out in candidate order. *)
+let figure_points ?ctx ?pool name point candidates =
+  let ctx = Run_ctx.resolve ?ctx ?pool () in
+  Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
+  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) point candidates
+
+let fig7 ?ctx ?pool ?(spec = Design.default_spec) () =
   let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; crossbar_yield = r.Design.crossbar_yield }
   in
-  Nanodec_parallel.Pool.map_list_opt pool point fig7_candidates
+  figure_points ?ctx ?pool "figures.fig7" point fig7_candidates
 
 type fig8_point = {
   code_type : Codebook.t;
@@ -96,7 +107,7 @@ type fig8_point = {
   bit_area : float;
 }
 
-let fig8 ?pool ?(spec = Design.default_spec) () =
+let fig8 ?ctx ?pool ?(spec = Design.default_spec) () =
   let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; bit_area = r.Design.bit_area }
@@ -106,7 +117,7 @@ let fig8 ?pool ?(spec = Design.default_spec) () =
       (fun ct -> List.map (fun m -> (ct, m)) [ 6; 8; 10 ])
       Codebook.all_types
   in
-  Nanodec_parallel.Pool.map_list_opt pool point candidates
+  figure_points ?ctx ?pool "figures.fig8" point candidates
 
 (* Extension: multi-valued designs *)
 
@@ -119,7 +130,7 @@ type multivalued_point = {
   phi : int;
 }
 
-let multivalued_designs ?pool ?(spec = Design.default_spec) () =
+let multivalued_designs ?ctx ?pool ?(spec = Design.default_spec) () =
   let point (radix, code_type, code_length) =
     let design =
       Design.spec ~base:spec ~radix ~code_type ~code_length ()
@@ -148,7 +159,7 @@ let multivalued_designs ?pool ?(spec = Design.default_spec) () =
           [ minimal; minimal + 2 ])
       [ 2; 3; 4 ]
   in
-  Nanodec_parallel.Pool.map_list_opt pool point candidates
+  figure_points ?ctx ?pool "figures.multivalued" point candidates
 
 (* Headlines *)
 

@@ -51,10 +51,15 @@ val fig7_candidates : (Codebook.t * int) list
     exposed for the Monte-Carlo bench workload. *)
 
 val fig7 :
-  ?pool:Nanodec_parallel.Pool.t -> ?spec:Design.spec -> unit -> fig7_point list
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?spec:Design.spec ->
+  unit ->
+  fig7_point list
 (** TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8, on the paper platform.
-    With [pool], points evaluate across the pool's domains; the result is
-    identical for every domain count. *)
+    The context's pool fans the points out across its domains (span
+    [figures.fig7]); the result is identical for every domain count.
+    The deprecated [?pool] is folded in via [Run_ctx.resolve]. *)
 
 (** {1 Fig. 8 — bit area vs code type and length} *)
 
@@ -65,8 +70,12 @@ type fig8_point = {
 }
 
 val fig8 :
-  ?pool:Nanodec_parallel.Pool.t -> ?spec:Design.spec -> unit -> fig8_point list
-(** All five families at M ∈ 6,8,10. *)
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?spec:Design.spec ->
+  unit ->
+  fig8_point list
+(** All five families at M ∈ 6,8,10 (span [figures.fig8]). *)
 
 (** {1 Extension — multi-valued decoder designs}
 
@@ -86,12 +95,13 @@ type multivalued_point = {
 }
 
 val multivalued_designs :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   unit ->
   multivalued_point list
 (** TC and GC at every radix in 2..4, at the two smallest valid lengths
-    covering the half cave. *)
+    covering the half cave (span [figures.multivalued]). *)
 
 (** {1 Headline numbers} *)
 

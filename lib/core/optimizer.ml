@@ -23,9 +23,15 @@ let valid ~spec { code_type; code_length } =
   | Ok () -> true
   | Error _ -> false
 
-let sweep ?pool ?(spec = Design.default_spec) ?(candidates = default_candidates)
-    () =
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+let sweep ?ctx ?pool ?(spec = Design.default_spec)
+    ?(candidates = default_candidates) () =
+  let ctx = Run_ctx.resolve ?ctx ?pool () in
+  let tel = Run_ctx.telemetry ctx in
   let evaluate { code_type; code_length } =
+    Telemetry.with_span tel "optimizer.evaluate" @@ fun () ->
     match
       Design.evaluate (Design.spec ~base:spec ~code_type ~code_length ())
     with
@@ -41,8 +47,10 @@ let sweep ?pool ?(spec = Design.default_spec) ?(candidates = default_candidates)
      candidate order, so the sweep is domain-count invariant.  Skip
      warnings are logged here, after the join, to keep the chunk bodies
      free of shared logging state. *)
-  Nanodec_parallel.Pool.map_list_opt pool evaluate
-    (List.filter (valid ~spec) candidates)
+  Telemetry.with_span tel "optimizer.sweep" @@ fun () ->
+  let live = List.filter (valid ~spec) candidates in
+  Telemetry.count tel "optimizer.candidates" (List.length live);
+  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) evaluate live
   |> List.filter_map (function
        | Ok report -> Some report
        | Error { code_type; code_length } ->
@@ -61,8 +69,8 @@ let score objective (r : Design.report) =
   | Min_variability ->
     r.Design.sigma_norm1 -. (r.Design.crossbar_yield /. 1000.)
 
-let best ?pool ?spec ?candidates objective =
-  match sweep ?pool ?spec ?candidates () with
+let best ?ctx ?pool ?spec ?candidates objective =
+  match sweep ?ctx ?pool ?spec ?candidates () with
   | [] -> invalid_arg "Optimizer.best: no valid candidate"
   | first :: rest ->
     let winner =

@@ -22,6 +22,7 @@ val default_candidates : candidate list
     combinations dropped). *)
 
 val sweep :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   ?candidates:candidate list ->
@@ -30,11 +31,16 @@ val sweep :
 (** Evaluates every valid candidate on the platform of [spec].  Candidates
     whose exact code construction is out of search range (balanced-Gray or
     arranged-hot spaces beyond the documented limits) are skipped with a
-    warning rather than aborting the sweep.  With [pool], candidates
-    evaluate across the pool's domains; the report list (order included)
-    is identical for every domain count. *)
+    warning rather than aborting the sweep.  The execution context
+    supplies the pool and telemetry (spans [optimizer.sweep] /
+    [optimizer.evaluate], counter [optimizer.candidates]); candidates
+    evaluate across the pool's domains and the report list (order
+    included) is identical for every domain count.  The deprecated
+    [?pool] is still honoured — [Run_ctx.resolve] folds it in, with
+    [?ctx] winning when both carry a pool. *)
 
 val best :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   ?candidates:candidate list ->

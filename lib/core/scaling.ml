@@ -40,9 +40,12 @@ let spec_for node raw_bits =
     raw_bits;
   }
 
-let best_point node raw_bits =
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+let best_point ?ctx node raw_bits =
   let spec = spec_for node raw_bits in
-  let report = Optimizer.best ~spec Optimizer.Min_bit_area in
+  let report = Optimizer.best ?ctx ~spec Optimizer.Min_bit_area in
   let cave = report.Design.spec.Design.cave in
   {
     node;
@@ -53,18 +56,27 @@ let best_point node raw_bits =
     crossbar_yield = report.Design.crossbar_yield;
   }
 
-(* The grid parallelises over nodes/sizes; each grid point's inner sweep
-   stays sequential (a nested submission would run inline anyway). *)
-let sweep_nodes ?pool ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes) () =
-  Nanodec_parallel.Pool.map_list_opt pool
-    (fun node -> best_point node raw_bits)
+(* The grid parallelises over nodes/sizes.  The context also flows into
+   each grid point's inner [Optimizer.best]: submitted from inside a
+   chunk while the pool is busy, those sweeps run inline on the
+   submitting domain — same results, and the pool's inline-submission
+   counter now makes that path visible. *)
+let sweep_grid ?ctx ?pool name point items =
+  let ctx = Run_ctx.resolve ?ctx ?pool () in
+  Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
+  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) (point ctx) items
+
+let sweep_nodes ?ctx ?pool ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes)
+    () =
+  sweep_grid ?ctx ?pool "scaling.nodes"
+    (fun ctx node -> best_point ~ctx node raw_bits)
     nodes
 
 let paper_node = { label = "32nm-class (paper)"; litho_pitch = 32.; nanowire_pitch = 10. }
 
-let sweep_memory_sizes ?pool ?(sizes = [ 4; 16; 64; 256 ]) () =
-  Nanodec_parallel.Pool.map_list_opt pool
-    (fun kb -> best_point paper_node (kb * 1024 * 8))
+let sweep_memory_sizes ?ctx ?pool ?(sizes = [ 4; 16; 64; 256 ]) () =
+  sweep_grid ?ctx ?pool "scaling.memory_sizes"
+    (fun ctx kb -> best_point ~ctx paper_node (kb * 1024 * 8))
     sizes
 
 let pp_point ppf p =

@@ -28,18 +28,27 @@ type point = {
 }
 
 val sweep_nodes :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?raw_bits:int ->
   ?nodes:node list ->
   unit ->
   point list
-(** Minimum-bit-area design per node.  With [pool], nodes evaluate
-    across the pool's domains (each node's inner sweep stays
-    sequential); results are identical for every domain count. *)
+(** Minimum-bit-area design per node (span [scaling.nodes]).  Nodes
+    evaluate across the context's pool; the inner per-node sweep also
+    receives the context, so while the grid is fanned out it runs
+    inline on the submitting domain (counted by
+    {!Nanodec_parallel.Pool.inline_submissions}).  Results are
+    identical for every domain count; the deprecated [?pool] is folded
+    in via [Run_ctx.resolve]. *)
 
 val sweep_memory_sizes :
-  ?pool:Nanodec_parallel.Pool.t -> ?sizes:int list -> unit -> point list
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?sizes:int list ->
+  unit ->
+  point list
 (** Minimum-bit-area design per raw density (default 4 kB – 256 kB) on
-    the paper's 32 nm node. *)
+    the paper's 32 nm node (span [scaling.memory_sizes]). *)
 
 val pp_point : Format.formatter -> point -> unit

@@ -143,12 +143,16 @@ let mc_window_draw analysis ~passes ~w rng =
   done;
   float_of_int !good /. float_of_int n
 
-let mc_yield_window_par ?pool ?chunks rng ~samples analysis =
+let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
   (* Everything the chunk bodies share is computed here, before the
      fan-out; the bodies only read it (and mutate their own stream). *)
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in
-  Montecarlo.estimate_par ?pool ?chunks rng ~samples
+  Nanodec_telemetry.Telemetry.with_span
+    (Nanodec_parallel.Run_ctx.telemetry_of ctx)
+    "cave.mc_yield_window"
+  @@ fun () ->
+  Montecarlo.estimate_par ?ctx ?pool ?chunks rng ~samples
     (mc_window_draw analysis ~passes ~w)
 
 let mc_yield_window rng ~samples analysis =

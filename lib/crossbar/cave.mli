@@ -70,6 +70,7 @@ val mc_yield_functional :
     when it is the unique conductor of its pad under its own address. *)
 
 val mc_yield_window_par :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
   Rng.t ->
@@ -81,4 +82,6 @@ val mc_yield_window_par :
     [pool = None]), though it differs from the single-stream
     {!mc_yield_window} of the same seed.  All shared state (passes,
     window, layout) is computed before the fan-out; chunk bodies only
-    read it. *)
+    read it.  [?ctx] supplies pool and telemetry (span
+    [cave.mc_yield_window] around the estimate); the deprecated
+    [?pool] still wins when given. *)

@@ -43,14 +43,58 @@ let estimate_proportion rng ~samples f =
    [Rng.split_n], and the partial accumulators merge left-to-right in
    chunk index order.  Every float operation therefore happens in an
    order fixed by [chunks] alone, making the result bit-for-bit
-   identical whether the chunks run on 1 domain or 64. *)
+   identical whether the chunks run on 1 domain or 64.
+
+   Telemetry wraps the chunk bodies with pure observation (per-chunk
+   wall time, sample counters, end-to-end rate) and never touches the
+   draw streams or the merge order, so an instrumented estimate equals
+   the bare one exactly. *)
+
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
 
 let default_chunks = 64
 
 let chunk_size ~samples ~chunks i =
   (samples / chunks) + if i < samples mod chunks then 1 else 0
 
-let estimate_par ?pool ?(chunks = default_chunks) rng ~samples f =
+(* Shared fan-out/observe scaffolding of both estimators: resolve the
+   pool from [?ctx]/[?pool], time each chunk into [mc.chunk_s], count
+   the samples and record the whole-estimate rate. *)
+let run_chunks ?ctx ?pool ~chunks ~samples partial =
+  let pool =
+    match pool with Some _ -> pool | None -> Run_ctx.pool_of ctx
+  in
+  let tel = Run_ctx.telemetry_of ctx in
+  let partial =
+    match tel with
+    | None -> partial
+    | Some sink ->
+      let h = Telemetry.histogram sink "mc.chunk_s" in
+      fun i ->
+        let t0 = Telemetry.now sink in
+        let r = partial i in
+        Telemetry.observe h (Telemetry.now sink -. t0);
+        r
+  in
+  let indices = Array.init chunks Fun.id in
+  Telemetry.with_span tel "mc.estimate_par" @@ fun () ->
+  let t0 = match tel with Some s -> Telemetry.now s | None -> 0. in
+  let partials =
+    match pool with
+    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
+    | None -> Array.map partial indices
+  in
+  (match tel with
+  | Some sink ->
+    Telemetry.count tel "mc.samples" samples;
+    let dt = Telemetry.now sink -. t0 in
+    if dt > 0. then
+      Telemetry.record tel "mc.samples_per_sec" (float_of_int samples /. dt)
+  | None -> ());
+  partials
+
+let estimate_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples f =
   if samples < 2 then invalid_arg "Montecarlo.estimate_par: need >= 2 samples";
   if chunks < 1 then invalid_arg "Montecarlo.estimate_par: need >= 1 chunk";
   let rngs = Rng.split_n rng chunks in
@@ -65,12 +109,7 @@ let estimate_par ?pool ?(chunks = default_chunks) rng ~samples f =
     done;
     (n, !sum, !sum_sq)
   in
-  let indices = Array.init chunks Fun.id in
-  let partials =
-    match pool with
-    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
-    | None -> Array.map partial indices
-  in
+  let partials = run_chunks ?ctx ?pool ~chunks ~samples partial in
   let count = ref 0 and sum = ref 0. and sum_sq = ref 0. in
   Array.iter
     (fun (n, s, q) ->
@@ -83,7 +122,8 @@ let estimate_par ?pool ?(chunks = default_chunks) rng ~samples f =
   let variance = Float.max 0. ((!sum_sq -. (n *. mean *. mean)) /. (n -. 1.)) in
   of_mean_se ~samples ~mean ~std_error:(sqrt (variance /. n))
 
-let estimate_proportion_par ?pool ?(chunks = default_chunks) rng ~samples f =
+let estimate_proportion_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples
+    f =
   if samples < 2 then
     invalid_arg "Montecarlo.estimate_proportion_par: need >= 2 samples";
   if chunks < 1 then
@@ -98,12 +138,7 @@ let estimate_proportion_par ?pool ?(chunks = default_chunks) rng ~samples f =
     done;
     !hits
   in
-  let indices = Array.init chunks Fun.id in
-  let partials =
-    match pool with
-    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
-    | None -> Array.map partial indices
-  in
+  let partials = run_chunks ?ctx ?pool ~chunks ~samples partial in
   let hits = Array.fold_left ( + ) 0 partials in
   let n = float_of_int samples in
   let p = float_of_int hits /. n in

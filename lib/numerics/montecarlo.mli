@@ -27,13 +27,21 @@ val estimate_proportion : Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
     The result is therefore {e bit-for-bit identical} for every domain
     count — including [pool = None], the sequential reference path —
     though it differs from the single-stream {!estimate} of the same
-    seed, which consumes the generator differently. *)
+    seed, which consumes the generator differently.
+
+    Both take an optional {!Nanodec_parallel.Run_ctx.t}: the context
+    supplies the pool and the telemetry sink (span [mc.estimate_par],
+    per-chunk histogram [mc.chunk_s], counter [mc.samples], rate
+    [mc.samples_per_sec]).  The explicit [?pool] argument is kept for
+    back compatibility and wins over the context's pool when both are
+    given. *)
 
 val default_chunks : int
 (** 64 — comfortably more chunks than any realistic pool has domains,
     so the fan-out load-balances without changing results. *)
 
 val estimate_par :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
   Rng.t ->
@@ -45,6 +53,7 @@ val estimate_par :
     the excess chunks empty and is valid. *)
 
 val estimate_proportion_par :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
   Rng.t ->

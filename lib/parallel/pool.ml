@@ -9,11 +9,34 @@
    slots) happen before that domain's mutex acquisition in the
    completion path, and the submitter only reads the slots after
    observing [finished] under the same mutex — so the fan-in is
-   data-race free without per-slot atomics. *)
+   data-race free without per-slot atomics.
+
+   Telemetry is strictly an observer: probes time and count the
+   scheduler's decisions but never influence them, so an instrumented
+   run computes bit-for-bit the same results as a bare one. *)
+
+module Telemetry = Nanodec_telemetry.Telemetry
+
+(* Probe handles, created once when a sink is attached so the per-chunk
+   hot path never takes the sink mutex. *)
+type tele = {
+  sink : Telemetry.sink;
+  c_jobs : Telemetry.counter;  (* pool.jobs: jobs fanned out to the queue *)
+  c_jobs_seq : Telemetry.counter;
+      (* pool.jobs.sequential: no-worker or single-chunk inline loop *)
+  c_jobs_inline : Telemetry.counter;
+      (* pool.jobs.inline_nested: submissions while the pool was busy *)
+  c_chunks_submitter : Telemetry.counter;
+  c_chunks_worker : Telemetry.counter;  (* chunks stolen by worker domains *)
+  h_queue_wait : Telemetry.histogram;  (* submit -> claim, per chunk *)
+  h_compute : Telemetry.histogram;  (* chunk body wall time *)
+  h_job : Telemetry.histogram;  (* submit -> join, per fanned-out job *)
+}
 
 type job = {
   chunks : int;
   body : int -> unit;
+  submitted : float;  (* sink-relative submit time; 0 with no telemetry *)
   mutable next : int;  (* next unclaimed chunk index *)
   mutable in_flight : int;  (* chunks claimed but not yet completed *)
   mutable cancelled : bool;  (* stop claiming; set on first failure *)
@@ -30,6 +53,9 @@ type t = {
   mutable current : job option;
   mutable stop : bool;
   mutable workers : unit Domain.t array;
+  mutable tele : tele option;
+  inline_nested : int Atomic.t;
+      (* nested/busy submissions run inline; counted even with no sink *)
 }
 
 let max_domains = 64
@@ -56,19 +82,51 @@ let default_domains () =
 
 let domains t = t.n_domains
 
+let inline_submissions t = Atomic.get t.inline_nested
+
+let tele_of_sink sink =
+  {
+    sink;
+    c_jobs = Telemetry.counter sink "pool.jobs";
+    c_jobs_seq = Telemetry.counter sink "pool.jobs.sequential";
+    c_jobs_inline = Telemetry.counter sink "pool.jobs.inline_nested";
+    c_chunks_submitter = Telemetry.counter sink "pool.chunks.submitter";
+    c_chunks_worker = Telemetry.counter sink "pool.chunks.worker";
+    h_queue_wait = Telemetry.histogram sink "pool.chunk.queue_wait_s";
+    h_compute = Telemetry.histogram sink "pool.chunk.compute_s";
+    h_job = Telemetry.histogram sink "pool.job_s";
+  }
+
+let set_telemetry t sink = t.tele <- Option.map tele_of_sink sink
+
+let telemetry t = Option.map (fun tl -> tl.sink) t.tele
+
 (* Claim and run chunks of [j] until none are left.  Called with
-   [t.mutex] held; returns with it held. *)
-let rec work_on t j =
+   [t.mutex] held; returns with it held.  [on_worker] distinguishes the
+   steal counter from the submitter's own chunks. *)
+let rec work_on t ~on_worker j =
   if (not j.cancelled) && j.next < j.chunks then begin
     let i = j.next in
     j.next <- j.next + 1;
     j.in_flight <- j.in_flight + 1;
+    let tele = t.tele in
+    (match tele with
+    | Some tl ->
+      let now = Telemetry.now tl.sink in
+      Telemetry.observe tl.h_queue_wait (now -. j.submitted);
+      Telemetry.incr
+        (if on_worker then tl.c_chunks_worker else tl.c_chunks_submitter)
+    | None -> ());
     Mutex.unlock t.mutex;
+    let t0 = match tele with Some tl -> Telemetry.now tl.sink | None -> 0. in
     let failure =
       match j.body i with
       | () -> None
       | exception e -> Some (i, e, Printexc.get_raw_backtrace ())
     in
+    (match tele with
+    | Some tl -> Telemetry.observe tl.h_compute (Telemetry.now tl.sink -. t0)
+    | None -> ());
     Mutex.lock t.mutex;
     (match failure with
     | None -> ()
@@ -82,7 +140,7 @@ let rec work_on t j =
       j.finished <- true;
       Condition.broadcast t.job_done
     end;
-    work_on t j
+    work_on t ~on_worker j
   end
 
 let worker_loop t =
@@ -92,7 +150,7 @@ let worker_loop t =
     else
       match t.current with
       | Some j when (not j.cancelled) && j.next < j.chunks ->
-        work_on t j;
+        work_on t ~on_worker:true j;
         loop ()
       | Some _ | None ->
         Condition.wait t.work_available t.mutex;
@@ -100,7 +158,7 @@ let worker_loop t =
   in
   loop ()
 
-let create ?domains () =
+let create ?domains ?telemetry () =
   let requested =
     match domains with Some d -> d | None -> default_domains ()
   in
@@ -115,6 +173,8 @@ let create ?domains () =
       current = None;
       stop = false;
       workers = [||];
+      tele = Option.map tele_of_sink telemetry;
+      inline_nested = Atomic.make 0;
     }
   in
   t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -131,8 +191,8 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?domains ?telemetry f =
+  let t = create ?domains ?telemetry () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let parallel_for t ~chunks body =
@@ -144,7 +204,11 @@ let parallel_for t ~chunks body =
       done
     in
     if Array.length t.workers = 0 || chunks = 1 then
-      if t.stop then invalid_arg "Pool: used after shutdown" else inline ()
+      if t.stop then invalid_arg "Pool: used after shutdown"
+      else begin
+        (match t.tele with Some tl -> Telemetry.incr tl.c_jobs_seq | None -> ());
+        inline ()
+      end
     else begin
       Mutex.lock t.mutex;
       if t.stop then begin
@@ -155,13 +219,24 @@ let parallel_for t ~chunks body =
         (* Busy: a chunk body (or another domain) submitted a job.
            Run it inline — identical results, no deadlock. *)
         Mutex.unlock t.mutex;
-        inline ()
+        Atomic.incr t.inline_nested;
+        match t.tele with
+        | Some tl ->
+          Telemetry.incr tl.c_jobs_inline;
+          Telemetry.with_span (Some tl.sink) "pool.inline" inline
+        | None -> inline ()
       end
       else begin
+        let tele = t.tele in
+        (match tele with Some tl -> Telemetry.incr tl.c_jobs | None -> ());
+        let submitted =
+          match tele with Some tl -> Telemetry.now tl.sink | None -> 0.
+        in
         let j =
           {
             chunks;
             body;
+            submitted;
             next = 0;
             in_flight = 0;
             cancelled = false;
@@ -171,12 +246,16 @@ let parallel_for t ~chunks body =
         in
         t.current <- Some j;
         Condition.broadcast t.work_available;
-        work_on t j;
+        work_on t ~on_worker:false j;
         while not j.finished do
           Condition.wait t.job_done t.mutex
         done;
         t.current <- None;
         Mutex.unlock t.mutex;
+        (match tele with
+        | Some tl ->
+          Telemetry.observe tl.h_job (Telemetry.now tl.sink -. submitted)
+        | None -> ());
         match j.error with
         | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ()

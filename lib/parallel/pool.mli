@@ -21,7 +21,14 @@
        wins, matching what the sequential loop would have raised;}
     {- a job submitted while the pool is busy (nested submission from
        inside a chunk, or a concurrent job from another domain) runs
-       inline on the submitting domain — same results, no deadlock.}} *)
+       inline on the submitting domain — same results, no deadlock.}}
+
+    A pool can carry a {!Nanodec_telemetry.Telemetry.sink}: the
+    scheduler then records per-chunk queue-wait and compute-time
+    histograms, per-job latency, and counters separating chunks run by
+    the submitter from chunks stolen by workers and fanned-out jobs
+    from inline ones.  The probes observe and never steer — an
+    instrumented run is bit-for-bit identical to a bare one. *)
 
 type t
 
@@ -34,19 +41,38 @@ val default_domains : unit -> int
     integer (raises [Invalid_argument] on a malformed value), otherwise
     [Domain.recommended_domain_count ()]. *)
 
-val create : ?domains:int -> unit -> t
+val create :
+  ?domains:int -> ?telemetry:Nanodec_telemetry.Telemetry.sink -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains
     ([domains] defaults to {!default_domains}; clamped to at most 64).
+    [telemetry] attaches a sink from the start.
     Raises [Invalid_argument] if [domains < 1]. *)
 
 val domains : t -> int
 (** Total domains working a job, including the submitter. *)
 
+val set_telemetry : t -> Nanodec_telemetry.Telemetry.sink option -> unit
+(** Attach ([Some]) or detach ([None]) the telemetry sink.  Call
+    between jobs, not from inside a chunk body. *)
+
+val telemetry : t -> Nanodec_telemetry.Telemetry.sink option
+(** The currently attached sink, if any. *)
+
+val inline_submissions : t -> int
+(** How many jobs were submitted while the pool was busy and therefore
+    ran inline on the submitting domain (nested parallelism).  Counted
+    unconditionally — no sink required — so the previously invisible
+    inline path is always observable. *)
+
 val shutdown : t -> unit
 (** Join every worker domain.  Idempotent.  Using the pool afterwards
     raises [Invalid_argument]. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?domains:int ->
+  ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  (t -> 'a) ->
+  'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,
     normal or exceptional. *)
 

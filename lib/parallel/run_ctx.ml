@@ -1,0 +1,60 @@
+module Telemetry = Nanodec_telemetry.Telemetry
+
+type t = {
+  pool : Pool.t option;
+  seed : int;
+  mc_samples : int;
+  telemetry : Telemetry.sink option;
+  owns_pool : bool;  (* [make ~domains] spawned it, [shutdown] joins it *)
+}
+
+let default_seed = 2009
+let default_mc_samples = 4000
+
+let make ?domains ?pool ?(seed = default_seed)
+    ?(mc_samples = default_mc_samples) ?telemetry () =
+  if mc_samples < 0 then invalid_arg "Run_ctx.make: mc_samples must be >= 0";
+  let pool, owns_pool =
+    match pool, domains with
+    | Some _, Some _ ->
+      invalid_arg "Run_ctx.make: ~domains and ~pool are mutually exclusive"
+    | Some p, None ->
+      (* Borrowed pool: route its scheduler probes into this context's
+         sink (the caller keeps ownership and shutdown duty). *)
+      (match telemetry with
+      | Some _ -> Pool.set_telemetry p telemetry
+      | None -> ());
+      (Some p, false)
+    | None, Some d -> (Some (Pool.create ~domains:d ?telemetry ()), true)
+    | None, None -> (None, false)
+  in
+  { pool; seed; mc_samples; telemetry; owns_pool }
+
+let shutdown t = if t.owns_pool then Option.iter Pool.shutdown t.pool
+
+let with_ctx ?domains ?pool ?seed ?mc_samples ?telemetry f =
+  let t = make ?domains ?pool ?seed ?mc_samples ?telemetry () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let pool t = t.pool
+let seed t = t.seed
+let mc_samples t = t.mc_samples
+let telemetry t = t.telemetry
+
+let pool_of = function None -> None | Some t -> t.pool
+let telemetry_of = function None -> None | Some t -> t.telemetry
+
+let resolve ?ctx ?pool () =
+  match ctx with
+  | Some c -> (
+    match c.pool, pool with
+    | None, Some _ -> { c with pool; owns_pool = false }
+    | _ -> c)
+  | None ->
+    {
+      pool;
+      seed = default_seed;
+      mc_samples = default_mc_samples;
+      telemetry = None;
+      owns_pool = false;
+    }

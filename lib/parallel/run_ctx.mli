@@ -1,0 +1,72 @@
+(** The execution context every expensive entry point takes.
+
+    [Run_ctx.t] bundles what used to travel as scattered optional
+    arguments — the domain pool, the Monte-Carlo seed and sample count,
+    and the telemetry sink — into one value built once (usually from the
+    CLI flags) and threaded through sweeps, figures, scaling, ablations
+    and Monte-Carlo estimators alike:
+
+    {[
+      Run_ctx.with_ctx ~domains:4 ~telemetry:sink (fun ctx ->
+          Nanodec.Optimizer.sweep ~ctx ())
+    ]}
+
+    The context never influences numeric results except through the
+    seed and sample count it explicitly carries: pool size and
+    telemetry are observability/wall-clock knobs only, and every
+    consumer is bit-for-bit invariant in them. *)
+
+type t
+
+val default_seed : int
+(** 2009 — the paper year, the seed used throughout the reproduction. *)
+
+val default_mc_samples : int
+(** 4000 — the full-resolution Monte-Carlo workload of the bench. *)
+
+val make :
+  ?domains:int ->
+  ?pool:Pool.t ->
+  ?seed:int ->
+  ?mc_samples:int ->
+  ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  unit ->
+  t
+(** Builder-style constructor.  [~domains] spawns a pool owned by the
+    context ({!shutdown} joins it); [~pool] borrows an existing pool
+    (the caller keeps shutdown duty) — passing both raises
+    [Invalid_argument], passing neither leaves the context sequential.
+    When both a pool and a sink are given, the sink is attached to the
+    pool so scheduler probes land in it.  [seed] defaults to
+    {!default_seed}, [mc_samples] to {!default_mc_samples} (raises
+    [Invalid_argument] when negative). *)
+
+val with_ctx :
+  ?domains:int ->
+  ?pool:Pool.t ->
+  ?seed:int ->
+  ?mc_samples:int ->
+  ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  (t -> 'a) ->
+  'a
+(** [make] + [f] + {!shutdown}, exception-safe. *)
+
+val shutdown : t -> unit
+(** Join the pool iff this context spawned it ([make ~domains]). *)
+
+val pool : t -> Pool.t option
+val seed : t -> int
+val mc_samples : t -> int
+val telemetry : t -> Nanodec_telemetry.Telemetry.sink option
+
+val pool_of : t option -> Pool.t option
+(** [pool_of ctx] through an optional context — the spelling used by
+    [?ctx] consumers. *)
+
+val telemetry_of : t option -> Nanodec_telemetry.Telemetry.sink option
+
+val resolve : ?ctx:t -> ?pool:Pool.t -> unit -> t
+(** Back-compatibility shim for entry points that still accept the
+    deprecated [?pool] argument next to [?ctx]: the context wins, a
+    bare pool is wrapped into a default context, and when the context
+    has no pool of its own the bare pool fills the slot. *)

@@ -376,6 +376,76 @@ let chunked_mc_domain_invariance =
                (Rng.create ~seed) ~samples p
              = sequential_prop))
 
+(* --- Telemetry (pure-observer contract) --- *)
+
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+let telemetry_transparency =
+  Property.make
+    ~name:"Telemetry-on runs are bit-for-bit identical to telemetry-off"
+    ~print:(fun (seed, (samples, chunks), dexp) ->
+      Printf.sprintf "seed %d, %d samples / %d chunks, %d domains" seed samples
+        chunks (1 lsl dexp))
+    (triple Generators.sample_seed
+       (pair (int_range 2 200) (int_range 1 32))
+       (int_range 0 3))
+    (fun (seed, (samples, chunks), dexp) ->
+      let domains = 1 lsl dexp (* 1, 2, 4 or 8 *) in
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let p rng = Rng.float rng < 0.5 in
+      let run ?telemetry () =
+        Run_ctx.with_ctx ~domains ?telemetry (fun ctx ->
+            ( Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
+                f,
+              Montecarlo.estimate_proportion_par ~ctx ~chunks
+                (Rng.create ~seed) ~samples p ))
+      in
+      let bare = run () in
+      let sink = Telemetry.create () in
+      let instrumented = run ~telemetry:sink () in
+      instrumented = bare)
+
+let telemetry_span_well_formedness =
+  Property.make
+    ~name:"Exported span trees are well-formed (children inside parents)"
+    ~print:(fun (depths, domains) ->
+      Printf.sprintf "nesting depths [%s] on %d domains"
+        (String.concat "; " (List.map string_of_int depths))
+        domains)
+    (pair (list (int_range 0 5)) (int_range 1 4))
+    (fun (depths, domains) ->
+      let sink = Telemetry.create () in
+      let tel = Some sink in
+      Run_ctx.with_ctx ~domains ~telemetry:sink (fun ctx ->
+          match Run_ctx.pool ctx with
+          | None -> ()
+          | Some pool ->
+            ignore
+              (Nanodec_parallel.Pool.map pool
+                 (fun depth ->
+                   let rec nest k =
+                     if k <= 0 then 0
+                     else
+                       Telemetry.with_span tel "nest" (fun () -> 1 + nest (k - 1))
+                   in
+                   nest depth)
+                 (Array.of_list depths)));
+      (* Re-derive the invariant from the exported trees rather than
+         trusting the library's own [well_formed]. *)
+      let rec ok parent (s : Telemetry.span) =
+        s.Telemetry.stop_s >= s.Telemetry.start_s
+        && (match parent with
+           | None -> true
+           | Some (p : Telemetry.span) ->
+             s.Telemetry.start_s >= p.Telemetry.start_s
+             && s.Telemetry.stop_s <= p.Telemetry.stop_s
+             && s.Telemetry.domain = p.Telemetry.domain)
+        && List.for_all (ok (Some s)) s.Telemetry.children
+      in
+      List.for_all (ok None) (Telemetry.span_trees sink)
+      && Telemetry.well_formed sink)
+
 let all =
   [
     h_bijectivity;
@@ -398,4 +468,6 @@ let all =
     defect_map_determinism;
     pool_map_sequential_equivalence;
     chunked_mc_domain_invariance;
+    telemetry_transparency;
+    telemetry_span_well_formedness;
   ]

@@ -38,6 +38,8 @@ val pattern_transitions : Property.t
 val defect_map_determinism : Property.t
 val pool_map_sequential_equivalence : Property.t
 val chunked_mc_domain_invariance : Property.t
+val telemetry_transparency : Property.t
+val telemetry_span_well_formedness : Property.t
 
 val all : Property.t list
 (** Every oracle, in paper order. *)

@@ -20,5 +20,6 @@ let () =
       ("degenerate dimensions", Test_edge_cases.suite);
       ("exhaustive arrangements", Test_exhaustive.suite);
       ("parallel engine", Test_parallel.suite);
+      ("telemetry and run context", Test_telemetry.suite);
       ("proptest oracles", Test_properties.suite);
     ]

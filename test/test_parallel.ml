@@ -239,8 +239,14 @@ let test_pool_reusable_after_failure () =
 
 let test_nested_submission_inline () =
   (* A job submitted from inside a running chunk must complete inline
-     with the same result, not deadlock. *)
-  Pool.with_pool ~domains:2 (fun pool ->
+     with the same result, not deadlock — with a telemetry sink
+     attached (the probes run inside the scheduler's lock-sensitive
+     paths, so this doubles as a no-deadlock regression test) and with
+     every inline submission showing up in the counter. *)
+  let sink = Nanodec_telemetry.Telemetry.create () in
+  Pool.with_pool ~domains:2 ~telemetry:sink (fun pool ->
+      Alcotest.(check int) "no inline submissions yet" 0
+        (Pool.inline_submissions pool);
       let outer =
         Pool.map pool
           (fun i ->
@@ -249,7 +255,13 @@ let test_nested_submission_inline () =
           (Array.init 8 Fun.id)
       in
       let expected = Array.init 8 (fun i -> (4 * i) + 6) in
-      Alcotest.(check (array int)) "nested jobs" expected outer)
+      Alcotest.(check (array int)) "nested jobs" expected outer;
+      (* Every one of the 8 inner jobs was submitted while the outer job
+         held the pool busy. *)
+      Alcotest.(check int) "inline submissions counted" 8
+        (Pool.inline_submissions pool));
+  Alcotest.(check bool) "span trees well-formed under nesting" true
+    (Nanodec_telemetry.Telemetry.well_formed sink)
 
 let test_many_successive_jobs () =
   Pool.with_pool ~domains:4 (fun pool ->
