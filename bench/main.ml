@@ -549,12 +549,37 @@ let gate_overhead ~quick =
     exit 1
   end
 
+(* --gate-fault-overhead: the fault-injection probes are compiled in
+   unconditionally, so an engine whose plan matches nothing must cost
+   < 2 % over running with no engine at all.  Best-of-5 on the
+   Monte-Carlo workload, whose per-chunk and per-batch probes make it
+   the most probe-dense of the four. *)
+let gate_fault_overhead ~quick =
+  let w = List.hd (parallel_workloads ~quick) in
+  let reps = 5 in
+  ignore (w.run ());
+  let off_ctx = Run_ctx.make () in
+  let _, off = time_best ~reps (fun () -> w.run ~ctx:off_ctx ()) in
+  let on_ctx = Run_ctx.make ~fault:(Nanodec_fault.Fault.inert ()) () in
+  let _, on_t = time_best ~reps (fun () -> w.run ~ctx:on_ctx ()) in
+  let overhead = (on_t -. off) /. off in
+  Printf.printf
+    "fault-probe overhead (%s, seq, best of %d): off %.4fs, inert %.4fs \
+     (%+.2f%%)\n"
+    w.wname reps off on_t (100. *. overhead);
+  if overhead > 0.02 then begin
+    prerr_endline "FAIL: disabled fault-injection overhead exceeds 2%";
+    exit 1
+  end
+
 let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--json" argv then begin
     run_json ~quick:(List.mem "--quick" argv);
     if List.mem "--gate-overhead" argv then
-      gate_overhead ~quick:(List.mem "--quick" argv)
+      gate_overhead ~quick:(List.mem "--quick" argv);
+    if List.mem "--gate-fault-overhead" argv then
+      gate_fault_overhead ~quick:(List.mem "--quick" argv)
   end
   else begin
     print_endline "nanodec reproduction harness — Ben Jamaa et al., DAC 2009";

@@ -14,6 +14,24 @@ open Nanodec_codes
 open Nanodec_numerics
 open Nanodec_mspt
 open Nanodec
+module E = Nanodec_error
+module Fault = Nanodec_fault.Fault
+
+(* --- the one error boundary ---
+
+   Every subcommand body runs inside [handle]: failures classified by
+   [Errors.classify] (taxonomy errors, exhausted code searches, escaped
+   injected faults, [Invalid_argument]/[Failure]) are rendered once, in
+   one format, and exit with the taxonomy's stable per-kind code
+   (invalid-input 2, timeout 3, worker-crash 4, degraded 5,
+   internal 70).  Unclassifiable exceptions keep their backtrace and
+   crash loudly — those are bugs, not user errors. *)
+
+let handle f =
+  try Errors.guard f with
+  | E.Error t ->
+    Format.eprintf "nanodec: %a@." E.pp t;
+    exit (E.exit_code t)
 
 (* --- shared argument parsers --- *)
 
@@ -90,11 +108,24 @@ module Ctx_flags = struct
     mc_samples : int;
     telemetry : string option;
     profile : bool;
+    fault_plan : string option;
+    timeout : float option;
+    no_degrade : bool;
   }
 
   let term =
-    let make domains seed mc_samples telemetry profile =
-      { domains; seed; mc_samples; telemetry; profile }
+    let make domains seed mc_samples telemetry profile fault_plan timeout
+        no_degrade =
+      {
+        domains;
+        seed;
+        mc_samples;
+        telemetry;
+        profile;
+        fault_plan;
+        timeout;
+        no_degrade;
+      }
     in
     let seed_arg =
       let doc = "Monte-Carlo noise seed." in
@@ -124,16 +155,71 @@ module Ctx_flags = struct
       in
       Arg.(value & flag & info [ "profile" ] ~doc)
     in
+    let fault_plan_arg =
+      let doc =
+        "Deterministic fault-injection plan (chaos testing), e.g. \
+         $(b,seed=7;pool.chunk:crash:p=0.05;mc.sample_batch:delay=2ms).  \
+         Overrides $(b,NANODEC_FAULT_PLAN).  Successful runs stay \
+         bit-for-bit identical to uninjected ones."
+      in
+      Arg.(value & opt (some string) None
+           & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+    in
+    let timeout_arg =
+      let doc =
+        "Deadline in seconds for each parallel fan-out; on expiry the \
+         command fails with the timeout exit code (3)."
+      in
+      Arg.(value & opt (some float) None
+           & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+    in
+    let no_degrade_arg =
+      let doc =
+        "Fail (exit code 5) instead of degrading to sequential \
+         execution when injected faults exhaust the pool's retries."
+      in
+      Arg.(value & flag & info [ "no-degrade" ] ~doc)
+    in
     Term.(const make $ domains_arg $ seed_arg $ mc_samples_arg
-          $ telemetry_arg $ profile_arg)
+          $ telemetry_arg $ profile_arg $ fault_plan_arg $ timeout_arg
+          $ no_degrade_arg)
+
+  (* One range check per numeric knob, shared by every subcommand —
+     previously each command rolled its own eprintf-and-exit-1. *)
+  let validate flags =
+    Option.iter
+      (fun d ->
+        E.check_int_range ~what:"--domains" ~min:1 ~max:64
+          ~hint:"the pool caps at 64 domains" d)
+      flags.domains;
+    E.check_int_range ~what:"--seed" ~min:0 ~max:max_int flags.seed;
+    if flags.mc_samples <> 0 then
+      E.check_int_range ~what:"--mc-samples" ~min:2 ~max:100_000_000
+        ~hint:"0 disables the Monte-Carlo check; estimates need >= 2 draws"
+        flags.mc_samples;
+    match flags.timeout with
+    | Some s when not (s > 0.) ->
+      E.fail
+        (E.Invalid_input
+           { what = "--timeout must be positive"; hint = None })
+    | _ -> ()
 
   (* [want_pool = false] keeps cheap closed-form commands from spawning
      domains they would never use; telemetry still works. *)
   let with_ctx ?(want_pool = true) flags f =
+    validate flags;
     let sink =
       if flags.telemetry <> None || flags.profile then
         Some (Telemetry.create ())
       else None
+    in
+    (* --fault-plan beats the environment; either way the engine is
+       built here so the [telemetry.flush] site below can probe it
+       after the context is gone. *)
+    let fault =
+      match flags.fault_plan with
+      | Some spec -> Some (Fault.create (Fault.parse_exn spec))
+      | None -> Fault.of_env ()
     in
     let domains =
       if want_pool then
@@ -145,10 +231,12 @@ module Ctx_flags = struct
     in
     let result =
       Run_ctx.with_ctx ?domains ~seed:flags.seed
-        ~mc_samples:flags.mc_samples ?telemetry:sink f
+        ~mc_samples:flags.mc_samples ?telemetry:sink ?fault
+        ?timeout_s:flags.timeout ~degrade:(not flags.no_degrade) f
     in
     Option.iter
       (fun sink ->
+        Fault.hit fault "telemetry.flush";
         Option.iter
           (fun path -> Telemetry.write_json sink ~path)
           flags.telemetry;
@@ -165,13 +253,12 @@ let make_spec code_type code_length radix n_wires raw_bits =
 
 let evaluate_cmd =
   let run verbose code_type code_length radix n_wires raw_bits flags =
+    handle @@ fun () ->
     setup_logging verbose;
     match
       Codebook.validate_length ~radix ~length:code_length code_type
     with
-    | Error msg ->
-      Format.eprintf "error: %s@." msg;
-      exit 1
+    | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None })
     | Ok () ->
       (* The pool is only worth spawning for the Monte-Carlo check; the
          closed-form report is sequential either way. *)
@@ -224,6 +311,7 @@ let objective_conv =
 
 let sweep_cmd =
   let run verbose objective radix n_wires raw_bits flags =
+    handle @@ fun () ->
     setup_logging verbose;
     let spec =
       Design.spec
@@ -258,10 +346,10 @@ let sweep_cmd =
 
 let codes_cmd =
   let run code_type code_length radix count =
+    handle @@ fun () ->
+    E.check_int_range ~what:"--count" ~min:1 ~max:1_000_000 count;
     match Codebook.validate_length ~radix ~length:code_length code_type with
-    | Error msg ->
-      Format.eprintf "error: %s@." msg;
-      exit 1
+    | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None })
     | Ok () ->
       let omega = Codebook.space_size ~radix ~length:code_length code_type in
       Printf.printf "%s, n=%d, M=%d: %d code words\n"
@@ -295,10 +383,9 @@ let codes_cmd =
 
 let trace_cmd =
   let run code_type code_length radix n_wires =
+    handle @@ fun () ->
     match Codebook.validate_length ~radix ~length:code_length code_type with
-    | Error msg ->
-      Format.eprintf "error: %s@." msg;
-      exit 1
+    | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None })
     | Ok () ->
       let pattern =
         Pattern.of_codebook ~radix ~length:code_length ~n_wires code_type
@@ -359,6 +446,7 @@ let trace_cmd =
 
 let figures_cmd =
   let run which flags =
+    handle @@ fun () ->
     (* fig5/fig6 are closed-form and cheap; the design-evaluation grids
        (fig7, fig8, multivalued) fan out across the pool. *)
     let pooled =
@@ -400,8 +488,8 @@ let figures_cmd =
             p.crossbar_yield p.bit_area)
         (Figures.multivalued_designs ~ctx ())
     | s ->
-      Format.eprintf "error: unknown figure %S (fig5..fig8, multivalued)@." s;
-      exit 1
+      E.invalid_inputf ~hint:"valid figures: fig5, fig6, fig7, fig8, multivalued"
+        "unknown figure %S" s
   in
   let which_arg =
     let doc = "Which figure: fig5, fig6, fig7, fig8 or multivalued." in
@@ -422,6 +510,7 @@ let headlines_cmd =
 
 let export_cmd =
   let run dir =
+    handle @@ fun () ->
     Export.write_all ~dir;
     Printf.printf
       "wrote fig5..fig8 + sweep CSVs and fig5/fig7/fig8 gnuplot scripts to %s/\n"
@@ -439,6 +528,7 @@ let export_cmd =
 
 let ablate_cmd =
   let run flags =
+    handle @@ fun () ->
     Ctx_flags.with_ctx flags (fun ctx ->
         List.iter
           (fun series -> Format.printf "%a@.@." Ablation.pp series)
@@ -453,6 +543,7 @@ let ablate_cmd =
 
 let baseline_cmd =
   let run omega group_size =
+    handle @@ fun () ->
     let a = Nanodec_crossbar.Stochastic.analyze ~omega ~group_size in
     Format.printf "%a@." Nanodec_crossbar.Stochastic.pp a;
     Printf.printf "stochastic loss vs deterministic MSPT: %.1f%%\n"
@@ -475,10 +566,9 @@ let baseline_cmd =
 
 let memory_cmd =
   let run code_type code_length raw_bits seed =
+    handle @@ fun () ->
     match Codebook.validate_length ~radix:2 ~length:code_length code_type with
-    | Error msg ->
-      Format.eprintf "error: %s@." msg;
-      exit 1
+    | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None })
     | Ok () ->
       let cave =
         { Nanodec_crossbar.Cave.default_config with
@@ -524,6 +614,7 @@ let memory_cmd =
 
 let check_cmd =
   let run seed count names_only =
+    handle @@ fun () ->
     let open Nanodec_proptest in
     if names_only then (
       List.iter (fun p -> print_endline (Property.name p)) Oracles.all;

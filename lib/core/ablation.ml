@@ -26,7 +26,7 @@ let sweep ?ctx ?pool ~parameter ~unit_name ~values ~apply () =
   let points =
     Telemetry.with_span (Run_ctx.telemetry ctx) ("ablation." ^ parameter)
     @@ fun () ->
-    Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx)
+    Run_ctx.map_list ctx
       (fun value ->
         let at code_type =
           crossbar_yield (apply { base with Cave.code_type } value)

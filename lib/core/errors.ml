@@ -1,0 +1,47 @@
+module E = Nanodec_error
+module Fault = Nanodec_fault.Fault
+
+let search_exhausted_hint =
+  "exact code construction is bounded: balanced-Gray needs a search space \
+   (radix^M) of at most 4096 for N=2 and 32 otherwise; arranged-hot needs \
+   at most 2048 codewords — pick a smaller code length M (or radix N), or \
+   use an unsearched code family"
+
+let classify = function
+  | E.Error t -> Some t
+  | Nanodec_codes.Balanced_gray.Search_exhausted ->
+    Some
+      (E.Invalid_input
+         {
+           what = "balanced-Gray construction: search exhausted";
+           hint = Some search_exhausted_hint;
+         })
+  | Nanodec_codes.Arranged_hot.Search_exhausted ->
+    Some
+      (E.Invalid_input
+         {
+           what = "arranged-hot construction: search exhausted";
+           hint = Some search_exhausted_hint;
+         })
+  | Fault.Injected { site; key } ->
+    (* An injected crash that escaped with no supervised pool in the
+       loop (a fan-out-free site such as [telemetry.flush]). *)
+    Some
+      (E.Worker_crash
+         {
+           site;
+           detail = Printf.sprintf "injected crash (key %d)" key;
+           injected = true;
+         })
+  | Invalid_argument what | Failure what ->
+    Some (E.Invalid_input { what; hint = None })
+  | _ -> None
+
+let guard f =
+  try f () with
+  | E.Error _ as e -> raise e
+  | e -> (
+    let bt = Printexc.get_raw_backtrace () in
+    match classify e with
+    | Some t -> raise (E.Error t)
+    | None -> Printexc.raise_with_backtrace e bt)

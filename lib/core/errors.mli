@@ -1,0 +1,31 @@
+(** The taxonomy boundary of the high-level pipelines.
+
+    Everything below this layer fails by raising whatever is natural in
+    place — [Invalid_argument] for contract violations,
+    [Search_exhausted] from the exact code-construction searches,
+    {!Nanodec_fault.Fault.Injected} from an unrecovered injected crash,
+    [Nanodec_error.Error] from the supervised pool.  {!classify} folds
+    all of those into the structured {!Nanodec_error.t} taxonomy, and
+    {!guard} is the one-line wrapper the CLI (and any embedding
+    application) puts around a whole command so that every failure
+    surfaces as exactly one [Nanodec_error.Error] with a stable exit
+    code. *)
+
+val search_exhausted_hint : string
+(** The feasible-range hint attached to [Search_exhausted] failures:
+    which (N, M) the exact balanced-Gray / arranged-hot constructions
+    can actually reach. *)
+
+val classify : exn -> Nanodec_error.t option
+(** Map an exception to its taxonomy bucket: [Nanodec_error.Error]
+    unwraps to its payload; the code constructors' [Search_exhausted]
+    becomes [Invalid_input] with {!search_exhausted_hint}; an escaped
+    {!Nanodec_fault.Fault.Injected} becomes an (injected)
+    [Worker_crash]; [Invalid_argument]/[Failure] become [Invalid_input];
+    anything else is [None] (let it crash — a genuine bug should keep
+    its backtrace). *)
+
+val guard : (unit -> 'a) -> 'a
+(** [guard f] runs [f] and re-raises any classifiable exception as
+    [Nanodec_error.Error] (unclassifiable exceptions propagate
+    unchanged, backtrace intact). *)

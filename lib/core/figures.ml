@@ -92,7 +92,7 @@ module Run_ctx = Nanodec_parallel.Run_ctx
 let figure_points ?ctx ?pool name point candidates =
   let ctx = Run_ctx.resolve ?ctx ?pool () in
   Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
-  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) point candidates
+  Run_ctx.map_list ctx point candidates
 
 let fig7 ?ctx ?pool ?(spec = Design.default_spec) () =
   let point (code_type, code_length) =

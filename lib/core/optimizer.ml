@@ -50,7 +50,7 @@ let sweep ?ctx ?pool ?(spec = Design.default_spec)
   Telemetry.with_span tel "optimizer.sweep" @@ fun () ->
   let live = List.filter (valid ~spec) candidates in
   Telemetry.count tel "optimizer.candidates" (List.length live);
-  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) evaluate live
+  Run_ctx.map_list ctx evaluate live
   |> List.filter_map (function
        | Ok report -> Some report
        | Error { code_type; code_length } ->

@@ -64,7 +64,7 @@ let best_point ?ctx node raw_bits =
 let sweep_grid ?ctx ?pool name point items =
   let ctx = Run_ctx.resolve ?ctx ?pool () in
   Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
-  Nanodec_parallel.Pool.map_list_opt (Run_ctx.pool ctx) (point ctx) items
+  Run_ctx.map_list ctx (point ctx) items
 
 let sweep_nodes ?ctx ?pool ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes)
     () =

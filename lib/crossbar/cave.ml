@@ -148,6 +148,13 @@ let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
      fan-out; the bodies only read it (and mutate their own stream). *)
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in
+  (* Fault site: before the fan-out.  When the estimate runs inside an
+     outer pool chunk (the sweep pipelines), an injected crash here is
+     recovered by that pool's retry/degradation; standalone callers see
+     it classified as a worker crash at the taxonomy boundary. *)
+  Nanodec_fault.Fault.hit
+    (Nanodec_parallel.Run_ctx.fault_of ctx)
+    "cave.window";
   Nanodec_telemetry.Telemetry.with_span
     (Nanodec_parallel.Run_ctx.telemetry_of ctx)
     "cave.mc_yield_window"

@@ -1,0 +1,70 @@
+type t =
+  | Invalid_input of { what : string; hint : string option }
+  | Timeout of { site : string; seconds : float option }
+  | Worker_crash of { site : string; detail : string; injected : bool }
+  | Degraded of { site : string; reason : string }
+  | Internal of { detail : string }
+
+exception Error of t
+
+(* 2..5 are free below the shells' 126/127 and cmdliner's 124/125;
+   70 is sysexits' EX_SOFTWARE, the conventional "internal error". *)
+let exit_invalid_input = 2
+let exit_timeout = 3
+let exit_worker_crash = 4
+let exit_degraded = 5
+let exit_internal = 70
+
+let exit_code = function
+  | Invalid_input _ -> exit_invalid_input
+  | Timeout _ -> exit_timeout
+  | Worker_crash _ -> exit_worker_crash
+  | Degraded _ -> exit_degraded
+  | Internal _ -> exit_internal
+
+let label = function
+  | Invalid_input _ -> "invalid-input"
+  | Timeout _ -> "timeout"
+  | Worker_crash _ -> "worker-crash"
+  | Degraded _ -> "degraded"
+  | Internal _ -> "internal"
+
+let pp ppf t =
+  (match t with
+  | Invalid_input { what; _ } ->
+    Format.fprintf ppf "[%s] %s" (label t) what
+  | Timeout { site; seconds = Some s } ->
+    Format.fprintf ppf "[%s] %s exceeded its %gs deadline" (label t) site s
+  | Timeout { site; seconds = None } ->
+    Format.fprintf ppf "[%s] %s was cancelled" (label t) site
+  | Worker_crash { site; detail; injected } ->
+    if injected then
+      Format.fprintf ppf "[%s] injected fault killed %s: %s" (label t) site
+        detail
+    else
+      Format.fprintf ppf "[%s] worker crashed at %s: %s" (label t) site
+        detail
+  | Degraded { site; reason } ->
+    Format.fprintf ppf
+      "[%s] %s was poisoned and degradation is disabled: %s" (label t) site
+      reason
+  | Internal { detail } ->
+    Format.fprintf ppf "[%s] %s (this is a bug in nanodec)" (label t) detail);
+  match t with
+  | Invalid_input { hint = Some h; _ } ->
+    Format.fprintf ppf "@.  hint: %s" h
+  | _ -> ()
+
+let to_string t = Format.asprintf "%a" pp t
+
+let fail t = raise (Error t)
+
+let invalid_inputf ?hint fmt =
+  Format.kasprintf (fun what -> fail (Invalid_input { what; hint })) fmt
+
+let check_int_range ~what ?hint ~min ~max n =
+  if n < min || n > max then
+    invalid_inputf ?hint "%s must be between %d and %d (got %d)" what min max
+      n
+
+let internal detail = Internal { detail }

@@ -1,0 +1,76 @@
+(** The structured error taxonomy of the nanodec runtime.
+
+    Every failure a user (or a supervising service) can observe is one
+    of five shapes, each with its own process exit code, so scripts and
+    orchestrators can react to {e what kind} of failure happened rather
+    than parsing message text:
+
+    {ul
+    {- {!Invalid_input} (exit {!exit_invalid_input}) — a malformed or
+       out-of-range argument, environment variable or derived
+       configuration.  The run never started; fix the input.}
+    {- {!Timeout} (exit {!exit_timeout}) — a job exceeded its deadline
+       or was cooperatively cancelled.  [seconds = None] means
+       cancellation rather than deadline expiry.}
+    {- {!Worker_crash} (exit {!exit_worker_crash}) — a chunk of parallel
+       work died and the supervisor could not (or was not allowed to)
+       recover it.  [injected] distinguishes faults planted by the
+       fault-injection engine from organic crashes.}
+    {- {!Degraded} (exit {!exit_degraded}) — the pool was poisoned and
+       degradation to sequential execution was disabled, so the run
+       refused to continue.}
+    {- {!Internal} (exit {!exit_internal}) — an invariant violation; a
+       bug in nanodec itself, never the user's fault.}}
+
+    Layers raise {!Error}; the CLI renders it with {!pp} and exits with
+    {!exit_code}.  Raising sites should prefer the smart constructors
+    ({!invalid_inputf}, {!fail}) so messages stay uniform. *)
+
+type t =
+  | Invalid_input of { what : string; hint : string option }
+  | Timeout of { site : string; seconds : float option }
+  | Worker_crash of { site : string; detail : string; injected : bool }
+  | Degraded of { site : string; reason : string }
+  | Internal of { detail : string }
+
+exception Error of t
+(** The one exception the public entry points let escape on failure. *)
+
+val exit_invalid_input : int  (** 2 *)
+
+val exit_timeout : int  (** 3 *)
+
+val exit_worker_crash : int  (** 4 *)
+
+val exit_degraded : int  (** 5 *)
+
+val exit_internal : int  (** 70, sysexits' EX_SOFTWARE *)
+
+val exit_code : t -> int
+(** The documented, stable exit code of each constructor. *)
+
+val label : t -> string
+(** Short kebab-case tag ([invalid-input], [timeout], [worker-crash],
+    [degraded], [internal]) used in rendered messages and logs. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line message followed by an indented [hint:] line when the
+    error carries one. *)
+
+val to_string : t -> string
+
+val fail : t -> 'a
+(** [fail t] raises [Error t]. *)
+
+val invalid_inputf :
+  ?hint:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [invalid_inputf ?hint fmt ...] formats the message and raises
+    [Error (Invalid_input _)]. *)
+
+val check_int_range : what:string -> ?hint:string -> min:int -> max:int -> int -> unit
+(** [check_int_range ~what ~min ~max n] raises [Invalid_input] naming
+    [what], the offending value and the accepted range unless
+    [min <= n <= max]. *)
+
+val internal : string -> t
+(** [Internal] from a detail string (typically [Printexc.to_string]). *)

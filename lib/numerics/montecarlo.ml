@@ -52,6 +52,7 @@ let estimate_proportion rng ~samples f =
 
 module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
+module Fault = Nanodec_fault.Fault
 
 let default_chunks = 64
 
@@ -59,13 +60,27 @@ let chunk_size ~samples ~chunks i =
   (samples / chunks) + if i < samples mod chunks then 1 else 0
 
 (* Shared fan-out/observe scaffolding of both estimators: resolve the
-   pool from [?ctx]/[?pool], time each chunk into [mc.chunk_s], count
-   the samples and record the whole-estimate rate. *)
+   pool from [?ctx]/[?pool], time each chunk into [mc.chunk_s], probe
+   the [mc.sample_batch] fault site per chunk, count the samples and
+   record the whole-estimate rate. *)
 let run_chunks ?ctx ?pool ~chunks ~samples partial =
   let pool =
     match pool with Some _ -> pool | None -> Run_ctx.pool_of ctx
   in
   let tel = Run_ctx.telemetry_of ctx in
+  let fault = Run_ctx.fault_of ctx in
+  let timeout_s = Option.bind ctx Run_ctx.timeout_s in
+  let cancel = Option.bind ctx Run_ctx.cancel in
+  let partial =
+    match fault with
+    | None -> partial
+    | Some _ ->
+      (* Inside the chunk body, so the pool's retry/degradation
+         machinery covers injected batch crashes like its own site. *)
+      fun i ->
+        Fault.hit fault ~key:i "mc.sample_batch";
+        partial i
+  in
   let partial =
     match tel with
     | None -> partial
@@ -82,8 +97,23 @@ let run_chunks ?ctx ?pool ~chunks ~samples partial =
   let t0 = match tel with Some s -> Telemetry.now s | None -> 0. in
   let partials =
     match pool with
-    | Some pool -> Nanodec_parallel.Pool.map pool partial indices
-    | None -> Array.map partial indices
+    | Some pool ->
+      Nanodec_parallel.Pool.map ?timeout_s ?cancel pool partial indices
+    | None ->
+      (* Pool-less runs still recover from injected crashes: bounded
+         in-place retries, then one suppressed re-execution.  Chunk
+         bodies are restartable, so results match the uninjected run. *)
+      Array.map
+        (fun i ->
+          let rec attempt k =
+            match partial i with
+            | r -> r
+            | exception Fault.Injected _ when k < 2 -> attempt (k + 1)
+            | exception Fault.Injected _ ->
+              Fault.without_faults (fun () -> partial i)
+          in
+          attempt 0)
+        indices
   in
   (match tel with
   | Some sink ->
@@ -99,7 +129,10 @@ let estimate_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples f =
   if chunks < 1 then invalid_arg "Montecarlo.estimate_par: need >= 1 chunk";
   let rngs = Rng.split_n rng chunks in
   let partial i =
-    let rng = rngs.(i) in
+    (* Copy, don't share: a chunk retried after a mid-batch injected
+       crash must restart its draw stream from the beginning, or the
+       recovered run would diverge from the uninjected one. *)
+    let rng = Rng.copy rngs.(i) in
     let n = chunk_size ~samples ~chunks i in
     let sum = ref 0. and sum_sq = ref 0. in
     for _ = 1 to n do
@@ -130,7 +163,8 @@ let estimate_proportion_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples
     invalid_arg "Montecarlo.estimate_proportion_par: need >= 1 chunk";
   let rngs = Rng.split_n rng chunks in
   let partial i =
-    let rng = rngs.(i) in
+    (* Copy for restartability — see [estimate_par]. *)
+    let rng = Rng.copy rngs.(i) in
     let n = chunk_size ~samples ~chunks i in
     let hits = ref 0 in
     for _ = 1 to n do

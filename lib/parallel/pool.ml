@@ -1,4 +1,4 @@
-(* A single-job work queue over a fixed set of worker domains.
+(* A supervised single-job work queue over a fixed set of worker domains.
 
    Chunk claiming, in-flight accounting and completion signalling all
    happen under one mutex; chunk bodies run outside it.  Claim traffic
@@ -11,11 +11,28 @@
    observing [finished] under the same mutex — so the fan-in is
    data-race free without per-slot atomics.
 
+   Supervision (deadlines, cancellation tokens, injected-crash retries,
+   degradation to sequential) is cooperative: it acts only at chunk
+   boundaries, because a running domain cannot be preempted.  All of it
+   leaves successful results bit-for-bit identical to an unsupervised
+   run — recovery re-executes restartable chunk bodies, never reorders
+   the fan-in.
+
    Telemetry is strictly an observer: probes time and count the
    scheduler's decisions but never influence them, so an instrumented
    run computes bit-for-bit the same results as a bare one. *)
 
 module Telemetry = Nanodec_telemetry.Telemetry
+module Fault = Nanodec_fault.Fault
+module E = Nanodec_error
+
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+  let cancel t = Atomic.set t true
+  let is_cancelled t = Atomic.get t
+end
 
 (* Probe handles, created once when a sink is attached so the per-chunk
    hot path never takes the sink mutex. *)
@@ -28,6 +45,9 @@ type tele = {
       (* pool.jobs.inline_nested: submissions while the pool was busy *)
   c_chunks_submitter : Telemetry.counter;
   c_chunks_worker : Telemetry.counter;  (* chunks stolen by worker domains *)
+  c_retries : Telemetry.counter;  (* pool.retries: injected-crash retries *)
+  c_timeouts : Telemetry.counter;  (* pool.timeouts: deadline/cancel trips *)
+  c_degraded : Telemetry.counter;  (* pool.degraded_jobs *)
   h_queue_wait : Telemetry.histogram;  (* submit -> claim, per chunk *)
   h_compute : Telemetry.histogram;  (* chunk body wall time *)
   h_job : Telemetry.histogram;  (* submit -> join, per fanned-out job *)
@@ -37,12 +57,17 @@ type job = {
   chunks : int;
   body : int -> unit;
   submitted : float;  (* sink-relative submit time; 0 with no telemetry *)
+  timeout_s : float option;
+  deadline : float option;  (* absolute, Unix.gettimeofday base *)
+  cancel : Cancel.t option;
   mutable next : int;  (* next unclaimed chunk index *)
   mutable in_flight : int;  (* chunks claimed but not yet completed *)
   mutable cancelled : bool;  (* stop claiming; set on first failure *)
   mutable finished : bool;
   mutable error : (int * exn * Printexc.raw_backtrace) option;
-      (* failure with the lowest chunk index seen so far *)
+      (* failure with the lowest chunk index seen so far; index
+         [max_int] marks deadline/cancellation sentinels so any real
+         chunk failure wins over them *)
 }
 
 type t = {
@@ -54,11 +79,20 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t array;
   mutable tele : tele option;
+  mutable fault : Fault.t option;
+  max_retries : int;  (* per chunk, against injected crashes *)
+  degrade : bool;  (* sequential fallback instead of failing Degraded *)
+  warn : bool;  (* announce degradation on stderr (off in chaos harnesses) *)
+  mutable degraded : bool;  (* poisoned: all further jobs run inline *)
+  mutable warned : bool;  (* the one-time stderr degradation warning *)
   inline_nested : int Atomic.t;
       (* nested/busy submissions run inline; counted even with no sink *)
+  retries_n : int Atomic.t;
+  degraded_jobs_n : int Atomic.t;
 }
 
 let max_domains = 64
+let site = "pool.job"
 
 let parse_domains s =
   (* Strictly decimal: [int_of_string_opt] would also accept hex,
@@ -83,6 +117,9 @@ let default_domains () =
 let domains t = t.n_domains
 
 let inline_submissions t = Atomic.get t.inline_nested
+let retries t = Atomic.get t.retries_n
+let degraded t = t.degraded
+let degraded_jobs t = Atomic.get t.degraded_jobs_n
 
 let tele_of_sink sink =
   {
@@ -92,6 +129,9 @@ let tele_of_sink sink =
     c_jobs_inline = Telemetry.counter sink "pool.jobs.inline_nested";
     c_chunks_submitter = Telemetry.counter sink "pool.chunks.submitter";
     c_chunks_worker = Telemetry.counter sink "pool.chunks.worker";
+    c_retries = Telemetry.counter sink "pool.retries";
+    c_timeouts = Telemetry.counter sink "pool.timeouts";
+    c_degraded = Telemetry.counter sink "pool.degraded_jobs";
     h_queue_wait = Telemetry.histogram sink "pool.chunk.queue_wait_s";
     h_compute = Telemetry.histogram sink "pool.chunk.compute_s";
     h_job = Telemetry.histogram sink "pool.job_s";
@@ -101,10 +141,85 @@ let set_telemetry t sink = t.tele <- Option.map tele_of_sink sink
 
 let telemetry t = Option.map (fun tl -> tl.sink) t.tele
 
+let set_fault t fault = t.fault <- fault
+let fault t = t.fault
+
+let timeout_error timeout_s =
+  E.Error (E.Timeout { site; seconds = Some timeout_s })
+
+let cancel_error = E.Error (E.Timeout { site; seconds = None })
+
+(* Run one chunk body behind the [pool.chunk] fault site, retrying
+   injected crashes in place with exponential backoff.  Every attempt
+   re-probes the site (same key, next attempt number), so the engine's
+   deterministic stream decides when the fault clears.  Organic
+   exceptions are reported immediately: retrying real bugs only hides
+   them. *)
+let run_chunk_guarded t body i =
+  let rec attempt k =
+    match
+      Fault.hit t.fault ~key:i "pool.chunk";
+      body i
+    with
+    | () -> None
+    | exception Fault.Injected _ when k < t.max_retries ->
+      Atomic.incr t.retries_n;
+      (match t.tele with Some tl -> Telemetry.incr tl.c_retries | None -> ());
+      Unix.sleepf (0.001 *. float_of_int (1 lsl k));
+      attempt (k + 1)
+    | exception e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  attempt 0
+
+(* Mark the pool poisoned (warn once) and count one degraded job. *)
+let note_degraded t =
+  if t.warn && not t.warned then begin
+    t.warned <- true;
+    Printf.eprintf
+      "nanodec: warning: pool poisoned by injected faults; degrading to \
+       sequential execution\n%!"
+  end;
+  t.degraded <- true;
+  Atomic.incr t.degraded_jobs_n;
+  match t.tele with Some tl -> Telemetry.incr tl.c_degraded | None -> ()
+
+let count_timeout t =
+  match t.tele with Some tl -> Telemetry.incr tl.c_timeouts | None -> ()
+
+(* With [t.mutex] held: record a supervision trip (deadline or token)
+   and, when nothing is running any more, close the job so the
+   submitter's wait terminates even if no completion follows. *)
+let cancel_job t j error =
+  if not j.cancelled then begin
+    j.cancelled <- true;
+    count_timeout t;
+    (match j.error with
+    | Some _ -> ()
+    | None -> j.error <- Some (max_int, error, Printexc.get_callstack 0));
+    if j.in_flight = 0 then begin
+      j.finished <- true;
+      Condition.broadcast t.job_done
+    end
+  end
+
+(* Observe the cooperative stop conditions at a chunk boundary.  Called
+   with [t.mutex] held. *)
+let check_supervision t j =
+  if not j.cancelled then begin
+    (match j.cancel with
+    | Some c when Cancel.is_cancelled c -> cancel_job t j cancel_error
+    | Some _ | None -> ());
+    match j.deadline, j.timeout_s with
+    | Some d, Some s when Unix.gettimeofday () > d ->
+      cancel_job t j (timeout_error s)
+    | _ -> ()
+  end
+
 (* Claim and run chunks of [j] until none are left.  Called with
    [t.mutex] held; returns with it held.  [on_worker] distinguishes the
    steal counter from the submitter's own chunks. *)
 let rec work_on t ~on_worker j =
+  check_supervision t j;
   if (not j.cancelled) && j.next < j.chunks then begin
     let i = j.next in
     j.next <- j.next + 1;
@@ -119,22 +234,18 @@ let rec work_on t ~on_worker j =
     | None -> ());
     Mutex.unlock t.mutex;
     let t0 = match tele with Some tl -> Telemetry.now tl.sink | None -> 0. in
-    let failure =
-      match j.body i with
-      | () -> None
-      | exception e -> Some (i, e, Printexc.get_raw_backtrace ())
-    in
+    let failure = run_chunk_guarded t j.body i in
     (match tele with
     | Some tl -> Telemetry.observe tl.h_compute (Telemetry.now tl.sink -. t0)
     | None -> ());
     Mutex.lock t.mutex;
     (match failure with
     | None -> ()
-    | Some ((i, _, _) as f) -> (
+    | Some (e, bt) -> (
       j.cancelled <- true;
       match j.error with
       | Some (i0, _, _) when i0 <= i -> ()
-      | Some _ | None -> j.error <- Some f));
+      | Some _ | None -> j.error <- Some (i, e, bt)));
     j.in_flight <- j.in_flight - 1;
     if j.in_flight = 0 && (j.cancelled || j.next >= j.chunks) then begin
       j.finished <- true;
@@ -158,11 +269,14 @@ let worker_loop t =
   in
   loop ()
 
-let create ?domains ?telemetry () =
+let create ?domains ?telemetry ?fault ?(max_retries = 2) ?(degrade = true)
+    ?(warn = true) () =
   let requested =
     match domains with Some d -> d | None -> default_domains ()
   in
   if requested < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if max_retries < 0 then
+    invalid_arg "Pool.create: max_retries must be >= 0";
   let n = min requested max_domains in
   let t =
     {
@@ -174,7 +288,15 @@ let create ?domains ?telemetry () =
       stop = false;
       workers = [||];
       tele = Option.map tele_of_sink telemetry;
+      fault;
+      max_retries;
+      degrade;
+      warn;
+      degraded = false;
+      warned = false;
       inline_nested = Atomic.make 0;
+      retries_n = Atomic.make 0;
+      degraded_jobs_n = Atomic.make 0;
     }
   in
   t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -191,23 +313,71 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let with_pool ?domains ?telemetry f =
-  let t = create ?domains ?telemetry () in
+let with_pool ?domains ?telemetry ?fault ?max_retries ?degrade ?warn f =
+  let t = create ?domains ?telemetry ?fault ?max_retries ?degrade ?warn () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let parallel_for t ~chunks body =
+(* Boundary check of the sequential paths (inline loops, [None] pools):
+   same cooperative semantics as the fanned-out claim loop, raised
+   directly since there is no join to drain. *)
+let check_boundary ?deadline ?timeout_s ?cancel count_trip =
+  (match cancel with
+  | Some c when Cancel.is_cancelled c ->
+    count_trip ();
+    raise cancel_error
+  | Some _ | None -> ());
+  match deadline, timeout_s with
+  | Some d, Some s when Unix.gettimeofday () > d ->
+    count_trip ();
+    raise (timeout_error s)
+  | _ -> ()
+
+(* The sequential executor: used for 1-domain pools, single-chunk and
+   nested/busy submissions, degraded pools, and the degradation re-run
+   itself ([suppress] then turns injection off).  Retries injected
+   crashes like the parallel path; on exhaustion it degrades just that
+   chunk (one suppressed re-execution) rather than failing the run —
+   unless the pool opted out of degradation. *)
+let run_inline ?timeout_s ?cancel ?(suppress = false) t ~chunks body =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let run_one i =
+    check_boundary ?deadline ?timeout_s ?cancel (fun () -> count_timeout t);
+    match run_chunk_guarded t body i with
+    | None -> ()
+    | Some ((Fault.Injected _ as e), _) ->
+      if t.degrade then begin
+        note_degraded t;
+        Fault.without_faults (fun () -> body i)
+      end
+      else
+        E.fail
+          (E.Degraded { site = "pool.chunk"; reason = Printexc.to_string e })
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  in
+  if suppress then
+    Fault.without_faults (fun () ->
+        for i = 0 to chunks - 1 do
+          check_boundary ?deadline ?timeout_s ?cancel (fun () ->
+              count_timeout t);
+          body i
+        done)
+  else
+    for i = 0 to chunks - 1 do
+      run_one i
+    done
+
+let parallel_for ?timeout_s ?cancel t ~chunks body =
   if chunks < 0 then invalid_arg "Pool.parallel_for: negative chunk count";
+  (match timeout_s with
+  | Some s when s <= 0. ->
+    invalid_arg "Pool.parallel_for: timeout_s must be positive"
+  | Some _ | None -> ());
   if chunks > 0 then begin
-    let inline () =
-      for i = 0 to chunks - 1 do
-        body i
-      done
-    in
-    if Array.length t.workers = 0 || chunks = 1 then
+    if Array.length t.workers = 0 || chunks = 1 || t.degraded then
       if t.stop then invalid_arg "Pool: used after shutdown"
       else begin
         (match t.tele with Some tl -> Telemetry.incr tl.c_jobs_seq | None -> ());
-        inline ()
+        run_inline ?timeout_s ?cancel t ~chunks body
       end
     else begin
       Mutex.lock t.mutex;
@@ -220,6 +390,7 @@ let parallel_for t ~chunks body =
            Run it inline — identical results, no deadlock. *)
         Mutex.unlock t.mutex;
         Atomic.incr t.inline_nested;
+        let inline () = run_inline ?timeout_s ?cancel t ~chunks body in
         match t.tele with
         | Some tl ->
           Telemetry.incr tl.c_jobs_inline;
@@ -237,6 +408,10 @@ let parallel_for t ~chunks body =
             chunks;
             body;
             submitted;
+            timeout_s;
+            deadline =
+              Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
+            cancel;
             next = 0;
             in_flight = 0;
             cancelled = false;
@@ -257,25 +432,49 @@ let parallel_for t ~chunks body =
           Telemetry.observe tl.h_job (Telemetry.now tl.sink -. submitted)
         | None -> ());
         match j.error with
-        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ()
+        | Some (_, (Fault.Injected _ as e), _) ->
+          if t.degrade then begin
+            (* Poisoned: complete the job sequentially with injection
+               suppressed.  Chunk bodies are restartable, so the
+               re-execution reproduces the uninjected results exactly. *)
+            note_degraded t;
+            run_inline ?cancel ~suppress:true t ~chunks body
+          end
+          else
+            E.fail
+              (E.Degraded
+                 { site = "pool.chunk"; reason = Printexc.to_string e })
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       end
     end
   end
 
-let map t f xs =
+let map ?timeout_s ?cancel t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for t ~chunks:n (fun i -> out.(i) <- Some (f xs.(i)));
+    parallel_for ?timeout_s ?cancel t ~chunks:n (fun i ->
+        out.(i) <- Some (f xs.(i)));
     Array.map (function Some y -> y | None -> assert false) out
   end
 
-let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+let map_list ?timeout_s ?cancel t f xs =
+  Array.to_list (map ?timeout_s ?cancel t f (Array.of_list xs))
 
-let map_list_opt pool f xs =
-  match pool with Some t -> map_list t f xs | None -> List.map f xs
+let map_list_opt ?timeout_s ?cancel pool f xs =
+  match pool with
+  | Some t -> map_list ?timeout_s ?cancel t f xs
+  | None ->
+    let deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+    in
+    List.map
+      (fun x ->
+        check_boundary ?deadline ?timeout_s ?cancel (fun () -> ());
+        f x)
+      xs
 
-let map_reduce t ~map:f ~reduce ~init xs =
-  Array.fold_left reduce init (map t f xs)
+let map_reduce ?timeout_s ?cancel t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map ?timeout_s ?cancel t f xs)

@@ -1,4 +1,4 @@
-(** Fixed-size domain pool with chunked fan-out/fan-in.
+(** Supervised fixed-size domain pool with chunked fan-out/fan-in.
 
     A pool owns [domains - 1] worker domains (the submitting domain is
     the remaining one — it always participates in its own jobs), fed
@@ -23,14 +23,61 @@
        inside a chunk, or a concurrent job from another domain) runs
        inline on the submitting domain — same results, no deadlock.}}
 
+    {2 Supervision}
+
+    The pool is the recovery layer of the fault-injection story
+    ({!Nanodec_fault.Fault}):
+
+    {ul
+    {- {e Deadlines}: [parallel_for ~timeout_s] gives the job a
+       deadline, checked cooperatively at chunk boundaries (a claimed
+       chunk is never preempted — OCaml domains cannot be killed).  On
+       expiry the job cancels its unclaimed chunks, drains, and the
+       join raises [Nanodec_error.Error (Timeout _)].}
+    {- {e Cancellation}: a {!Cancel.t} token, checked at the same
+       boundaries; a cancelled job raises
+       [Nanodec_error.Error (Timeout {seconds = None; _})].}
+    {- {e Retry}: a chunk that dies of {!Nanodec_fault.Fault.Injected}
+       (a transient injected crash) is retried in place, up to
+       [max_retries] times with exponential backoff; each attempt gets
+       a fresh deterministic fault decision.  Organic exceptions are
+       never retried.}
+    {- {e Degradation}: when retries are exhausted the pool is
+       considered poisoned: it warns once on stderr, marks itself
+       {!degraded}, and re-runs the job sequentially with injection
+       suppressed, so the run still completes with bit-identical
+       results (chunk bodies must be restartable — all of this
+       library's are).  Subsequent jobs on a degraded pool run
+       sequentially too.  With [degrade = false] the pool instead
+       raises [Nanodec_error.Error (Degraded _)].}}
+
+    Injected crashes therefore never fail a pool-managed computation;
+    only timeouts, cancellations, organic exceptions and (with
+    [~degrade:false]) the explicit no-recovery policy do.
+
     A pool can carry a {!Nanodec_telemetry.Telemetry.sink}: the
     scheduler then records per-chunk queue-wait and compute-time
     histograms, per-job latency, and counters separating chunks run by
-    the submitter from chunks stolen by workers and fanned-out jobs
-    from inline ones.  The probes observe and never steer — an
-    instrumented run is bit-for-bit identical to a bare one. *)
+    the submitter from chunks stolen by workers, fanned-out jobs from
+    inline ones, plus the supervision counters [pool.retries],
+    [pool.timeouts] and [pool.degraded_jobs].  The probes observe and
+    never steer — an instrumented run is bit-for-bit identical to a
+    bare one. *)
 
 type t
+
+(** Cooperative cancellation tokens, checked at chunk boundaries. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  val cancel : t -> unit
+  (** Ask every job carrying this token to stop.  Idempotent;
+      domain-safe (an atomic flag). *)
+
+  val is_cancelled : t -> bool
+end
 
 val parse_domains : string -> int option
 (** Parse a [NANODEC_DOMAINS]-style value: [Some n] for a positive
@@ -42,10 +89,23 @@ val default_domains : unit -> int
     [Domain.recommended_domain_count ()]. *)
 
 val create :
-  ?domains:int -> ?telemetry:Nanodec_telemetry.Telemetry.sink -> unit -> t
+  ?domains:int ->
+  ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  ?fault:Nanodec_fault.Fault.t ->
+  ?max_retries:int ->
+  ?degrade:bool ->
+  ?warn:bool ->
+  unit ->
+  t
 (** [create ~domains ()] spawns [domains - 1] worker domains
     ([domains] defaults to {!default_domains}; clamped to at most 64).
-    [telemetry] attaches a sink from the start.
+    [telemetry] attaches a sink from the start; [fault] an injection
+    engine (evaluated at the [pool.chunk] site, keyed by chunk index).
+    [max_retries] (default 2) bounds retries of injected crashes per
+    chunk; [degrade] (default [true]) selects sequential fallback over
+    failing with [Degraded] when retries are exhausted; [warn]
+    (default [true]) announces the first degradation on stderr — chaos
+    harnesses that inject faults on purpose pass [~warn:false].
     Raises [Invalid_argument] if [domains < 1]. *)
 
 val domains : t -> int
@@ -57,6 +117,23 @@ val set_telemetry : t -> Nanodec_telemetry.Telemetry.sink option -> unit
 
 val telemetry : t -> Nanodec_telemetry.Telemetry.sink option
 (** The currently attached sink, if any. *)
+
+val set_fault : t -> Nanodec_fault.Fault.t option -> unit
+(** Attach or detach the fault engine.  Call between jobs. *)
+
+val fault : t -> Nanodec_fault.Fault.t option
+
+val degraded : t -> bool
+(** Whether the pool has poisoned itself and fallen back to sequential
+    execution. *)
+
+val degraded_jobs : t -> int
+(** Jobs completed through the sequential degradation path. *)
+
+val retries : t -> int
+(** Chunk retry attempts made against injected crashes, across the
+    pool's lifetime.  Counted unconditionally, like
+    {!inline_submissions}. *)
 
 val inline_submissions : t -> int
 (** How many jobs were submitted while the pool was busy and therefore
@@ -71,29 +148,51 @@ val shutdown : t -> unit
 val with_pool :
   ?domains:int ->
   ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  ?fault:Nanodec_fault.Fault.t ->
+  ?max_retries:int ->
+  ?degrade:bool ->
+  ?warn:bool ->
   (t -> 'a) ->
   'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down on exit,
     normal or exceptional. *)
 
-val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+val parallel_for :
+  ?timeout_s:float -> ?cancel:Cancel.t -> t -> chunks:int -> (int -> unit) ->
+  unit
 (** [parallel_for pool ~chunks body] runs [body i] for every
     [i] in [0 .. chunks - 1], work-stealing chunk indices across the
-    pool's domains.  Returns when all chunks have completed. *)
+    pool's domains.  Returns when all chunks have completed (or, under
+    a fault plan, have been recovered — see the supervision section).
+    [timeout_s] must be positive when given. *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?timeout_s:float -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array ->
+  'b array
 (** [map pool f xs] is [Array.map f xs] with the elements evaluated
     across the pool; result order is the input order. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?timeout_s:float -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list ->
+  'b list
 (** [map] over a list, preserving order. *)
 
-val map_list_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
-(** [map_list] through an optional pool; [None] is [List.map].  The
+val map_list_opt :
+  ?timeout_s:float -> ?cancel:Cancel.t -> t option -> ('a -> 'b) ->
+  'a list -> 'b list
+(** [map_list] through an optional pool; [None] is [List.map] (with the
+    same deadline/cancellation checks between elements).  The
     convenience spelling used by the sweep/figure pipelines. *)
 
 val map_reduce :
-  t -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+  ?timeout_s:float ->
+  ?cancel:Cancel.t ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
 (** [map_reduce pool ~map ~reduce ~init xs] evaluates [map] across the
     pool, then folds the results {e left-to-right in index order} —
     [reduce (... (reduce init y0) ...) yn] — so non-associative or

@@ -1,10 +1,14 @@
 module Telemetry = Nanodec_telemetry.Telemetry
+module Fault = Nanodec_fault.Fault
 
 type t = {
   pool : Pool.t option;
   seed : int;
   mc_samples : int;
   telemetry : Telemetry.sink option;
+  fault : Fault.t option;
+  timeout_s : float option;
+  cancel : Pool.Cancel.t option;
   owns_pool : bool;  (* [make ~domains] spawned it, [shutdown] joins it *)
 }
 
@@ -12,8 +16,22 @@ let default_seed = 2009
 let default_mc_samples = 4000
 
 let make ?domains ?pool ?(seed = default_seed)
-    ?(mc_samples = default_mc_samples) ?telemetry () =
+    ?(mc_samples = default_mc_samples) ?telemetry ?fault ?timeout_s ?cancel
+    ?max_retries ?degrade ?warn () =
   if mc_samples < 0 then invalid_arg "Run_ctx.make: mc_samples must be >= 0";
+  (match timeout_s with
+  | Some s when s <= 0. ->
+    invalid_arg "Run_ctx.make: timeout_s must be positive"
+  | Some _ | None -> ());
+  (* The environment plan activates here and only here: contexts are the
+     chaos boundary.  Direct [Pool] users (tests, benches) stay
+     injection-free even when [NANODEC_FAULT_PLAN] is exported. *)
+  let fault = match fault with Some _ as f -> f | None -> Fault.of_env () in
+  (* Injected faults are telemetry-recorded whenever the run has a
+     sink, without the caller wiring the two by hand. *)
+  (match fault, telemetry with
+  | Some f, Some _ -> Fault.set_telemetry f telemetry
+  | _ -> ());
   let pool, owns_pool =
     match pool, domains with
     | Some _, Some _ ->
@@ -24,25 +42,43 @@ let make ?domains ?pool ?(seed = default_seed)
       (match telemetry with
       | Some _ -> Pool.set_telemetry p telemetry
       | None -> ());
+      (match fault with
+      | Some _ -> Pool.set_fault p fault
+      | None -> ());
       (Some p, false)
-    | None, Some d -> (Some (Pool.create ~domains:d ?telemetry ()), true)
+    | None, Some d ->
+      ( Some
+          (Pool.create ~domains:d ?telemetry ?fault ?max_retries ?degrade
+             ?warn ()),
+        true )
     | None, None -> (None, false)
   in
-  { pool; seed; mc_samples; telemetry; owns_pool }
+  { pool; seed; mc_samples; telemetry; fault; timeout_s; cancel; owns_pool }
 
 let shutdown t = if t.owns_pool then Option.iter Pool.shutdown t.pool
 
-let with_ctx ?domains ?pool ?seed ?mc_samples ?telemetry f =
-  let t = make ?domains ?pool ?seed ?mc_samples ?telemetry () in
+let with_ctx ?domains ?pool ?seed ?mc_samples ?telemetry ?fault ?timeout_s
+    ?cancel ?max_retries ?degrade ?warn f =
+  let t =
+    make ?domains ?pool ?seed ?mc_samples ?telemetry ?fault ?timeout_s
+      ?cancel ?max_retries ?degrade ?warn ()
+  in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let pool t = t.pool
 let seed t = t.seed
 let mc_samples t = t.mc_samples
 let telemetry t = t.telemetry
+let fault t = t.fault
+let timeout_s t = t.timeout_s
+let cancel t = t.cancel
 
 let pool_of = function None -> None | Some t -> t.pool
 let telemetry_of = function None -> None | Some t -> t.telemetry
+let fault_of = function None -> None | Some t -> t.fault
+
+let map_list t f xs =
+  Pool.map_list_opt ?timeout_s:t.timeout_s ?cancel:t.cancel t.pool f xs
 
 let resolve ?ctx ?pool () =
   match ctx with
@@ -56,5 +92,8 @@ let resolve ?ctx ?pool () =
       seed = default_seed;
       mc_samples = default_mc_samples;
       telemetry = None;
+      fault = None;
+      timeout_s = None;
+      cancel = None;
       owns_pool = false;
     }

@@ -2,9 +2,10 @@
 
     [Run_ctx.t] bundles what used to travel as scattered optional
     arguments — the domain pool, the Monte-Carlo seed and sample count,
-    and the telemetry sink — into one value built once (usually from the
-    CLI flags) and threaded through sweeps, figures, scaling, ablations
-    and Monte-Carlo estimators alike:
+    the telemetry sink, and (new with the robustness layer) the fault
+    engine, job deadline and cancellation token — into one value built
+    once (usually from the CLI flags) and threaded through sweeps,
+    figures, scaling, ablations and Monte-Carlo estimators alike:
 
     {[
       Run_ctx.with_ctx ~domains:4 ~telemetry:sink (fun ctx ->
@@ -12,9 +13,22 @@
     ]}
 
     The context never influences numeric results except through the
-    seed and sample count it explicitly carries: pool size and
-    telemetry are observability/wall-clock knobs only, and every
-    consumer is bit-for-bit invariant in them. *)
+    seed and sample count it explicitly carries: pool size, telemetry,
+    deadlines and fault plans are observability/robustness knobs only,
+    and every consumer is bit-for-bit invariant in them for runs that
+    complete successfully.
+
+    {2 Chaos boundary}
+
+    {!make} is the single place where the [NANODEC_FAULT_PLAN]
+    environment variable activates: an explicit [~fault] argument wins,
+    otherwise the environment plan (if any) is parsed and installed.
+    Code that builds a bare {!Pool.t} directly never sees the
+    environment plan — so the chaos CI job can export a plan and rerun
+    the whole test suite while pool-level unit tests stay
+    injection-free.  When the context also carries a telemetry sink,
+    the engine is attached to it so every injected fault is recorded
+    ([fault.fired.<site>], [fault.injected.<action>]). *)
 
 type t
 
@@ -30,6 +44,12 @@ val make :
   ?seed:int ->
   ?mc_samples:int ->
   ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  ?fault:Nanodec_fault.Fault.t ->
+  ?timeout_s:float ->
+  ?cancel:Pool.Cancel.t ->
+  ?max_retries:int ->
+  ?degrade:bool ->
+  ?warn:bool ->
   unit ->
   t
 (** Builder-style constructor.  [~domains] spawns a pool owned by the
@@ -37,9 +57,15 @@ val make :
     (the caller keeps shutdown duty) — passing both raises
     [Invalid_argument], passing neither leaves the context sequential.
     When both a pool and a sink are given, the sink is attached to the
-    pool so scheduler probes land in it.  [seed] defaults to
-    {!default_seed}, [mc_samples] to {!default_mc_samples} (raises
-    [Invalid_argument] when negative). *)
+    pool so scheduler probes land in it; likewise the fault engine.
+    [fault] defaults to the [NANODEC_FAULT_PLAN] environment plan when
+    that is set (raising [Nanodec_error.Error (Invalid_input _)] on a
+    malformed value).  [timeout_s] (strictly positive) and [cancel] are
+    handed to every pool fan-out made through this context.
+    [max_retries] and [degrade] configure the spawned pool's
+    supervision policy (borrowed pools keep their own settings).
+    [seed] defaults to {!default_seed}, [mc_samples] to
+    {!default_mc_samples} (raises [Invalid_argument] when negative). *)
 
 val with_ctx :
   ?domains:int ->
@@ -47,6 +73,12 @@ val with_ctx :
   ?seed:int ->
   ?mc_samples:int ->
   ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  ?fault:Nanodec_fault.Fault.t ->
+  ?timeout_s:float ->
+  ?cancel:Pool.Cancel.t ->
+  ?max_retries:int ->
+  ?degrade:bool ->
+  ?warn:bool ->
   (t -> 'a) ->
   'a
 (** [make] + [f] + {!shutdown}, exception-safe. *)
@@ -58,15 +90,27 @@ val pool : t -> Pool.t option
 val seed : t -> int
 val mc_samples : t -> int
 val telemetry : t -> Nanodec_telemetry.Telemetry.sink option
+val fault : t -> Nanodec_fault.Fault.t option
+val timeout_s : t -> float option
+val cancel : t -> Pool.Cancel.t option
 
 val pool_of : t option -> Pool.t option
 (** [pool_of ctx] through an optional context — the spelling used by
     [?ctx] consumers. *)
 
 val telemetry_of : t option -> Nanodec_telemetry.Telemetry.sink option
+val fault_of : t option -> Nanodec_fault.Fault.t option
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ctx f xs] maps through the context's pool (or
+    sequentially without one), threading the context's deadline and
+    cancellation token into the fan-out.  The one-liner the sweep,
+    figure, scaling and ablation pipelines use. *)
 
 val resolve : ?ctx:t -> ?pool:Pool.t -> unit -> t
 (** Back-compatibility shim for entry points that still accept the
     deprecated [?pool] argument next to [?ctx]: the context wins, a
     bare pool is wrapped into a default context, and when the context
-    has no pool of its own the bare pool fills the slot. *)
+    has no pool of its own the bare pool fills the slot.  Note the
+    environment fault plan does {e not} activate here — only {!make}
+    reads it. *)

@@ -446,6 +446,66 @@ let telemetry_span_well_formedness =
       List.for_all (ok None) (Telemetry.span_trees sink)
       && Telemetry.well_formed sink)
 
+(* --- fault-injection transparency --- *)
+
+module Fault = Nanodec_fault.Fault
+
+(* A compiled-in but rule-free engine is invisible: same bits as no
+   engine at all.  This is the probe-cost analogue of telemetry
+   transparency, and what licenses shipping the probes always-on. *)
+let fault_probes_inert =
+  Property.make
+    ~name:"Inert fault engine leaves results bit-for-bit unchanged"
+    ~print:(fun (seed, (samples, chunks), dexp) ->
+      Printf.sprintf "seed %d, %d samples / %d chunks, %d domains" seed
+        samples chunks (1 lsl dexp))
+    (triple Generators.sample_seed
+       (pair (int_range 2 200) (int_range 1 32))
+       (int_range 0 3))
+    (fun (seed, (samples, chunks), dexp) ->
+      let domains = 1 lsl dexp in
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let run ?fault () =
+        Run_ctx.with_ctx ~domains ?fault ~warn:false (fun ctx ->
+            Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
+              f)
+      in
+      let engine = Fault.inert () in
+      let r = run () = run ~fault:engine () in
+      r && Fault.total_fired engine = 0)
+
+(* Injected crashes are recovered (retry, then degraded sequential
+   re-execution), and a recovered run computes exactly the bits the
+   uninjected run does — the tentpole guarantee of the robustness
+   layer.  [~warn:false]: this oracle degrades pools on purpose,
+   hundreds of times per run — the stderr announcement is for users
+   whose pool got poisoned unexpectedly, not for the chaos harness. *)
+let fault_injection_transparency =
+  Property.make
+    ~name:"Recovered fault-injected runs equal the uninjected run"
+    ~print:(fun ((seed, plan_seed), (samples, chunks), dexp) ->
+      Printf.sprintf "seed %d, plan seed %d, %d samples / %d chunks, %d domains"
+        seed plan_seed samples chunks (1 lsl dexp))
+    (triple
+       (pair Generators.sample_seed (int_range 0 10_000))
+       (pair (int_range 2 200) (int_range 1 16))
+       (int_range 0 2))
+    (fun ((seed, plan_seed), (samples, chunks), dexp) ->
+      let domains = 1 lsl dexp in
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let run ?fault () =
+        Run_ctx.with_ctx ~domains ?fault ~warn:false (fun ctx ->
+            Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
+              f)
+      in
+      let plan =
+        Fault.parse_exn
+          (Printf.sprintf
+             "seed=%d;pool.chunk:crash:p=0.3;mc.sample_batch:crash:p=0.2"
+             plan_seed)
+      in
+      run ~fault:(Fault.create plan) () = run ())
+
 let all =
   [
     h_bijectivity;
@@ -470,4 +530,6 @@ let all =
     chunked_mc_domain_invariance;
     telemetry_transparency;
     telemetry_span_well_formedness;
+    fault_probes_inert;
+    fault_injection_transparency;
   ]

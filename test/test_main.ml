@@ -21,5 +21,6 @@ let () =
       ("exhaustive arrangements", Test_exhaustive.suite);
       ("parallel engine", Test_parallel.suite);
       ("telemetry and run context", Test_telemetry.suite);
+      ("fault injection and error taxonomy", Test_fault.suite);
       ("proptest oracles", Test_properties.suite);
     ]
