@@ -529,6 +529,119 @@ let run_json ~quick =
     exit 1
   end
 
+(* --- kernel bench: BENCH_kernels.json + --gate-kernel-speedup ---
+
+   Times the compiled MC kernel (Cave.mc_yield_window_par, pool-less)
+   against the allocating reference draw (Cave.mc_yield_window_reference)
+   on every Fig. 7 candidate design: same seed, same chunking, same
+   sample count, best-of-N wall time on both sides.  Every pair of
+   estimates must be bit-for-bit identical — the kernel is licensed as an
+   optimisation only.  Writes BENCH_kernels.json; --gate-kernel-speedup
+   fails the process if the aggregate speedup over the designs drops
+   below 2x or any estimate diverges. *)
+
+let kernel_designs ~quick =
+  let samples = if quick then 500 else 4_000 in
+  List.map
+    (fun (ct, m) ->
+      let spec = Design.spec ~code_type:ct ~code_length:m () in
+      ( Printf.sprintf "%s-M%d" (Codebook.name ct) m,
+        samples,
+        Nanodec_crossbar.Cave.analyze spec.Design.cave ))
+    Figures.fig7_candidates
+
+let run_kernel_json ~quick =
+  let module Cave = Nanodec_crossbar.Cave in
+  let module Kernel = Nanodec_crossbar.Kernel in
+  let reps = 5 in
+  let rows =
+    List.map
+      (fun (name, samples, analysis) ->
+        let kernel = Cave.kernel_of_analysis analysis in
+        (* Warm both paths outside the timer: code-construction memo
+           tables, and the domain-local workspace buffer the kernel
+           grows on first contact. *)
+        ignore
+          (Cave.mc_yield_window_reference (Rng.create ~seed:2009) ~samples:16
+             analysis);
+        ignore
+          (Cave.mc_yield_window_par (Rng.create ~seed:2009) ~samples:16
+             analysis);
+        let reference, t_ref =
+          time_best ~reps (fun () ->
+              Cave.mc_yield_window_reference (Rng.create ~seed:2009) ~samples
+                analysis)
+        in
+        let kernelized, t_ker =
+          time_best ~reps (fun () ->
+              Cave.mc_yield_window_par (Rng.create ~seed:2009) ~samples
+                analysis)
+        in
+        let identical = reference = kernelized in
+        Printf.printf
+          "%-8s reference %8.4fs   kernel %8.4fs   %5.2fx   identical: %b\n%!"
+          name t_ref t_ker (t_ref /. t_ker) identical;
+        ( name,
+          samples,
+          Kernel.draws_per_sample kernel,
+          Kernel.n_passes kernel,
+          t_ref,
+          t_ker,
+          identical,
+          reference.Montecarlo.mean ))
+      (kernel_designs ~quick)
+  in
+  let total_ref =
+    List.fold_left (fun acc (_, _, _, _, t, _, _, _) -> acc +. t) 0. rows
+  in
+  let total_ker =
+    List.fold_left (fun acc (_, _, _, _, _, t, _, _) -> acc +. t) 0. rows
+  in
+  let aggregate = total_ref /. total_ker in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, ok, _) -> ok) rows
+  in
+  Printf.printf
+    "kernel aggregate over %d designs (best of %d): %.4fs -> %.4fs (%.2fx), \
+     identical: %b\n"
+    (List.length rows) reps total_ref total_ker aggregate all_identical;
+  let oc = open_out "BENCH_kernels.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated_by\": \"bench/main.exe --json%s\",\n"
+    (if quick then " --quick" else "");
+  out "  \"quick\": %b,\n" quick;
+  out "  \"reps\": %d,\n" reps;
+  out "  \"all_identical\": %b,\n" all_identical;
+  out "  \"aggregate_speedup\": %.3f,\n" aggregate;
+  out "  \"designs\": [\n";
+  List.iteri
+    (fun i (name, samples, draws, passes, t_ref, t_ker, identical, mean) ->
+      out
+        "    {\"name\": \"%s\", \"samples\": %d, \"draws_per_sample\": %d, \
+         \"passes\": %d, \"seconds\": {\"reference\": %.6f, \"kernel\": \
+         %.6f}, \"speedup\": %.3f, \"identical\": %b, \"mean\": %.17g}%s\n"
+        (json_escape name) samples draws passes t_ref t_ker (t_ref /. t_ker)
+        identical mean
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_kernels.json (%d designs)\n" (List.length rows);
+  (aggregate, all_identical)
+
+let gate_kernel_speedup (aggregate, all_identical) =
+  if not all_identical then begin
+    prerr_endline
+      "FAIL: kernelized estimate diverged from the reference draw";
+    exit 1
+  end;
+  if aggregate < 2. then begin
+    Printf.eprintf
+      "FAIL: compiled kernel speedup %.2fx below the 2x gate\n" aggregate;
+    exit 1
+  end
+
 (* --gate-overhead: a sink on the sequential path must cost < 5 %.
    Best-of-5 on the Monte-Carlo workload, whose per-chunk probes make
    it the most telemetry-dense of the four. *)
@@ -575,11 +688,13 @@ let gate_fault_overhead ~quick =
 let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--json" argv then begin
-    run_json ~quick:(List.mem "--quick" argv);
-    if List.mem "--gate-overhead" argv then
-      gate_overhead ~quick:(List.mem "--quick" argv);
-    if List.mem "--gate-fault-overhead" argv then
-      gate_fault_overhead ~quick:(List.mem "--quick" argv)
+    let quick = List.mem "--quick" argv in
+    run_json ~quick;
+    let kernel_result = run_kernel_json ~quick in
+    if List.mem "--gate-kernel-speedup" argv then
+      gate_kernel_speedup kernel_result;
+    if List.mem "--gate-overhead" argv then gate_overhead ~quick;
+    if List.mem "--gate-fault-overhead" argv then gate_fault_overhead ~quick
   end
   else begin
     print_endline "nanodec reproduction harness — Ben Jamaa et al., DAC 2009";

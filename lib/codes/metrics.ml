@@ -44,18 +44,43 @@ let of_words words =
         Array.fold_left Stdlib.max spectrum.(0) spectrum
         - Array.fold_left Stdlib.min spectrum.(0) spectrum
     in
-    let distinct_words =
-      List.length (List.sort_uniq Word.compare words)
-    in
+    (* One sorted copy serves both distinct-word counting and pairwise
+       distance: duplicates land adjacent, so the unique representatives
+       are the cluster heads, and the quadratic distance scan then runs
+       over those representatives only (instead of all n² pairs,
+       re-comparing every duplicate). *)
+    let sorted = Array.copy arr in
+    Array.sort Word.compare sorted;
+    let uniq = Array.make n_words sorted.(0) in
+    let n_uniq = ref 1 in
+    for i = 1 to n_words - 1 do
+      if Word.compare sorted.(i - 1) sorted.(i) <> 0 then begin
+        uniq.(!n_uniq) <- sorted.(i);
+        incr n_uniq
+      end
+    done;
+    let distinct_words = !n_uniq in
     let min_pairwise =
-      let best = ref length in
-      for i = 0 to n_words - 1 do
-        for j = i + 1 to n_words - 1 do
-          if not (Word.equal arr.(i) arr.(j)) then
-            best := Stdlib.min !best (Word.hamming_distance arr.(i) arr.(j))
-        done
-      done;
-      if distinct_words < 2 then 0 else !best
+      (* Guard the O(d²) scan: skip it outright for fewer than two
+         distinct words, and stop as soon as the distance floor for
+         distinct words (1) is reached — full codebooks of adjacent Gray
+         words exit on the first pair. *)
+      if distinct_words < 2 then 0
+      else begin
+        let best = ref length in
+        (try
+           for i = 0 to distinct_words - 1 do
+             for j = i + 1 to distinct_words - 1 do
+               let d = Word.hamming_distance uniq.(i) uniq.(j) in
+               if d < !best then begin
+                 best := d;
+                 if d <= 1 then raise Exit
+               end
+             done
+           done
+         with Exit -> ());
+        !best
+      end
     in
     {
       n_words;

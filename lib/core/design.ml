@@ -58,7 +58,7 @@ let evaluate spec =
       float_of_int (Complexity.total pattern)
       /. float_of_int (Pattern.n_wires pattern);
     sigma_norm1 = sigma_t *. sigma_t *. float_of_int (Imatrix.sum nu);
-    average_nu = Variability.average_nu pattern;
+    average_nu = Variability.average_nu ~nu pattern;
     max_nu = Imatrix.max_entry nu;
     pattern_transitions = Pattern.total_transitions pattern;
     cave_yield = array_report.Array_sim.cave_yield;

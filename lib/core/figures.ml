@@ -35,12 +35,13 @@ let fig6_surface ~radix ~n_wires code_type code_length =
   let pattern =
     Pattern.of_codebook ~radix ~length:code_length ~n_wires code_type
   in
-  let normalized_std = Variability.normalized_std_matrix pattern in
+  let nu = Variability.nu_matrix pattern in
+  let normalized_std = Variability.normalized_std_matrix ~nu pattern in
   {
     code_type;
     code_length;
     normalized_std;
-    mean_nu = Variability.average_nu pattern;
+    mean_nu = Variability.average_nu ~nu pattern;
     max_std = Fmatrix.max_entry normalized_std;
   }
 

@@ -143,11 +143,22 @@ let mc_window_draw analysis ~passes ~w rng =
   done;
   float_of_int !good /. float_of_int n
 
+let kernel_of_analysis analysis =
+  Kernel.compile ~n_wires:analysis.config.n_wires
+    ~n_regions:analysis.config.code_length ~sigma_t:analysis.config.sigma_t
+    ~sigma_base:analysis.config.sigma_base ~window:(window analysis.config)
+    ~usable:(Array.map is_usable analysis.layout.Geometry.statuses)
+    (passes_of_analysis analysis)
+
 let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
-  (* Everything the chunk bodies share is computed here, before the
-     fan-out; the bodies only read it (and mutate their own stream). *)
-  let passes = passes_of_analysis analysis in
-  let w = window analysis.config in
+  (* Everything the chunk bodies share — here, the whole compiled pass
+     program — is computed before the fan-out; the bodies only read it
+     (and mutate their own stream and domain-local scratch). *)
+  let tel = Nanodec_parallel.Run_ctx.telemetry_of ctx in
+  let kernel =
+    Nanodec_telemetry.Telemetry.with_span tel "kernel.compile" @@ fun () ->
+    kernel_of_analysis analysis
+  in
   (* Fault site: before the fan-out.  When the estimate runs inside an
      outer pool chunk (the sweep pipelines), an injected crash here is
      recovered by that pool's retry/degradation; standalone callers see
@@ -155,32 +166,20 @@ let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
   Nanodec_fault.Fault.hit
     (Nanodec_parallel.Run_ctx.fault_of ctx)
     "cave.window";
-  Nanodec_telemetry.Telemetry.with_span
-    (Nanodec_parallel.Run_ctx.telemetry_of ctx)
-    "cave.mc_yield_window"
+  Nanodec_telemetry.Telemetry.with_span tel "cave.mc_yield_window"
   @@ fun () ->
+  Nanodec_telemetry.Telemetry.count tel "kernel.samples" samples;
+  Montecarlo.estimate_par ?ctx ?pool ?chunks rng ~samples (Kernel.draw kernel)
+
+let mc_yield_window_reference ?ctx ?pool ?chunks rng ~samples analysis =
+  let passes = passes_of_analysis analysis in
+  let w = window analysis.config in
   Montecarlo.estimate_par ?ctx ?pool ?chunks rng ~samples
     (mc_window_draw analysis ~passes ~w)
 
 let mc_yield_window rng ~samples analysis =
-  let passes = passes_of_analysis analysis in
-  let w = window analysis.config in
-  let n = analysis.config.n_wires in
-  let one_draw rng =
-    let noise = noise_offsets rng analysis passes in
-    let good = ref 0 in
-    for i = 0 to n - 1 do
-      if is_usable analysis.layout.Geometry.statuses.(i) then begin
-        let wire_ok = ref true in
-        for j = 0 to analysis.config.code_length - 1 do
-          if Float.abs (Fmatrix.get noise i j) >= w then wire_ok := false
-        done;
-        if !wire_ok then incr good
-      end
-    done;
-    float_of_int !good /. float_of_int n
-  in
-  Montecarlo.estimate rng ~samples one_draw
+  let kernel = kernel_of_analysis analysis in
+  Montecarlo.estimate rng ~samples (Kernel.draw kernel)
 
 let mc_yield_functional rng ~samples analysis =
   let passes = passes_of_analysis analysis in

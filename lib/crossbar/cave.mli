@@ -59,10 +59,17 @@ val wire_window_probability :
 (** {m Π_j \mathrm{erf}\big(w / √{2(σ_0² + ν_j σ_T²)}\big)} — success
     probability of one wire given its doping-operation counts. *)
 
+val kernel_of_analysis : analysis -> Kernel.t
+(** Compile the analysis' pass program, usable-wire flags, σ terms and
+    window into a {!Kernel.t}.  Pure and reusable: compile once, then
+    share the kernel across any number of estimates and domains. *)
+
 val mc_yield_window :
   Rng.t -> samples:int -> analysis -> Montecarlo.estimate
 (** Monte-Carlo re-estimate of the analytic yield by sampling fabrication
-    noise through the process simulator and applying the window test. *)
+    noise through the process simulator and applying the window test.
+    Runs on the compiled {!Kernel}; bit-for-bit identical to the
+    historical allocating implementation. *)
 
 val mc_yield_functional :
   Rng.t -> samples:int -> analysis -> Montecarlo.estimate
@@ -77,11 +84,27 @@ val mc_yield_window_par :
   samples:int ->
   analysis ->
   Montecarlo.estimate
-(** Chunked {!mc_yield_window} on {!Montecarlo.estimate_par}: the
-    result is bit-for-bit identical for every domain count (including
-    [pool = None]), though it differs from the single-stream
-    {!mc_yield_window} of the same seed.  All shared state (passes,
-    window, layout) is computed before the fan-out; chunk bodies only
-    read it.  [?ctx] supplies pool and telemetry (span
-    [cave.mc_yield_window] around the estimate); the deprecated
-    [?pool] still wins when given. *)
+(** Chunked window-yield estimate on {!Montecarlo.estimate_par}, running
+    the compiled {!Kernel}: the result is bit-for-bit identical for
+    every domain count (including [pool = None]) {e and} to
+    {!mc_yield_window_reference} of the same arguments, though it
+    differs from the single-stream {!mc_yield_window} of the same seed.
+    All shared state (the compiled pass program) is computed before the
+    fan-out; chunk bodies only read it, drawing into domain-local
+    workspace scratch.  [?ctx] supplies pool and telemetry (spans
+    [kernel.compile] and [cave.mc_yield_window], counter
+    [kernel.samples]); the deprecated [?pool] still wins when given. *)
+
+val mc_yield_window_reference :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  ?pool:Nanodec_parallel.Pool.t ->
+  ?chunks:int ->
+  Rng.t ->
+  samples:int ->
+  analysis ->
+  Montecarlo.estimate
+(** The pre-kernel allocating implementation of
+    {!mc_yield_window_par} — a fresh N×M noise matrix and pass-list walk
+    per sample.  Kept as the executable specification: the
+    [kernel ≡ reference] oracle and the kernel bench gate compare
+    against it, and it is the baseline of `BENCH_kernels.json`. *)

@@ -1,0 +1,164 @@
+open Nanodec_numerics
+open Nanodec_mspt
+
+type t = {
+  n : int;
+  m : int;
+  cells : int;
+  sigma_t : float;
+  sigma_base : float;
+  window : float;
+  usable : bool array;
+  n_passes : int;
+  pass_after : int array;
+  pass_off : int array;
+  pass_regions : int array;
+  targets : int array;
+  plane : int array;
+      (* identity indices 0..cells-1: the base-fluctuation sweep as a
+         target list, so both noise stages run the same fused loop *)
+  draws_per_sample : int;
+}
+
+(* One scratch per domain, shared by every kernel that domain runs: a
+   draw never yields mid-body, so nothing else can touch the buffer
+   while it is in use, and the noise plane is refilled from zero at the
+   top of each draw.  The buffer grows to the largest kernel seen. *)
+type scratch = {
+  mutable noise : float array;
+  fast : Rng.Fast.t;
+}
+
+let workspace : scratch Nanodec_parallel.Workspace.t =
+  Nanodec_parallel.Workspace.create (fun () ->
+      { noise = [||]; fast = Rng.Fast.create () })
+
+(* Total implant draws of one sample: pass p hits wires 0..after_wire(p)
+   in each masked region. *)
+let implant_draw_count passes n_regions =
+  List.fold_left
+    (fun acc p ->
+      let hits = ref 0 in
+      for j = 0 to n_regions - 1 do
+        if p.Process.mask.(j) then incr hits
+      done;
+      acc + ((p.Process.after_wire + 1) * !hits))
+    0 passes
+
+let compile ~n_wires ~n_regions ~sigma_t ~sigma_base ~window ~usable passes =
+  if n_wires < 1 || n_regions < 1 then
+    invalid_arg "Kernel.compile: bad cave geometry";
+  if sigma_t <= 0. then invalid_arg "Kernel.compile: sigma_t must be positive";
+  if sigma_base < 0. then invalid_arg "Kernel.compile: sigma_base must be >= 0";
+  if not (window > 0.) then invalid_arg "Kernel.compile: window must be positive";
+  if Array.length usable <> n_wires then
+    invalid_arg "Kernel.compile: usable flags length mismatch";
+  List.iter
+    (fun p ->
+      if p.Process.after_wire < 0 || p.Process.after_wire >= n_wires then
+        invalid_arg "Kernel.compile: pass outside cave";
+      if Array.length p.Process.mask <> n_regions then
+        invalid_arg "Kernel.compile: mask length mismatch")
+    passes;
+  (* Same ordering as [Process.fold_passes]: fabrication order, i.e. a
+     stable sort on after_wire that preserves the input pass order within
+     a step.  The draw below replays the reference Gaussian sequence, so
+     this order is part of the bit-for-bit contract. *)
+  let ordered =
+    List.stable_sort
+      (fun a b -> Int.compare a.Process.after_wire b.Process.after_wire)
+      passes
+  in
+  let n_passes = List.length ordered in
+  let pass_after = Array.make (max n_passes 1) 0 in
+  let pass_off = Array.make (n_passes + 1) 0 in
+  let regions = ref [] in
+  let total = ref 0 in
+  List.iteri
+    (fun p pass ->
+      pass_after.(p) <- pass.Process.after_wire;
+      pass_off.(p) <- !total;
+      for j = 0 to n_regions - 1 do
+        if pass.Process.mask.(j) then begin
+          regions := j :: !regions;
+          incr total
+        end
+      done)
+    ordered;
+  pass_off.(n_passes) <- !total;
+  let pass_regions = Array.of_list (List.rev !regions) in
+  (* Flatten the whole implant program into one index array: pass p doses
+     wires 0..after_wire(p) in its masked regions, so every Gaussian draw
+     of a sample maps to one precomputed cell index.  The expansion is
+     bounded by (number of passes) × n_wires × n_regions — kilobytes for
+     paper-scale caves — and turns the inner loop into a single linear
+     sweep. *)
+  let targets = Array.make (implant_draw_count ordered n_regions) 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun pass ->
+      for wire = 0 to pass.Process.after_wire do
+        let base = wire * n_regions in
+        for j = 0 to n_regions - 1 do
+          if pass.Process.mask.(j) then begin
+            targets.(!pos) <- base + j;
+            incr pos
+          end
+        done
+      done)
+    ordered;
+  let cells = n_wires * n_regions in
+  {
+    n = n_wires;
+    m = n_regions;
+    cells;
+    sigma_t;
+    sigma_base;
+    window;
+    usable = Array.copy usable;
+    n_passes;
+    pass_after;
+    pass_off;
+    pass_regions;
+    targets;
+    plane = (if sigma_base <> 0. then Array.init cells (fun i -> i) else [||]);
+    draws_per_sample =
+      Array.length targets + (if sigma_base <> 0. then cells else 0);
+  }
+
+let draws_per_sample k = k.draws_per_sample
+let n_passes k = k.n_passes
+
+let draw k rng =
+  let ws = Nanodec_parallel.Workspace.get workspace in
+  if Array.length ws.noise < k.cells then ws.noise <- Array.make k.cells 0.;
+  let noise = ws.noise in
+  let fast = ws.fast in
+  Rng.Fast.load fast rng;
+  Array.fill noise 0 k.cells 0.;
+  (* Implant noise: one sigma_t Gaussian per precompiled target cell, in
+     the exact order [Process.sample_vt_noise] walks passes and regions. *)
+  Rng.Fast.add_gaussians fast ~sigma:k.sigma_t k.targets noise;
+  (* Intrinsic noise: row-major plane sweep, gated exactly like the
+     reference ([sigma_base <> 0.], not an epsilon test). *)
+  if k.sigma_base <> 0. then
+    Rng.Fast.add_gaussians fast ~sigma:k.sigma_base k.plane noise;
+  Rng.Fast.store fast rng;
+  let good = ref 0 in
+  let w = k.window in
+  let m = k.m in
+  for i = 0 to k.n - 1 do
+    if Array.unsafe_get k.usable i then begin
+      let base = i * m in
+      let ok = ref true in
+      let j = ref 0 in
+      (* Early exit: the first region outside the window disqualifies
+         the wire, no need to scan the rest of its row. *)
+      while !ok && !j < m do
+        if Float.abs (Array.unsafe_get noise (base + !j)) >= w then ok := false;
+        incr j
+      done;
+      if !ok then incr good
+    end
+  done;
+  float_of_int !good /. float_of_int k.n

@@ -1,0 +1,59 @@
+(** Compiled Monte-Carlo yield kernels.
+
+    {!Cave.mc_yield_window}'s reference draw allocates an N×M noise
+    matrix and re-walks the pass/mask lists for every sample.  A kernel
+    pre-compiles all of that, once, into a flat {e pass program}:
+
+    {ul
+    {- [targets] — every implant Gaussian of one sample reduced to the
+       index of the cell it doses, in exact reference draw order
+       (fabrication-ordered passes, wires 0..after_wire, regions
+       ascending through the mask);}
+    {- packed usable-wire flags and the precomputed σ_T/σ_base terms and
+       acceptance window.}}
+
+    {!draw} then executes one sample as a linear sweep over [targets]
+    into a preallocated, domain-local scratch plane (obtained through
+    {!Nanodec_parallel.Workspace}), using the unboxed {!Rng.Fast} mirror
+    of the caller's generator — no per-sample matrix, list or closure
+    allocation — and scans each usable wire's row with an early exit at
+    the first region outside the window.
+
+    The Gaussian draw order, the [sigma_base <> 0.] gate and the window
+    comparison are replicated exactly, so a kernelized estimate is
+    bit-for-bit identical to the reference draw under the same generator
+    — the property the [kernel ≡ reference] oracle and the determinism
+    gates enforce. *)
+
+open Nanodec_numerics
+
+type t
+(** A compiled kernel; immutable, safe to share across domains (the
+    mutable scratch lives in the domain-local workspace, not here). *)
+
+val compile :
+  n_wires:int ->
+  n_regions:int ->
+  sigma_t:float ->
+  sigma_base:float ->
+  window:float ->
+  usable:bool array ->
+  Nanodec_mspt.Process.pass list ->
+  t
+(** [compile] validates the geometry and flattens the pass program.
+    [usable.(i)] tells whether wire [i] counts toward the yield
+    (addressable, in {!Cave} terms); the array is copied.  Cost is one
+    pass over the program — amortised over every subsequent sample. *)
+
+val draw : t -> Rng.t -> float
+(** One Monte-Carlo sample: the fraction of usable wires whose every
+    region stays within ±window of nominal under freshly drawn
+    fabrication noise.  Advances [rng] exactly as the reference draw
+    would (same stream, same number of draws, spare cache included). *)
+
+val draws_per_sample : t -> int
+(** Gaussians consumed by each {!draw} — implant targets plus, when
+    σ_base is non-zero, one per cell of the N×M plane. *)
+
+val n_passes : t -> int
+(** Passes in the compiled program (after per-step dose splitting). *)

@@ -6,37 +6,70 @@ type pass = {
   mask : bool array;
 }
 
+(* Distinct values of [values] up to [eps], by one sort instead of the
+   quadratic kept-list scan: sort (value, position) pairs, then cut a
+   cluster wherever a value sits more than [eps] above the smallest
+   value of the current cluster.  Each cluster is represented by its
+   first-occurrence element, and clusters are returned in
+   first-occurrence order — for well-separated doses (every dose table
+   we generate uses gaps ≫ eps) this is exactly the set and order the
+   old scan produced.  [keep_zero] controls whether values within [eps]
+   of zero participate (step rows drop them, dose counting keeps them). *)
+let distinct_up_to_eps ?(keep_zero = false) ~eps values =
+  let cand = ref [] in
+  Array.iteri
+    (fun j v -> if keep_zero || Float.abs v > eps then cand := (v, j) :: !cand)
+    values;
+  let a = Array.of_list !cand in
+  Array.sort
+    (fun (u, i) (v, j) ->
+      let c = Float.compare u v in
+      if c <> 0 then c else Int.compare i j)
+    a;
+  let reps = ref [] in
+  let k = ref 0 in
+  let n = Array.length a in
+  while !k < n do
+    let anchor, _ = a.(!k) in
+    (* First-occurrence representative of the cluster anchored at
+       [anchor]. *)
+    let best_v = ref anchor and best_j = ref (snd a.(!k)) in
+    incr k;
+    while !k < n && fst a.(!k) -. anchor <= eps do
+      let v, j = a.(!k) in
+      if j < !best_j then begin
+        best_j := j;
+        best_v := v
+      end;
+      incr k
+    done;
+    reps := (!best_v, !best_j) :: !reps
+  done;
+  (* Back to first-occurrence order. *)
+  let reps = List.sort (fun (_, i) (_, j) -> Int.compare i j) !reps in
+  List.map fst reps
+
 let passes_of_step_matrix ?(eps = 1e-9) s =
   let n_regions = Fmatrix.cols s in
   let passes = ref [] in
   for i = Fmatrix.rows s - 1 downto 0 do
     let row = Fmatrix.row s i in
-    (* One pass per distinct non-zero dose of this step. *)
-    let doses = ref [] in
-    Array.iter
-      (fun v ->
-        if Float.abs v > eps
-           && List.for_all (fun u -> Float.abs (u -. v) > eps) !doses
-        then doses := v :: !doses)
-      row;
+    (* One pass per distinct non-zero dose of this step; prepending each
+       row's doses in first-occurrence order is part of the observable
+       pass order (and hence of the MC draw order) — keep it. *)
     List.iter
       (fun dose ->
         let mask =
           Array.init n_regions (fun j -> Float.abs (row.(j) -. dose) <= eps)
         in
         passes := { after_wire = i; dose; mask } :: !passes)
-      (List.rev !doses)
+      (distinct_up_to_eps ~eps row)
   done;
   !passes
 
 let distinct_doses ?(eps = 1e-9) passes =
-  let distinct = ref [] in
-  List.iter
-    (fun pass ->
-      if List.for_all (fun d -> Float.abs (d -. pass.dose) > eps) !distinct
-      then distinct := pass.dose :: !distinct)
-    passes;
-  List.length !distinct
+  let doses = Array.of_list (List.map (fun p -> p.dose) passes) in
+  List.length (distinct_up_to_eps ~keep_zero:true ~eps doses)
 
 let check_geometry ~fn ~n_wires ~n_regions passes =
   if n_wires < 1 || n_regions < 1 then

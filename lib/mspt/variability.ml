@@ -22,25 +22,31 @@ let nu_matrix p =
   done;
   nu
 
-let sigma_matrix ~sigma_t p =
+(* Each derived statistic accepts the operation-count matrix precomputed
+   ([?nu]) so callers that already hold it — [Cave.analyze] stores it in
+   the analysis, [Design.evaluate] and the figure surfaces reuse that —
+   do not pay an O(N·M) pattern walk per statistic. *)
+let nu_of ?nu p = match nu with Some nu -> nu | None -> nu_matrix p
+
+let sigma_matrix ?nu ~sigma_t p =
   if sigma_t <= 0. then
     invalid_arg "Variability.sigma_matrix: sigma_t must be positive";
   Imatrix.map_to_fmatrix
     (fun nu -> sigma_t *. sigma_t *. float_of_int nu)
-    (nu_matrix p)
+    (nu_of ?nu p)
 
-let sigma_norm1 ~sigma_t p = Fmatrix.norm_l1 (sigma_matrix ~sigma_t p)
+let sigma_norm1 ?nu ~sigma_t p = Fmatrix.norm_l1 (sigma_matrix ?nu ~sigma_t p)
 
-let average_nu p =
-  let nu = nu_matrix p in
+let average_nu ?nu p =
+  let nu = nu_of ?nu p in
   float_of_int (Imatrix.sum nu)
   /. float_of_int (Imatrix.rows nu * Imatrix.cols nu)
 
-let normalized_std_matrix p =
-  Imatrix.map_to_fmatrix (fun nu -> sqrt (float_of_int nu)) (nu_matrix p)
+let normalized_std_matrix ?nu p =
+  Imatrix.map_to_fmatrix (fun nu -> sqrt (float_of_int nu)) (nu_of ?nu p)
 
-let region_std ~sigma_t p ~wire ~region =
+let region_std ?nu ~sigma_t p ~wire ~region =
   if sigma_t <= 0. then
     invalid_arg "Variability.region_std: sigma_t must be positive";
-  let nu = nu_matrix p in
+  let nu = nu_of ?nu p in
   sigma_t *. sqrt (float_of_int (Imatrix.get nu wire region))

@@ -15,20 +15,26 @@ open Nanodec_numerics
 val nu_matrix : Pattern.t -> Imatrix.t
 (** Doping-operation counts [ν]; every entry is at least 1. *)
 
-val sigma_matrix : sigma_t:float -> Pattern.t -> Fmatrix.t
+(** Every derived statistic below accepts [?nu], the precomputed
+    {!nu_matrix} of the same pattern: callers that already hold it (a
+    {!Nanodec_crossbar.Cave.analysis} stores it) skip the O(N·M) pattern
+    walk.  Passing a matrix that does not belong to [p] is unchecked. *)
+
+val sigma_matrix : ?nu:Imatrix.t -> sigma_t:float -> Pattern.t -> Fmatrix.t
 (** [Σ = σ_T² · ν] (entries are variances, volt²). *)
 
-val sigma_norm1 : sigma_t:float -> Pattern.t -> float
+val sigma_norm1 : ?nu:Imatrix.t -> sigma_t:float -> Pattern.t -> float
 (** [‖Σ‖₁], the decoder-variability cost of Proposition 3. *)
 
-val average_nu : Pattern.t -> float
+val average_nu : ?nu:Imatrix.t -> Pattern.t -> float
 (** [‖Σ‖₁ / (N·M·σ_T²)] — the paper's "average variability" in units of
     σ_T² (used for the −18 % headline). *)
 
-val normalized_std_matrix : Pattern.t -> Fmatrix.t
+val normalized_std_matrix : ?nu:Imatrix.t -> Pattern.t -> Fmatrix.t
 (** [√ν] per region — exactly what the paper's Fig. 6 plots
     ("square root of elements of Σ normalised to σ_T"). *)
 
-val region_std : sigma_t:float -> Pattern.t -> wire:int -> region:int -> float
+val region_std :
+  ?nu:Imatrix.t -> sigma_t:float -> Pattern.t -> wire:int -> region:int -> float
 (** Standard deviation of one region's threshold voltage,
     [σ_T·√ν_i^j]. *)

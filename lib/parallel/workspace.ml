@@ -1,0 +1,9 @@
+(* Domain-local storage is exactly the right lifetime for kernel scratch:
+   pool workers are long-lived domains, so a buffer obtained here is
+   allocated once per domain and reused by every chunk that domain runs,
+   and two domains can never race on the same buffer. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let create init = Domain.DLS.new_key init
+let get key = Domain.DLS.get key

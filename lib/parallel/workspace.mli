@@ -1,0 +1,30 @@
+(** Domain-local workspaces for preallocated hot-loop scratch.
+
+    A workspace maps each domain to its own lazily-initialised instance
+    of some mutable scratch value (a buffer, a generator mirror, …).
+    {!Pool} workers are long-lived domains, so the instance is built once
+    per domain and then reused by every task that domain executes — the
+    steady-state cost of {!get} is a domain-local lookup, with no
+    allocation and no synchronisation.
+
+    Lifetime rules:
+    {ul
+    {- an instance belongs to one domain forever; it is never handed to
+       another domain, so unsynchronised mutation is safe;}
+    {- a task must not keep the instance across a yield point that could
+       run another task on the same domain mid-use — in practice: obtain
+       the scratch at the top of a draw/chunk body, use it, drop it;}
+    {- instances live as long as their domain, so anything cached inside
+       must be safe to reuse across unrelated tasks (reset or overwrite
+       on entry, as {!Nanodec_crossbar.Kernel} does with its noise
+       buffer).}} *)
+
+type 'a t
+(** A domain-indexed family of ['a] scratch instances. *)
+
+val create : (unit -> 'a) -> 'a t
+(** [create init] declares a workspace; [init] runs once per domain, on
+    that domain, the first time it calls {!get}. *)
+
+val get : 'a t -> 'a
+(** This domain's instance (created on first use). *)

@@ -506,6 +506,54 @@ let fault_injection_transparency =
       in
       run ~fault:(Fault.create plan) () = run ())
 
+(* The compiled MC kernel is an optimisation, not a model change: for
+   any cave configuration and seed, the kernelized estimator computes
+   exactly the bits of the allocating reference draw — across domain
+   counts, and whether a fault plan is injecting crashes or the engine
+   is inert.  This is the executable statement of the kernel's
+   bit-for-bit contract (the bench gate only checks speed). *)
+let kernel_reference_equivalence =
+  Property.make
+    ~name:"Compiled yield kernel equals the reference draw bit-for-bit"
+    ~print:(fun ((config, seed), (samples, plan_seed)) ->
+      Printf.sprintf "%s, seed %d, %d samples, plan seed %d"
+        (Generators.string_of_cave_config config)
+        seed samples plan_seed)
+    (pair
+       (pair Generators.cave_config Generators.sample_seed)
+       (pair (int_range 2 120) (int_range 0 10_000)))
+    (fun ((config, seed), (samples, plan_seed)) ->
+      let analysis = Cave.analyze config in
+      let run ~domains ?fault estimator =
+        Run_ctx.with_ctx ~domains ?fault ~warn:false (fun ctx ->
+            estimator ~ctx (Rng.create ~seed) ~samples analysis)
+      in
+      let plan () =
+        Fault.create
+          (Fault.parse_exn
+             (Printf.sprintf
+                "seed=%d;pool.chunk:crash:p=0.3;mc.sample_batch:crash:p=0.2"
+                plan_seed))
+      in
+      let agree ~domains ?fault () =
+        let kernel =
+          run ~domains ?fault:(Option.map (fun f -> f ()) fault)
+            (fun ~ctx rng ~samples a ->
+              Cave.mc_yield_window_par ~ctx rng ~samples a)
+        in
+        let reference =
+          run ~domains ?fault:(Option.map (fun f -> f ()) fault)
+            (fun ~ctx rng ~samples a ->
+              Cave.mc_yield_window_reference ~ctx rng ~samples a)
+        in
+        kernel = reference
+      in
+      agree ~domains:1 ()
+      && agree ~domains:4 ()
+      && agree ~domains:1 ~fault:(fun () -> Fault.inert ()) ()
+      && agree ~domains:4 ~fault:plan ()
+      && agree ~domains:1 ~fault:plan ())
+
 let all =
   [
     h_bijectivity;
@@ -532,4 +580,5 @@ let all =
     telemetry_span_well_formedness;
     fault_probes_inert;
     fault_injection_transparency;
+    kernel_reference_equivalence;
   ]

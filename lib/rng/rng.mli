@@ -55,6 +55,49 @@ val bool : t -> bool
 val gaussian : ?mu:float -> ?sigma:float -> t -> float
 (** Normal draw via the Marsaglia polar method. *)
 
+(** Unboxed hot-loop mirror of a generator.
+
+    The public {!t} keeps its boxed representation because every consumer
+    and the determinism contract depend on it; [Fast] is a scratch state
+    with an unboxed int64 word and a flat float spare, for inner loops
+    that draw thousands of Gaussians per sample.  Mirror discipline:
+    {!Fast.load} the source generator, draw, then {!Fast.store} back —
+    the source is left exactly where the equivalent {!gaussian} calls
+    would have left it, and the values drawn in between are bit-for-bit
+    the same stream. *)
+module Fast : sig
+  type rng := t
+
+  type t
+  (** Mutable mirror state; reusable across [load]/[store] cycles. *)
+
+  val create : unit -> t
+
+  val load : t -> rng -> unit
+  (** Copy the source generator's state (including any cached polar
+      spare) into the mirror. *)
+
+  val store : t -> rng -> unit
+  (** Write the mirror's state back to the source generator. *)
+
+  val float : t -> float
+  (** Same stream as {!Rng.float}. *)
+
+  val gaussian_std : t -> float
+  (** Standard normal draw; [sigma *. gaussian_std fast] is bit-identical
+      to [Rng.gaussian ~sigma] on the same state (the spare caches the
+      raw variate in both implementations). *)
+
+  val add_gaussians :
+    t -> sigma:float -> int array -> float array -> unit
+  (** [add_gaussians fast ~sigma targets noise] adds
+      [sigma *. gaussian_std fast] to [noise.(targets.(t))] for each
+      [t] in order, consuming exactly the stream the per-call form
+      would, but with the polar pair loop fused in so no call or spare
+      check remains per draw.  Indices must be within [noise]; they are
+      not checked. *)
+end
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -23,4 +23,5 @@ let () =
       ("telemetry and run context", Test_telemetry.suite);
       ("fault injection and error taxonomy", Test_fault.suite);
       ("proptest oracles", Test_properties.suite);
+      ("compiled kernels", Test_kernel.suite);
     ]
