@@ -404,9 +404,16 @@ let json_escape s =
    breakdown. *)
 let stage_counters = [
   "pool.jobs"; "pool.jobs.sequential"; "pool.jobs.inline_nested";
-  "pool.chunks.submitter"; "pool.chunks.worker";
+  "pool.chunks.submitter"; "pool.chunks.worker"; "pool.batches";
+  "pool.autotune.jobs"; "pool.autotune.chunks"; "pool.autotune.batch";
+  "pool.autotune.measured"; "pool.autotune.fallback";
   "optimizer.candidates"; "mc.samples";
 ]
+
+(* Workloads quicker than this are dominated by timer noise and pool
+   wake-up latency; their speedups are recorded but must not steer
+   [recommended_domains]. *)
+let min_seconds_floor = 0.05
 
 let run_json ~quick =
   let reps = if quick then 1 else 3 in
@@ -451,6 +458,35 @@ let run_json ~quick =
         (w, reference, seq_time, pooled, deterministic, sink))
       (parallel_workloads ~quick)
   in
+  (* Recommend the domain count with the best aggregate measured speedup
+     over the workloads big enough to time honestly; 1 when nothing
+     beats sequential (single-CPU hosts land here by construction). *)
+  let eligible =
+    List.filter
+      (fun (_, _, seq_time, _, deterministic, _) ->
+        deterministic && seq_time >= min_seconds_floor)
+      results
+  in
+  let aggregate_speedup domains =
+    let seq, par =
+      List.fold_left
+        (fun (seq, par) (_, _, seq_time, pooled, _, _) ->
+          let _, t, _ =
+            List.find (fun (d, _, _) -> d = domains) pooled
+          in
+          (seq +. seq_time, par +. t))
+        (0., 0.) eligible
+    in
+    if par > 0. then seq /. par else 0.
+  in
+  let recommended_domains =
+    List.fold_left
+      (fun (best_d, best_s) d ->
+        let s = aggregate_speedup d in
+        if s > best_s then (d, s) else (best_d, best_s))
+      (1, 1.) domain_counts
+    |> fst
+  in
   let oc = open_out "BENCH_parallel.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -458,7 +494,9 @@ let run_json ~quick =
     (if quick then " --quick" else "");
   out "  \"quick\": %b,\n" quick;
   out "  \"reps\": %d,\n" reps;
-  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"cpus\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"min_seconds_floor\": %.3f,\n" min_seconds_floor;
+  out "  \"recommended_domains\": %d,\n" recommended_domains;
   out "  \"all_deterministic\": %b,\n" !all_deterministic;
   out "  \"workloads\": [\n";
   List.iteri
@@ -477,6 +515,7 @@ let run_json ~quick =
         pooled;
       out "},\n";
       out "      \"deterministic\": %b,\n" deterministic;
+      out "      \"too_fast_to_time\": %b,\n" (seq_time < min_seconds_floor);
       (* Stage breakdown of the instrumented 4-domain run: total
          seconds per span name plus the pool/estimator counters. *)
       out "      \"stages\": {";
@@ -526,6 +565,41 @@ let run_json ~quick =
   if not !all_deterministic then begin
     prerr_endline
       "FAIL: parallel results diverged from the sequential reference";
+    exit 1
+  end;
+  (* The scheduler gate's inputs: the four-domain speedup of the
+     Monte-Carlo workload (the job the batched scheduler exists for). *)
+  let fig7_speedup_4d =
+    match
+      List.find_opt (fun (w, _, _, _, _, _) -> w.wname = "fig7-mc-yield")
+        results
+    with
+    | Some (_, _, seq_time, pooled, _, _) -> (
+      match List.find_opt (fun (d, _, _) -> d = 4) pooled with
+      | Some (_, t, _) when t > 0. -> seq_time /. t
+      | Some _ | None -> 0.)
+    | None -> 0.
+  in
+  (fig7_speedup_4d, !all_deterministic)
+
+(* --gate-parallel-speedup T: the batched scheduler must reach a T-fold
+   four-domain speedup on fig7-mc-yield (and stay bit-for-bit
+   deterministic — run_json already hard-fails on divergence).  Meant
+   for CI runners with >= 4 hardware threads; a single-CPU host cannot
+   pass it physically. *)
+let gate_parallel_speedup ~threshold (fig7_speedup_4d, all_deterministic) =
+  Printf.printf
+    "parallel gate: fig7-mc-yield at 4 domains %.2fx (threshold %.2fx)\n"
+    fig7_speedup_4d threshold;
+  if not all_deterministic then begin
+    prerr_endline
+      "FAIL: parallel results diverged from the sequential reference";
+    exit 1
+  end;
+  if fig7_speedup_4d < threshold then begin
+    Printf.eprintf
+      "FAIL: fig7-mc-yield four-domain speedup %.2fx below the %.2fx gate\n"
+      fig7_speedup_4d threshold;
     exit 1
   end
 
@@ -689,10 +763,25 @@ let () =
   let argv = Array.to_list Sys.argv in
   if List.mem "--json" argv then begin
     let quick = List.mem "--quick" argv in
-    run_json ~quick;
+    let parallel_result = run_json ~quick in
     let kernel_result = run_kernel_json ~quick in
     if List.mem "--gate-kernel-speedup" argv then
       gate_kernel_speedup kernel_result;
+    (* --gate-parallel-speedup takes its threshold as the next argument. *)
+    (let rec gate_arg = function
+       | "--gate-parallel-speedup" :: v :: _ -> (
+         match float_of_string_opt v with
+         | Some t when t > 0. -> Some t
+         | Some _ | None ->
+           prerr_endline
+             "FAIL: --gate-parallel-speedup needs a positive threshold";
+           exit 2)
+       | _ :: rest -> gate_arg rest
+       | [] -> None
+     in
+     match gate_arg argv with
+     | Some threshold -> gate_parallel_speedup ~threshold parallel_result
+     | None -> ());
     if List.mem "--gate-overhead" argv then gate_overhead ~quick;
     if List.mem "--gate-fault-overhead" argv then gate_fault_overhead ~quick
   end

@@ -111,11 +111,12 @@ module Ctx_flags = struct
     fault_plan : string option;
     timeout : float option;
     no_degrade : bool;
+    chunks : string;
   }
 
   let term =
     let make domains seed mc_samples telemetry profile fault_plan timeout
-        no_degrade =
+        no_degrade chunks =
       {
         domains;
         seed;
@@ -125,6 +126,7 @@ module Ctx_flags = struct
         fault_plan;
         timeout;
         no_degrade;
+        chunks;
       }
     in
     let seed_arg =
@@ -180,9 +182,18 @@ module Ctx_flags = struct
       in
       Arg.(value & flag & info [ "no-degrade" ] ~doc)
     in
+    let chunks_arg =
+      let doc =
+        "Monte-Carlo scheduling chunks: $(b,auto) (default) sizes chunks \
+         and batches from the measured per-sample cost, $(b,N) forces \
+         exactly N chunks.  Pure scheduling — estimates are bit-for-bit \
+         identical either way."
+      in
+      Arg.(value & opt string "auto" & info [ "chunks" ] ~docv:"auto|N" ~doc)
+    in
     Term.(const make $ domains_arg $ seed_arg $ mc_samples_arg
           $ telemetry_arg $ profile_arg $ fault_plan_arg $ timeout_arg
-          $ no_degrade_arg)
+          $ no_degrade_arg $ chunks_arg)
 
   (* One range check per numeric knob, shared by every subcommand —
      previously each command rolled its own eprintf-and-exit-1. *)
@@ -204,10 +215,25 @@ module Ctx_flags = struct
            { what = "--timeout must be positive"; hint = None })
     | _ -> ()
 
+  let chunking_of_flags flags =
+    match flags.chunks with
+    | "auto" -> Run_ctx.Auto
+    | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Run_ctx.Fixed n
+      | Some _ | None ->
+        E.fail
+          (E.Invalid_input
+             {
+               what = "--chunks must be 'auto' or a positive integer";
+               hint = Some (Printf.sprintf "got %S" s);
+             }))
+
   (* [want_pool = false] keeps cheap closed-form commands from spawning
      domains they would never use; telemetry still works. *)
   let with_ctx ?(want_pool = true) flags f =
     validate flags;
+    let chunking = chunking_of_flags flags in
     let sink =
       if flags.telemetry <> None || flags.profile then
         Some (Telemetry.create ())
@@ -232,7 +258,8 @@ module Ctx_flags = struct
     let result =
       Run_ctx.with_ctx ?domains ~seed:flags.seed
         ~mc_samples:flags.mc_samples ?telemetry:sink ?fault
-        ?timeout_s:flags.timeout ~degrade:(not flags.no_degrade) f
+        ?timeout_s:flags.timeout ~chunking
+        ~degrade:(not flags.no_degrade) f
     in
     Option.iter
       (fun sink ->

@@ -150,7 +150,7 @@ let kernel_of_analysis analysis =
     ~usable:(Array.map is_usable analysis.layout.Geometry.statuses)
     (passes_of_analysis analysis)
 
-let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
+let mc_yield_window_par ?ctx ?pool ?chunks ?batch rng ~samples analysis =
   (* Everything the chunk bodies share — here, the whole compiled pass
      program — is computed before the fan-out; the bodies only read it
      (and mutate their own stream and domain-local scratch). *)
@@ -169,12 +169,13 @@ let mc_yield_window_par ?ctx ?pool ?chunks rng ~samples analysis =
   Nanodec_telemetry.Telemetry.with_span tel "cave.mc_yield_window"
   @@ fun () ->
   Nanodec_telemetry.Telemetry.count tel "kernel.samples" samples;
-  Montecarlo.estimate_par ?ctx ?pool ?chunks rng ~samples (Kernel.draw kernel)
+  Montecarlo.estimate_par ?ctx ?pool ?chunks ?batch rng ~samples
+    (Kernel.draw kernel)
 
-let mc_yield_window_reference ?ctx ?pool ?chunks rng ~samples analysis =
+let mc_yield_window_reference ?ctx ?pool ?chunks ?batch rng ~samples analysis =
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in
-  Montecarlo.estimate_par ?ctx ?pool ?chunks rng ~samples
+  Montecarlo.estimate_par ?ctx ?pool ?chunks ?batch rng ~samples
     (mc_window_draw analysis ~passes ~w)
 
 let mc_yield_window rng ~samples analysis =

@@ -80,25 +80,29 @@ val mc_yield_window_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
+  ?batch:int ->
   Rng.t ->
   samples:int ->
   analysis ->
   Montecarlo.estimate
 (** Chunked window-yield estimate on {!Montecarlo.estimate_par}, running
     the compiled {!Kernel}: the result is bit-for-bit identical for
-    every domain count (including [pool = None]) {e and} to
-    {!mc_yield_window_reference} of the same arguments, though it
-    differs from the single-stream {!mc_yield_window} of the same seed.
-    All shared state (the compiled pass program) is computed before the
-    fan-out; chunk bodies only read it, drawing into domain-local
-    workspace scratch.  [?ctx] supplies pool and telemetry (spans
-    [kernel.compile] and [cave.mc_yield_window], counter
-    [kernel.samples]); the deprecated [?pool] still wins when given. *)
+    every chunking, batch size and domain count (including
+    [pool = None]) {e and} to {!mc_yield_window_reference} of the same
+    arguments, though it differs from the single-stream
+    {!mc_yield_window} of the same seed.  All shared state (the
+    compiled pass program) is computed once before the fan-out, never
+    per chunk; chunk bodies only read it, drawing into domain-local
+    workspace scratch.  [?ctx] supplies pool, chunking policy and
+    telemetry (spans [kernel.compile] and [cave.mc_yield_window],
+    counter [kernel.samples] — the autotuner's preferred calibration
+    denominator); the deprecated [?pool] still wins when given. *)
 
 val mc_yield_window_reference :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
+  ?batch:int ->
   Rng.t ->
   samples:int ->
   analysis ->

@@ -38,144 +38,186 @@ let estimate_proportion rng ~samples f =
 
 (* --- chunked parallel estimators ---
 
-   The job is cut into a fixed number of chunks (independent of the
-   domain count), chunk [i] draws from the [i]-th stream of
-   [Rng.split_n], and the partial accumulators merge left-to-right in
-   chunk index order.  Every float operation therefore happens in an
-   order fixed by [chunks] alone, making the result bit-for-bit
-   identical whether the chunks run on 1 domain or 64.
+   Every sample owns its own split stream ([Rng.split_n rng samples])
+   and its own result slot, and the slots are folded sequentially in
+   sample order once the fan-out joins.  The estimate is therefore a
+   pure function of (seed, samples, f): chunk count, batch size,
+   domain count and scheduling order can all move freely — including
+   per machine, via {!Nanodec_parallel.Autotune} — without touching a
+   single result bit.  Chunks are just contiguous sample ranges, and a
+   chunk body is idempotent (slot writes, stream restarted per sample),
+   so the pool's retry/degradation recovery reproduces the uninjected
+   run exactly.
 
    Telemetry wraps the chunk bodies with pure observation (per-chunk
-   wall time, sample counters, end-to-end rate) and never touches the
-   draw streams or the merge order, so an instrumented estimate equals
-   the bare one exactly. *)
+   wall time, sample counters, end-to-end rate) and steers only the
+   scheduling plan, never the draw streams or the merge order, so an
+   instrumented estimate equals the bare one exactly. *)
 
 module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
+module Autotune = Nanodec_parallel.Autotune
+module Workspace = Nanodec_parallel.Workspace
+module Pool = Nanodec_parallel.Pool
 module Fault = Nanodec_fault.Fault
 
 let default_chunks = 64
 
-let chunk_size ~samples ~chunks i =
-  (samples / chunks) + if i < samples mod chunks then 1 else 0
+(* One scratch generator per domain, allocated on first use and re-aimed
+   ([Rng.copy_into]) at a fresh split stream for every sample — the hot
+   loop allocates nothing per sample. *)
+let scratch_rng : Rng.t Workspace.t =
+  Workspace.create (fun () -> Rng.create ~seed:0)
+
+(* Balanced contiguous ranges: chunk [i] covers samples
+   [lo i, lo (i + 1)), the first [samples mod chunks] chunks one sample
+   longer.  [chunks > samples] leaves the excess chunks empty. *)
+let chunk_lo ~samples ~chunks i =
+  (i * (samples / chunks)) + min i (samples mod chunks)
+
+(* How the job is cut: an explicit [?chunks] wins (fixed, batch 1),
+   then the context's [Fixed] policy, then the autotuner.  Only the
+   autotuned path records [pool.autotune.*] — fixed plans are the
+   caller's decision, not the tuner's.  An explicit [?batch] overrides
+   the plan's batch in every case. *)
+let resolve_plan ?ctx ?chunks ?batch ~pool ~samples () =
+  let tel = Run_ctx.telemetry_of ctx in
+  let fixed c = { Autotune.chunks = c; batch = 1; per_sample_ns = None } in
+  let plan =
+    match chunks with
+    | Some c -> fixed c
+    | None -> (
+      match Run_ctx.chunking_of ctx with
+      | Run_ctx.Fixed c -> fixed c
+      | Run_ctx.Auto ->
+        let domains =
+          match pool with Some p -> Pool.domains p | None -> 1
+        in
+        let plan = Autotune.plan ?telemetry:tel ~domains ~samples () in
+        Autotune.record tel plan;
+        plan)
+  in
+  match batch with Some b -> { plan with Autotune.batch = b } | None -> plan
 
 (* Shared fan-out/observe scaffolding of both estimators: resolve the
    pool from [?ctx]/[?pool], time each chunk into [mc.chunk_s], probe
    the [mc.sample_batch] fault site per chunk, count the samples and
-   record the whole-estimate rate. *)
-let run_chunks ?ctx ?pool ~chunks ~samples partial =
-  let pool =
-    match pool with Some _ -> pool | None -> Run_ctx.pool_of ctx
-  in
+   record the whole-estimate rate.  [body i] fills the sample slots of
+   chunk [i] and must be restartable. *)
+let run_chunks ?ctx ~pool ~chunks ~batch ~samples body =
   let tel = Run_ctx.telemetry_of ctx in
   let fault = Run_ctx.fault_of ctx in
   let timeout_s = Option.bind ctx Run_ctx.timeout_s in
   let cancel = Option.bind ctx Run_ctx.cancel in
-  let partial =
+  let body =
     match fault with
-    | None -> partial
+    | None -> body
     | Some _ ->
       (* Inside the chunk body, so the pool's retry/degradation
          machinery covers injected batch crashes like its own site. *)
       fun i ->
         Fault.hit fault ~key:i "mc.sample_batch";
-        partial i
+        body i
   in
-  let partial =
+  let body =
     match tel with
-    | None -> partial
+    | None -> body
     | Some sink ->
       let h = Telemetry.histogram sink "mc.chunk_s" in
       fun i ->
         let t0 = Telemetry.now sink in
-        let r = partial i in
-        Telemetry.observe h (Telemetry.now sink -. t0);
-        r
+        body i;
+        Telemetry.observe h (Telemetry.now sink -. t0)
   in
-  let indices = Array.init chunks Fun.id in
   Telemetry.with_span tel "mc.estimate_par" @@ fun () ->
   let t0 = match tel with Some s -> Telemetry.now s | None -> 0. in
-  let partials =
-    match pool with
-    | Some pool ->
-      Nanodec_parallel.Pool.map ?timeout_s ?cancel pool partial indices
-    | None ->
-      (* Pool-less runs still recover from injected crashes: bounded
-         in-place retries, then one suppressed re-execution.  Chunk
-         bodies are restartable, so results match the uninjected run. *)
-      Array.map
-        (fun i ->
-          let rec attempt k =
-            match partial i with
-            | r -> r
-            | exception Fault.Injected _ when k < 2 -> attempt (k + 1)
-            | exception Fault.Injected _ ->
-              Fault.without_faults (fun () -> partial i)
-          in
-          attempt 0)
-        indices
-  in
-  (match tel with
+  (match pool with
+  | Some pool -> Pool.parallel_for ?timeout_s ?cancel ~batch pool ~chunks body
+  | None ->
+    (* Pool-less runs still recover from injected crashes: bounded
+       in-place retries, then one suppressed re-execution.  Chunk
+       bodies are restartable, so results match the uninjected run. *)
+    for i = 0 to chunks - 1 do
+      let rec attempt k =
+        match body i with
+        | () -> ()
+        | exception Fault.Injected _ when k < 2 -> attempt (k + 1)
+        | exception Fault.Injected _ ->
+          Fault.without_faults (fun () -> body i)
+      in
+      attempt 0
+    done);
+  match tel with
   | Some sink ->
     Telemetry.count tel "mc.samples" samples;
     let dt = Telemetry.now sink -. t0 in
     if dt > 0. then
       Telemetry.record tel "mc.samples_per_sec" (float_of_int samples /. dt)
-  | None -> ());
-  partials
+  | None -> ()
 
-let estimate_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples f =
-  if samples < 2 then invalid_arg "Montecarlo.estimate_par: need >= 2 samples";
-  if chunks < 1 then invalid_arg "Montecarlo.estimate_par: need >= 1 chunk";
-  let rngs = Rng.split_n rng chunks in
-  let partial i =
-    (* Copy, don't share: a chunk retried after a mid-batch injected
-       crash must restart its draw stream from the beginning, or the
-       recovered run would diverge from the uninjected one. *)
-    let rng = Rng.copy rngs.(i) in
-    let n = chunk_size ~samples ~chunks i in
-    let sum = ref 0. and sum_sq = ref 0. in
-    for _ = 1 to n do
-      let x = f rng in
-      sum := !sum +. x;
-      sum_sq := !sum_sq +. (x *. x)
-    done;
-    (n, !sum, !sum_sq)
+let validate name ~samples ~chunks ~batch =
+  if samples < 2 then invalid_arg (name ^ ": need >= 2 samples");
+  (match chunks with
+  | Some c when c < 1 -> invalid_arg (name ^ ": need >= 1 chunk")
+  | Some _ | None -> ());
+  match batch with
+  | Some b when b < 1 -> invalid_arg (name ^ ": batch must be >= 1")
+  | Some _ | None -> ()
+
+let estimate_par ?ctx ?pool ?chunks ?batch rng ~samples f =
+  validate "Montecarlo.estimate_par" ~samples ~chunks ~batch;
+  let pool =
+    match pool with Some _ -> pool | None -> Run_ctx.pool_of ctx
   in
-  let partials = run_chunks ?ctx ?pool ~chunks ~samples partial in
-  let count = ref 0 and sum = ref 0. and sum_sq = ref 0. in
+  let plan = resolve_plan ?ctx ?chunks ?batch ~pool ~samples () in
+  let chunks = plan.Autotune.chunks and batch = plan.Autotune.batch in
+  let streams = Rng.split_n rng samples in
+  let values = Array.make samples 0. in
+  let body i =
+    let g = Workspace.get scratch_rng in
+    for s = chunk_lo ~samples ~chunks i to chunk_lo ~samples ~chunks (i + 1) - 1
+    do
+      (* Re-aim, don't share: a chunk retried after a mid-batch injected
+         crash must restart every sample's stream from the beginning, or
+         the recovered run would diverge from the uninjected one. *)
+      Rng.copy_into streams.(s) ~into:g;
+      values.(s) <- f g
+    done
+  in
+  run_chunks ?ctx ~pool ~chunks ~batch ~samples body;
+  let sum = ref 0. and sum_sq = ref 0. in
   Array.iter
-    (fun (n, s, q) ->
-      count := !count + n;
-      sum := !sum +. s;
-      sum_sq := !sum_sq +. q)
-    partials;
-  let n = float_of_int !count in
+    (fun x ->
+      sum := !sum +. x;
+      sum_sq := !sum_sq +. (x *. x))
+    values;
+  let n = float_of_int samples in
   let mean = !sum /. n in
   let variance = Float.max 0. ((!sum_sq -. (n *. mean *. mean)) /. (n -. 1.)) in
   of_mean_se ~samples ~mean ~std_error:(sqrt (variance /. n))
 
-let estimate_proportion_par ?ctx ?pool ?(chunks = default_chunks) rng ~samples
-    f =
-  if samples < 2 then
-    invalid_arg "Montecarlo.estimate_proportion_par: need >= 2 samples";
-  if chunks < 1 then
-    invalid_arg "Montecarlo.estimate_proportion_par: need >= 1 chunk";
-  let rngs = Rng.split_n rng chunks in
-  let partial i =
-    (* Copy for restartability — see [estimate_par]. *)
-    let rng = Rng.copy rngs.(i) in
-    let n = chunk_size ~samples ~chunks i in
-    let hits = ref 0 in
-    for _ = 1 to n do
-      if f rng then incr hits
-    done;
-    !hits
+let estimate_proportion_par ?ctx ?pool ?chunks ?batch rng ~samples f =
+  validate "Montecarlo.estimate_proportion_par" ~samples ~chunks ~batch;
+  let pool =
+    match pool with Some _ -> pool | None -> Run_ctx.pool_of ctx
   in
-  let partials = run_chunks ?ctx ?pool ~chunks ~samples partial in
-  let hits = Array.fold_left ( + ) 0 partials in
+  let plan = resolve_plan ?ctx ?chunks ?batch ~pool ~samples () in
+  let chunks = plan.Autotune.chunks and batch = plan.Autotune.batch in
+  let streams = Rng.split_n rng samples in
+  let hits = Bytes.make samples '\000' in
+  let body i =
+    let g = Workspace.get scratch_rng in
+    for s = chunk_lo ~samples ~chunks i to chunk_lo ~samples ~chunks (i + 1) - 1
+    do
+      Rng.copy_into streams.(s) ~into:g;
+      Bytes.unsafe_set hits s (if f g then '\001' else '\000')
+    done
+  in
+  run_chunks ?ctx ~pool ~chunks ~batch ~samples body;
+  let count = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr count) hits;
   let n = float_of_int samples in
-  let p = float_of_int hits /. n in
+  let p = float_of_int !count /. n in
   let std_error = sqrt (p *. (1. -. p) /. n) in
   of_mean_se ~samples ~mean:p ~std_error
 

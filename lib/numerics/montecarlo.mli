@@ -20,49 +20,61 @@ val estimate_proportion : Rng.t -> samples:int -> (Rng.t -> bool) -> estimate
 
 (** {1 Domain-parallel chunked estimators}
 
-    [estimate_par] and [estimate_proportion_par] split the job into
-    [chunks] fixed chunks (independent of the pool size), give chunk
-    [i] the [i]-th stream of {!Rng.split_n}, and merge the partial
-    (count, sum, sum-of-squares) accumulators in chunk index order.
-    The result is therefore {e bit-for-bit identical} for every domain
-    count — including [pool = None], the sequential reference path —
-    though it differs from the single-stream {!estimate} of the same
-    seed, which consumes the generator differently.
+    [estimate_par] and [estimate_proportion_par] give {e every sample}
+    its own stream of {!Rng.split_n} and its own result slot, then fold
+    the slots sequentially in sample order after the fan-out joins.
+    The estimate is therefore a pure function of (seed, [samples], [f])
+    — {e bit-for-bit identical} for every chunk count, batch size and
+    domain count, including [pool = None], the sequential reference
+    path — though it differs from the single-stream {!estimate} of the
+    same seed, which consumes the generator differently.
+
+    Scheduling: chunks are contiguous sample ranges.  An explicit
+    [?chunks] fixes the count (batch 1 unless [?batch] is given); a
+    context carrying [Run_ctx.Fixed n] does the same; otherwise
+    {!Nanodec_parallel.Autotune} sizes chunks and batches from the
+    sink's measured per-sample cost (deterministic fallback without
+    one) and records the decision as [pool.autotune.*] counters.  All
+    of this moves wall-clock time only, never results.
 
     Both take an optional {!Nanodec_parallel.Run_ctx.t}: the context
-    supplies the pool and the telemetry sink (span [mc.estimate_par],
-    per-chunk histogram [mc.chunk_s], counter [mc.samples], rate
-    [mc.samples_per_sec]).  The explicit [?pool] argument is kept for
-    back compatibility and wins over the context's pool when both are
-    given. *)
+    supplies the pool, the chunking policy and the telemetry sink (span
+    [mc.estimate_par], per-chunk histogram [mc.chunk_s], counter
+    [mc.samples], rate [mc.samples_per_sec]).  The explicit [?pool]
+    argument is kept for back compatibility and wins over the context's
+    pool when both are given. *)
 
 val default_chunks : int
-(** 64 — comfortably more chunks than any realistic pool has domains,
-    so the fan-out load-balances without changing results. *)
+(** 64 — the autotuner's fallback chunk floor (see
+    {!Nanodec_parallel.Autotune}): comfortably more chunks than any
+    realistic pool has domains, so telemetry-off runs still
+    load-balance. *)
 
 val estimate_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
+  ?batch:int ->
   Rng.t ->
   samples:int ->
   (Rng.t -> float) ->
   estimate
-(** Chunked {!estimate}.  [samples] must be at least 2 and [chunks]
-    ([default_chunks] by default) at least 1; [chunks > samples] leaves
-    the excess chunks empty and is valid. *)
+(** Chunked {!estimate}.  [samples] must be at least 2; [chunks] and
+    [batch], when given, at least 1.  [chunks > samples] leaves the
+    excess chunks empty and is valid. *)
 
 val estimate_proportion_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
+  ?batch:int ->
   Rng.t ->
   samples:int ->
   (Rng.t -> bool) ->
   estimate
-(** Chunked {!estimate_proportion}; the per-chunk hit counts are exact
-    integers, so the merge is exact in any order (kept in chunk order
-    anyway for uniformity). *)
+(** Chunked {!estimate_proportion}; the per-sample hits are exact
+    booleans, so the count is exact in any order (folded in sample
+    order anyway, for uniformity). *)
 
 val within : estimate -> float -> bool
 (** [within e x] tests whether [x] lies inside the 95 % interval of [e]. *)

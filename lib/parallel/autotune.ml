@@ -1,0 +1,88 @@
+(* Cost-model-driven chunk/batch sizing for the batched scheduler.
+
+   The knobs being derived are pure scheduling parameters: the
+   Monte-Carlo estimators give every sample its own generator stream
+   and merge per-sample values in sample order, so chunk count and
+   batch size can follow the machine (measured timings!) without
+   moving a single result bit.  That decoupling is what licenses the
+   feedback loop here — telemetry steers scheduling, never values.
+
+   Calibration reads the sink the run is already carrying: total
+   seconds under the [mc.estimate_par] span over the samples counted by
+   [kernel.samples] (or [mc.samples] when no kernelized estimate has
+   run yet) gives a per-sample cost, from which chunks are sized to a
+   ~250 us retry/timeout granularity and batches to ~1 ms of work per
+   atomic claim.  With no sink, or before the first estimate has been
+   recorded, a deterministic fallback in (samples, domains) applies —
+   same shape on every machine, so telemetry-off runs schedule
+   reproducibly. *)
+
+module Telemetry = Nanodec_telemetry.Telemetry
+
+type plan = {
+  chunks : int;
+  batch : int;
+  per_sample_ns : int option;
+}
+
+(* Chunk bodies this small mostly measure claim overhead; batches this
+   small mostly measure the atomic.  Both targets are deliberately far
+   above the scheduler's own costs and far below any sane deadline. *)
+let target_chunk_s = 250e-6
+let target_batch_s = 1e-3
+
+let cdiv a b = (a + b - 1) / b
+let clamp lo hi x = max lo (min hi x)
+
+(* Measured seconds-per-sample from the sink's history, if it has any:
+   mc.estimate_par wall seconds over the samples that ran under it. *)
+let measured_cost sink =
+  let span_s =
+    match List.assoc_opt "mc.estimate_par" (Telemetry.span_totals sink) with
+    | Some (_, seconds) -> seconds
+    | None -> 0.
+  in
+  let counted =
+    let counters = Telemetry.counters sink in
+    let value name = Option.value ~default:0 (List.assoc_opt name counters) in
+    match value "kernel.samples" with 0 -> value "mc.samples" | n -> n
+  in
+  if span_s > 0. && counted > 0 then Some (span_s /. float_of_int counted)
+  else None
+
+let fallback ~domains ~samples =
+  let chunks = min samples (max 64 (8 * domains)) in
+  { chunks; batch = max 1 (chunks / (4 * domains)); per_sample_ns = None }
+
+let plan ?telemetry ~domains ~samples () =
+  let domains = max 1 domains in
+  let samples = max 1 samples in
+  match Option.bind telemetry measured_cost with
+  | None -> fallback ~domains ~samples
+  | Some cost ->
+    let per_chunk = clamp 1 samples (int_of_float (target_chunk_s /. cost)) in
+    (* At least two claims' worth of chunks per domain when the sample
+       count allows it, so no domain starves on a lopsided finish. *)
+    let chunks =
+      min samples (max (cdiv samples per_chunk) (2 * domains))
+    in
+    let chunk_cost = cost *. float_of_int (cdiv samples chunks) in
+    let batch =
+      clamp 1
+        (max 1 (chunks / (2 * domains)))
+        (int_of_float (target_batch_s /. chunk_cost))
+    in
+    { chunks; batch; per_sample_ns = Some (int_of_float (cost *. 1e9)) }
+
+let record telemetry plan =
+  match telemetry with
+  | None -> ()
+  | Some _ ->
+    Telemetry.count telemetry "pool.autotune.jobs" 1;
+    Telemetry.count telemetry "pool.autotune.chunks" plan.chunks;
+    Telemetry.count telemetry "pool.autotune.batch" plan.batch;
+    (match plan.per_sample_ns with
+    | Some ns ->
+      Telemetry.count telemetry "pool.autotune.measured" 1;
+      Telemetry.count telemetry "pool.autotune.per_sample_ns" ns
+    | None -> Telemetry.count telemetry "pool.autotune.fallback" 1)

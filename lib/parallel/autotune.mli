@@ -1,0 +1,57 @@
+(** Telemetry-calibrated chunk/batch sizing for {!Pool}'s batched
+    claiming scheme.
+
+    A {!plan} answers "how should this many samples be cut into pool
+    chunks, and how many chunks should a domain claim at a time?"  The
+    parameters are {e scheduling-only}: the Monte-Carlo estimators give
+    every sample its own split stream and merge per-sample values in
+    sample order, so any plan — measured, fallback, or hand-picked —
+    produces bit-for-bit the same estimate.  Telemetry may therefore
+    steer scheduling without violating the observer contract: values
+    never move, only wall-clock time does.
+
+    {2 Cost model}
+
+    When the run carries a sink that has already recorded at least one
+    estimate, the measured per-sample cost is
+
+    [seconds(mc.estimate_par span) / max(kernel.samples, mc.samples)]
+
+    and the plan targets ~250 us of work per chunk (the retry and
+    deadline granularity) and ~1 ms per atomic claim, clamped so that a
+    job still spreads over at least two claims per domain when the
+    sample count allows.  Without usable history the deterministic
+    fallback applies: [chunks = min samples (max 64 (8 * domains))],
+    [batch = max 1 (chunks / (4 * domains))] — a pure function of
+    (samples, domains), identical on every machine.
+
+    Every plan satisfies [chunks >= 1] and [batch >= 1] (the proptest
+    oracle [autotune never emits a batch of 0] pins this).
+
+    {!record} publishes the decision as [pool.autotune.*] counters so
+    bench output can explain the chosen chunking. *)
+
+type plan = {
+  chunks : int;  (** pool chunks the sample range is cut into, >= 1 *)
+  batch : int;  (** chunks per atomic claim, >= 1 *)
+  per_sample_ns : int option;
+      (** measured per-sample cost behind the plan; [None] when the
+          deterministic fallback was used *)
+}
+
+val plan :
+  ?telemetry:Nanodec_telemetry.Telemetry.sink ->
+  domains:int ->
+  samples:int ->
+  unit ->
+  plan
+(** [plan ?telemetry ~domains ~samples ()] sizes a job of [samples]
+    independent sample draws for a [domains]-wide pool.  Negative or
+    zero [domains]/[samples] are clamped to 1. *)
+
+val record : Nanodec_telemetry.Telemetry.sink option -> plan -> unit
+(** Count the plan on the sink: [pool.autotune.jobs], the chosen
+    [pool.autotune.chunks] and [pool.autotune.batch] (sums — divide by
+    jobs for means), [pool.autotune.measured] or
+    [pool.autotune.fallback], and the calibrated
+    [pool.autotune.per_sample_ns] when measured.  No-op on [None]. *)

@@ -1,19 +1,24 @@
 (* A supervised single-job work queue over a fixed set of worker domains.
 
-   Chunk claiming, in-flight accounting and completion signalling all
-   happen under one mutex; chunk bodies run outside it.  Claim traffic
-   is a few dozen transitions per job in this code base, so a mutex
-   costs nothing measurable and keeps the invariants easy to audit.
+   Scheduling is an atomic batched claim: a job exposes a [next] cursor
+   (an atomic integer) and every participating domain grabs
+   [fetch_and_add next batch] chunk indices at a time, runs the whole
+   batch outside any lock, and only then takes the mutex once to retire
+   the batch and check the join condition.  Claim traffic is therefore
+   O(chunks / batch) atomic adds per job instead of one mutex round
+   trip per chunk — the difference between the pool paying for itself
+   and the pool being the bottleneck on sub-millisecond chunk bodies.
 
    Memory-model note: a chunk body's writes (into caller-owned result
-   slots) happen before that domain's mutex acquisition in the
-   completion path, and the submitter only reads the slots after
+   slots) happen before that domain's mutex acquisition in the batch
+   retirement path, and the submitter only reads the slots after
    observing [finished] under the same mutex — so the fan-in is
    data-race free without per-slot atomics.
 
    Supervision (deadlines, cancellation tokens, injected-crash retries,
    degradation to sequential) is cooperative: it acts only at chunk
-   boundaries, because a running domain cannot be preempted.  All of it
+   boundaries (checked inside the batch loop, so a deadline can expire
+   mid-batch), because a running domain cannot be preempted.  All of it
    leaves successful results bit-for-bit identical to an unsupervised
    run — recovery re-executes restartable chunk bodies, never reorders
    the fan-in.
@@ -40,30 +45,40 @@ type tele = {
   sink : Telemetry.sink;
   c_jobs : Telemetry.counter;  (* pool.jobs: jobs fanned out to the queue *)
   c_jobs_seq : Telemetry.counter;
-      (* pool.jobs.sequential: no-worker or single-chunk inline loop *)
+      (* pool.jobs.sequential: no-worker or single-task inline loop *)
   c_jobs_inline : Telemetry.counter;
       (* pool.jobs.inline_nested: submissions while the pool was busy *)
   c_chunks_submitter : Telemetry.counter;
   c_chunks_worker : Telemetry.counter;  (* chunks stolen by worker domains *)
+  c_batches : Telemetry.counter;  (* pool.batches: claims across all jobs *)
   c_retries : Telemetry.counter;  (* pool.retries: injected-crash retries *)
   c_timeouts : Telemetry.counter;  (* pool.timeouts: deadline/cancel trips *)
   c_degraded : Telemetry.counter;  (* pool.degraded_jobs *)
-  h_queue_wait : Telemetry.histogram;  (* submit -> claim, per chunk *)
-  h_compute : Telemetry.histogram;  (* chunk body wall time *)
+  h_queue_wait : Telemetry.histogram;  (* submit -> claim, per batch *)
+  h_compute : Telemetry.histogram;  (* batch body wall time *)
   h_job : Telemetry.histogram;  (* submit -> join, per fanned-out job *)
 }
 
 type job = {
   chunks : int;
+  batch : int;  (* chunk indices claimed per atomic fetch-and-add *)
   body : int -> unit;
   submitted : float;  (* sink-relative submit time; 0 with no telemetry *)
   timeout_s : float option;
   deadline : float option;  (* absolute, Unix.gettimeofday base *)
   cancel : Cancel.t option;
-  mutable next : int;  (* next unclaimed chunk index *)
-  mutable in_flight : int;  (* chunks claimed but not yet completed *)
-  mutable cancelled : bool;  (* stop claiming; set on first failure *)
-  mutable finished : bool;
+  next : int Atomic.t;  (* claim cursor; grows by [batch] per claim *)
+  cancelled : bool Atomic.t;
+      (* stop claiming new batches; set on first failure and on
+         supervision trips — claimed batches still drain *)
+  abandon : bool Atomic.t;
+      (* additionally skip the remaining bodies of already-claimed
+         batches; set only by supervision trips (deadline/token), never
+         by organic failures, so lowest-index-failure-wins still sees
+         every claimed chunk run *)
+  mutable tripped : bool;  (* mutex: the one-time supervision trip *)
+  mutable retired : int;  (* mutex: claimed chunk indices accounted for *)
+  mutable finished : bool;  (* mutex *)
   mutable error : (int * exn * Printexc.raw_backtrace) option;
       (* failure with the lowest chunk index seen so far; index
          [max_int] marks deadline/cancellation sentinels so any real
@@ -129,6 +144,7 @@ let tele_of_sink sink =
     c_jobs_inline = Telemetry.counter sink "pool.jobs.inline_nested";
     c_chunks_submitter = Telemetry.counter sink "pool.chunks.submitter";
     c_chunks_worker = Telemetry.counter sink "pool.chunks.worker";
+    c_batches = Telemetry.counter sink "pool.batches";
     c_retries = Telemetry.counter sink "pool.retries";
     c_timeouts = Telemetry.counter sink "pool.timeouts";
     c_degraded = Telemetry.counter sink "pool.degraded_jobs";
@@ -186,72 +202,103 @@ let note_degraded t =
 let count_timeout t =
   match t.tele with Some tl -> Telemetry.incr tl.c_timeouts | None -> ()
 
-(* With [t.mutex] held: record a supervision trip (deadline or token)
-   and, when nothing is running any more, close the job so the
-   submitter's wait terminates even if no completion follows. *)
-let cancel_job t j error =
-  if not j.cancelled then begin
-    j.cancelled <- true;
+(* A supervision trip (deadline or token), observed mid-batch by some
+   domain: stop new claims AND the remaining bodies of claimed batches
+   (they would only burn time past the deadline), record the sentinel
+   error.  Taken at most once per job; called without the mutex. *)
+let trip t j error =
+  Mutex.lock t.mutex;
+  if not j.tripped then begin
+    j.tripped <- true;
+    Atomic.set j.cancelled true;
+    Atomic.set j.abandon true;
     count_timeout t;
     (match j.error with
     | Some _ -> ()
-    | None -> j.error <- Some (max_int, error, Printexc.get_callstack 0));
-    if j.in_flight = 0 then begin
-      j.finished <- true;
-      Condition.broadcast t.job_done
-    end
-  end
+    | None -> j.error <- Some (max_int, error, Printexc.get_callstack 0))
+  end;
+  Mutex.unlock t.mutex
 
-(* Observe the cooperative stop conditions at a chunk boundary.  Called
-   with [t.mutex] held. *)
+(* Observe the cooperative stop conditions at a chunk boundary, without
+   taking the mutex on the happy path. *)
 let check_supervision t j =
-  if not j.cancelled then begin
+  if not (Atomic.get j.abandon) then begin
     (match j.cancel with
-    | Some c when Cancel.is_cancelled c -> cancel_job t j cancel_error
+    | Some c when Cancel.is_cancelled c -> trip t j cancel_error
     | Some _ | None -> ());
     match j.deadline, j.timeout_s with
     | Some d, Some s when Unix.gettimeofday () > d ->
-      cancel_job t j (timeout_error s)
+      trip t j (timeout_error s)
     | _ -> ()
   end
 
-(* Claim and run chunks of [j] until none are left.  Called with
-   [t.mutex] held; returns with it held.  [on_worker] distinguishes the
-   steal counter from the submitter's own chunks. *)
+(* Claim and run batches of [j] until the cursor is exhausted or the
+   job is cancelled.  Called WITHOUT the mutex; takes it only to retire
+   each batch.  Every claim with a live base index is retired exactly
+   once — even when supervision skips its bodies — so the join
+   condition below cannot hang.  [on_worker] distinguishes the steal
+   counter from the submitter's own chunks. *)
 let rec work_on t ~on_worker j =
-  check_supervision t j;
-  if (not j.cancelled) && j.next < j.chunks then begin
-    let i = j.next in
-    j.next <- j.next + 1;
-    j.in_flight <- j.in_flight + 1;
-    let tele = t.tele in
-    (match tele with
-    | Some tl ->
-      let now = Telemetry.now tl.sink in
-      Telemetry.observe tl.h_queue_wait (now -. j.submitted);
-      Telemetry.incr
-        (if on_worker then tl.c_chunks_worker else tl.c_chunks_submitter)
-    | None -> ());
-    Mutex.unlock t.mutex;
-    let t0 = match tele with Some tl -> Telemetry.now tl.sink | None -> 0. in
-    let failure = run_chunk_guarded t j.body i in
-    (match tele with
-    | Some tl -> Telemetry.observe tl.h_compute (Telemetry.now tl.sink -. t0)
-    | None -> ());
-    Mutex.lock t.mutex;
-    (match failure with
-    | None -> ()
-    | Some (e, bt) -> (
-      j.cancelled <- true;
-      match j.error with
-      | Some (i0, _, _) when i0 <= i -> ()
-      | Some _ | None -> j.error <- Some (i, e, bt)));
-    j.in_flight <- j.in_flight - 1;
-    if j.in_flight = 0 && (j.cancelled || j.next >= j.chunks) then begin
-      j.finished <- true;
-      Condition.broadcast t.job_done
-    end;
-    work_on t ~on_worker j
+  if not (Atomic.get j.cancelled) then begin
+    let base = Atomic.fetch_and_add j.next j.batch in
+    if base < j.chunks then begin
+      let hi = min j.chunks (base + j.batch) in
+      let tele = t.tele in
+      (match tele with
+      | Some tl ->
+        let now = Telemetry.now tl.sink in
+        Telemetry.observe tl.h_queue_wait (now -. j.submitted);
+        Telemetry.incr tl.c_batches;
+        Telemetry.add
+          (if on_worker then tl.c_chunks_worker else tl.c_chunks_submitter)
+          (hi - base)
+      | None -> ());
+      let t0 =
+        match tele with Some tl -> Telemetry.now tl.sink | None -> 0.
+      in
+      let failure = ref None in
+      let i = ref base in
+      while !failure = None && !i < hi && not (Atomic.get j.abandon) do
+        check_supervision t j;
+        if not (Atomic.get j.abandon) then begin
+          (match run_chunk_guarded t j.body !i with
+          | None -> ()
+          | Some (e, bt) -> failure := Some (!i, e, bt));
+          incr i
+        end
+      done;
+      (match tele with
+      | Some tl ->
+        Telemetry.observe tl.h_compute (Telemetry.now tl.sink -. t0)
+      | None -> ());
+      Mutex.lock t.mutex;
+      (match !failure with
+      | None -> ()
+      | Some (i, e, bt) -> (
+        (* An organic failure stops new claims but lets already-claimed
+           batches run to completion, exactly like the in-flight chunks
+           of the unbatched scheduler — so when several chunks fail,
+           the lowest claimed index still wins below. *)
+        Atomic.set j.cancelled true;
+        match j.error with
+        | Some (i0, _, _) when i0 <= i -> ()
+        | Some _ | None -> j.error <- Some (i, e, bt)));
+      j.retired <- j.retired + (hi - base);
+      (* Join condition: every claimed index retired and no more claims
+         coming.  [next] is only read here after this domain's own
+         fetch-and-add, so the final retirement always sees the full
+         claim extent. *)
+      let claimed =
+        if Atomic.get j.cancelled then min j.chunks (Atomic.get j.next)
+        else j.chunks
+      in
+      if (not j.finished) && j.retired >= claimed then begin
+        j.finished <- true;
+        Condition.broadcast t.job_done
+      end;
+      Mutex.unlock t.mutex;
+      work_on t ~on_worker j
+    end
   end
 
 let worker_loop t =
@@ -260,8 +307,12 @@ let worker_loop t =
     if t.stop then Mutex.unlock t.mutex
     else
       match t.current with
-      | Some j when (not j.cancelled) && j.next < j.chunks ->
+      | Some j
+        when (not (Atomic.get j.cancelled)) && Atomic.get j.next < j.chunks
+        ->
+        Mutex.unlock t.mutex;
         work_on t ~on_worker:true j;
+        Mutex.lock t.mutex;
         loop ()
       | Some _ | None ->
         Condition.wait t.work_available t.mutex;
@@ -332,7 +383,7 @@ let check_boundary ?deadline ?timeout_s ?cancel count_trip =
     raise (timeout_error s)
   | _ -> ()
 
-(* The sequential executor: used for 1-domain pools, single-chunk and
+(* The sequential executor: used for 1-domain pools, single-task and
    nested/busy submissions, degraded pools, and the degradation re-run
    itself ([suppress] then turns injection off).  Retries injected
    crashes like the parallel path; on exhaustion it degrades just that
@@ -366,14 +417,19 @@ let run_inline ?timeout_s ?cancel ?(suppress = false) t ~chunks body =
       run_one i
     done
 
-let parallel_for ?timeout_s ?cancel t ~chunks body =
+let parallel_for ?timeout_s ?cancel ?(batch = 1) t ~chunks body =
   if chunks < 0 then invalid_arg "Pool.parallel_for: negative chunk count";
+  if batch < 1 then invalid_arg "Pool.parallel_for: batch must be >= 1";
   (match timeout_s with
   | Some s when s <= 0. ->
     invalid_arg "Pool.parallel_for: timeout_s must be positive"
   | Some _ | None -> ());
   if chunks > 0 then begin
-    if Array.length t.workers = 0 || chunks = 1 || t.degraded then
+    (* ceil(chunks / batch) claims: a single claim means a single
+       domain would do all the work anyway — run it inline and skip
+       the fan-out machinery. *)
+    let tasks = (chunks + batch - 1) / batch in
+    if Array.length t.workers = 0 || tasks = 1 || t.degraded then
       if t.stop then invalid_arg "Pool: used after shutdown"
       else begin
         (match t.tele with Some tl -> Telemetry.incr tl.c_jobs_seq | None -> ());
@@ -406,22 +462,27 @@ let parallel_for ?timeout_s ?cancel t ~chunks body =
         let j =
           {
             chunks;
+            batch;
             body;
             submitted;
             timeout_s;
             deadline =
               Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s;
             cancel;
-            next = 0;
-            in_flight = 0;
-            cancelled = false;
+            next = Atomic.make 0;
+            cancelled = Atomic.make false;
+            abandon = Atomic.make false;
+            tripped = false;
+            retired = 0;
             finished = false;
             error = None;
           }
         in
         t.current <- Some j;
         Condition.broadcast t.work_available;
+        Mutex.unlock t.mutex;
         work_on t ~on_worker:false j;
+        Mutex.lock t.mutex;
         while not j.finished do
           Condition.wait t.job_done t.mutex
         done;
@@ -450,22 +511,22 @@ let parallel_for ?timeout_s ?cancel t ~chunks body =
     end
   end
 
-let map ?timeout_s ?cancel t f xs =
+let map ?timeout_s ?cancel ?batch t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for ?timeout_s ?cancel t ~chunks:n (fun i ->
+    parallel_for ?timeout_s ?cancel ?batch t ~chunks:n (fun i ->
         out.(i) <- Some (f xs.(i)));
     Array.map (function Some y -> y | None -> assert false) out
   end
 
-let map_list ?timeout_s ?cancel t f xs =
-  Array.to_list (map ?timeout_s ?cancel t f (Array.of_list xs))
+let map_list ?timeout_s ?cancel ?batch t f xs =
+  Array.to_list (map ?timeout_s ?cancel ?batch t f (Array.of_list xs))
 
-let map_list_opt ?timeout_s ?cancel pool f xs =
+let map_list_opt ?timeout_s ?cancel ?batch pool f xs =
   match pool with
-  | Some t -> map_list ?timeout_s ?cancel t f xs
+  | Some t -> map_list ?timeout_s ?cancel ?batch t f xs
   | None ->
     let deadline =
       Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
@@ -476,5 +537,5 @@ let map_list_opt ?timeout_s ?cancel pool f xs =
         f x)
       xs
 
-let map_reduce ?timeout_s ?cancel t ~map:f ~reduce ~init xs =
-  Array.fold_left reduce init (map ?timeout_s ?cancel t f xs)
+let map_reduce ?timeout_s ?cancel ?batch t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map ?timeout_s ?cancel ?batch t f xs)

@@ -1,13 +1,22 @@
-(** Supervised fixed-size domain pool with chunked fan-out/fan-in.
+(** Supervised fixed-size domain pool with batched chunk claiming.
 
     A pool owns [domains - 1] worker domains (the submitting domain is
     the remaining one — it always participates in its own jobs), fed
     through a single-job work queue.  Jobs are sets of independent,
     index-addressed chunks; results land in caller-owned slots keyed by
     chunk index, so the outcome of a job is a pure function of the chunk
-    bodies and {e never} of the domain count or the scheduling order.
-    Every parallel entry point in the library builds on this contract to
-    stay bit-for-bit deterministic.
+    bodies and {e never} of the domain count, the batch size or the
+    scheduling order.  Every parallel entry point in the library builds
+    on this contract to stay bit-for-bit deterministic.
+
+    Scheduling: each participating domain claims [batch] consecutive
+    chunk indices per atomic fetch-and-add on the job's cursor and runs
+    the whole batch before touching any shared state again, so claim
+    overhead is O(chunks / batch) atomic adds per job — not a lock
+    round trip per chunk.  [batch] is a pure scheduling knob: it moves
+    wall-clock time, never results.  {!Autotune} derives chunk and
+    batch sizes from a measured per-sample cost model when telemetry is
+    available.
 
     Guarantees:
     {ul
@@ -30,10 +39,12 @@
 
     {ul
     {- {e Deadlines}: [parallel_for ~timeout_s] gives the job a
-       deadline, checked cooperatively at chunk boundaries (a claimed
-       chunk is never preempted — OCaml domains cannot be killed).  On
-       expiry the job cancels its unclaimed chunks, drains, and the
-       join raises [Nanodec_error.Error (Timeout _)].}
+       deadline, checked cooperatively at chunk boundaries — inside
+       the batch loop, so a deadline expiring mid-batch stops the
+       batch's remaining chunks too (a running chunk is never
+       preempted — OCaml domains cannot be killed).  On expiry the job
+       cancels its unclaimed chunks, drains, and the join raises
+       [Nanodec_error.Error (Timeout _)].}
     {- {e Cancellation}: a {!Cancel.t} token, checked at the same
        boundaries; a cancelled job raises
        [Nanodec_error.Error (Timeout {seconds = None; _})].}
@@ -56,9 +67,10 @@
     [~degrade:false]) the explicit no-recovery policy do.
 
     A pool can carry a {!Nanodec_telemetry.Telemetry.sink}: the
-    scheduler then records per-chunk queue-wait and compute-time
+    scheduler then records per-batch queue-wait and compute-time
     histograms, per-job latency, and counters separating chunks run by
-    the submitter from chunks stolen by workers, fanned-out jobs from
+    the submitter from chunks stolen by workers ([pool.chunks.*], still
+    chunk-granular), claims ([pool.batches]), fanned-out jobs from
     inline ones, plus the supervision counters [pool.retries],
     [pool.timeouts] and [pool.degraded_jobs].  The probes observe and
     never steer — an instrumented run is bit-for-bit identical to a
@@ -158,28 +170,37 @@ val with_pool :
     normal or exceptional. *)
 
 val parallel_for :
-  ?timeout_s:float -> ?cancel:Cancel.t -> t -> chunks:int -> (int -> unit) ->
+  ?timeout_s:float ->
+  ?cancel:Cancel.t ->
+  ?batch:int ->
+  t ->
+  chunks:int ->
+  (int -> unit) ->
   unit
 (** [parallel_for pool ~chunks body] runs [body i] for every
-    [i] in [0 .. chunks - 1], work-stealing chunk indices across the
-    pool's domains.  Returns when all chunks have completed (or, under
-    a fault plan, have been recovered — see the supervision section).
-    [timeout_s] must be positive when given. *)
+    [i] in [0 .. chunks - 1], with each domain claiming [batch]
+    (default 1, must be >= 1) consecutive indices per atomic claim.
+    Returns when all chunks have completed (or, under a fault plan,
+    have been recovered — see the supervision section).  A job that
+    amounts to a single claim (ceil(chunks / batch) = 1) runs inline on
+    the submitter, counted under [pool.jobs.sequential].  [batch] never
+    affects results, only scheduling.  [timeout_s] must be positive
+    when given. *)
 
 val map :
-  ?timeout_s:float -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array ->
-  'b array
+  ?timeout_s:float -> ?cancel:Cancel.t -> ?batch:int -> t -> ('a -> 'b) ->
+  'a array -> 'b array
 (** [map pool f xs] is [Array.map f xs] with the elements evaluated
     across the pool; result order is the input order. *)
 
 val map_list :
-  ?timeout_s:float -> ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list ->
-  'b list
+  ?timeout_s:float -> ?cancel:Cancel.t -> ?batch:int -> t -> ('a -> 'b) ->
+  'a list -> 'b list
 (** [map] over a list, preserving order. *)
 
 val map_list_opt :
-  ?timeout_s:float -> ?cancel:Cancel.t -> t option -> ('a -> 'b) ->
-  'a list -> 'b list
+  ?timeout_s:float -> ?cancel:Cancel.t -> ?batch:int -> t option ->
+  ('a -> 'b) -> 'a list -> 'b list
 (** [map_list] through an optional pool; [None] is [List.map] (with the
     same deadline/cancellation checks between elements).  The
     convenience spelling used by the sweep/figure pipelines. *)
@@ -187,6 +208,7 @@ val map_list_opt :
 val map_reduce :
   ?timeout_s:float ->
   ?cancel:Cancel.t ->
+  ?batch:int ->
   t ->
   map:('a -> 'b) ->
   reduce:('b -> 'b -> 'b) ->

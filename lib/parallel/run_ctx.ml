@@ -1,6 +1,8 @@
 module Telemetry = Nanodec_telemetry.Telemetry
 module Fault = Nanodec_fault.Fault
 
+type chunking = Auto | Fixed of int
+
 type t = {
   pool : Pool.t option;
   seed : int;
@@ -9,6 +11,7 @@ type t = {
   fault : Fault.t option;
   timeout_s : float option;
   cancel : Pool.Cancel.t option;
+  chunking : chunking;
   owns_pool : bool;  (* [make ~domains] spawned it, [shutdown] joins it *)
 }
 
@@ -17,12 +20,16 @@ let default_mc_samples = 4000
 
 let make ?domains ?pool ?(seed = default_seed)
     ?(mc_samples = default_mc_samples) ?telemetry ?fault ?timeout_s ?cancel
-    ?max_retries ?degrade ?warn () =
+    ?(chunking = Auto) ?max_retries ?degrade ?warn () =
   if mc_samples < 0 then invalid_arg "Run_ctx.make: mc_samples must be >= 0";
   (match timeout_s with
   | Some s when s <= 0. ->
     invalid_arg "Run_ctx.make: timeout_s must be positive"
   | Some _ | None -> ());
+  (match chunking with
+  | Fixed n when n < 1 ->
+    invalid_arg "Run_ctx.make: Fixed chunking must be >= 1"
+  | Fixed _ | Auto -> ());
   (* The environment plan activates here and only here: contexts are the
      chaos boundary.  Direct [Pool] users (tests, benches) stay
      injection-free even when [NANODEC_FAULT_PLAN] is exported. *)
@@ -53,15 +60,25 @@ let make ?domains ?pool ?(seed = default_seed)
         true )
     | None, None -> (None, false)
   in
-  { pool; seed; mc_samples; telemetry; fault; timeout_s; cancel; owns_pool }
+  {
+    pool;
+    seed;
+    mc_samples;
+    telemetry;
+    fault;
+    timeout_s;
+    cancel;
+    chunking;
+    owns_pool;
+  }
 
 let shutdown t = if t.owns_pool then Option.iter Pool.shutdown t.pool
 
 let with_ctx ?domains ?pool ?seed ?mc_samples ?telemetry ?fault ?timeout_s
-    ?cancel ?max_retries ?degrade ?warn f =
+    ?cancel ?chunking ?max_retries ?degrade ?warn f =
   let t =
     make ?domains ?pool ?seed ?mc_samples ?telemetry ?fault ?timeout_s
-      ?cancel ?max_retries ?degrade ?warn ()
+      ?cancel ?chunking ?max_retries ?degrade ?warn ()
   in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
@@ -72,10 +89,12 @@ let telemetry t = t.telemetry
 let fault t = t.fault
 let timeout_s t = t.timeout_s
 let cancel t = t.cancel
+let chunking t = t.chunking
 
 let pool_of = function None -> None | Some t -> t.pool
 let telemetry_of = function None -> None | Some t -> t.telemetry
 let fault_of = function None -> None | Some t -> t.fault
+let chunking_of = function None -> Auto | Some t -> t.chunking
 
 let map_list t f xs =
   Pool.map_list_opt ?timeout_s:t.timeout_s ?cancel:t.cancel t.pool f xs
@@ -95,5 +114,6 @@ let resolve ?ctx ?pool () =
       fault = None;
       timeout_s = None;
       cancel = None;
+      chunking = Auto;
       owns_pool = false;
     }

@@ -32,6 +32,16 @@
 
 type t
 
+type chunking =
+  | Auto  (** let {!Autotune} size chunks and batches per job *)
+  | Fixed of int
+      (** exactly this many scheduling chunks, claimed one at a time
+          (the CLI's [--chunks N]); must be >= 1 *)
+(** How the Monte-Carlo estimators cut a job into pool chunks.  A pure
+    scheduling policy: estimates are bit-for-bit identical under every
+    [chunking], domain count and batch size — the per-sample stream
+    discipline guarantees it. *)
+
 val default_seed : int
 (** 2009 — the paper year, the seed used throughout the reproduction. *)
 
@@ -47,6 +57,7 @@ val make :
   ?fault:Nanodec_fault.Fault.t ->
   ?timeout_s:float ->
   ?cancel:Pool.Cancel.t ->
+  ?chunking:chunking ->
   ?max_retries:int ->
   ?degrade:bool ->
   ?warn:bool ->
@@ -64,6 +75,8 @@ val make :
     handed to every pool fan-out made through this context.
     [max_retries] and [degrade] configure the spawned pool's
     supervision policy (borrowed pools keep their own settings).
+    [chunking] (default [Auto]) selects the estimators' scheduling
+    policy; [Fixed n] with [n < 1] raises [Invalid_argument].
     [seed] defaults to {!default_seed}, [mc_samples] to
     {!default_mc_samples} (raises [Invalid_argument] when negative). *)
 
@@ -76,6 +89,7 @@ val with_ctx :
   ?fault:Nanodec_fault.Fault.t ->
   ?timeout_s:float ->
   ?cancel:Pool.Cancel.t ->
+  ?chunking:chunking ->
   ?max_retries:int ->
   ?degrade:bool ->
   ?warn:bool ->
@@ -93,6 +107,7 @@ val telemetry : t -> Nanodec_telemetry.Telemetry.sink option
 val fault : t -> Nanodec_fault.Fault.t option
 val timeout_s : t -> float option
 val cancel : t -> Pool.Cancel.t option
+val chunking : t -> chunking
 
 val pool_of : t option -> Pool.t option
 (** [pool_of ctx] through an optional context — the spelling used by
@@ -100,6 +115,9 @@ val pool_of : t option -> Pool.t option
 
 val telemetry_of : t option -> Nanodec_telemetry.Telemetry.sink option
 val fault_of : t option -> Nanodec_fault.Fault.t option
+
+val chunking_of : t option -> chunking
+(** [Auto] without a context. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ctx f xs] maps through the context's pool (or

@@ -406,6 +406,42 @@ let telemetry_transparency =
       let instrumented = run ~telemetry:sink () in
       instrumented = bare)
 
+(* The batched scheduler's licensing property: chunk count and batch
+   size are pure scheduling knobs, so an auto-tuned run (fallback plan
+   when cold, measured cost model when the sink is warm) computes
+   exactly the bits of any fixed-chunk run — and the tuner never emits
+   an unrunnable plan (batch or chunks below 1). *)
+let autotune_value_invariance =
+  Property.make
+    ~name:"Auto-tuned and fixed-chunk estimates are bit-identical"
+    ~print:(fun (seed, (samples, chunks), (domains, batch)) ->
+      Printf.sprintf "seed %d, %d samples / %d chunks / batch %d, %d domains"
+        seed samples chunks batch domains)
+    (triple Generators.sample_seed
+       (pair (int_range 2 200) (int_range 1 32))
+       (pair (int_range 1 4) (int_range 1 48)))
+    (fun (seed, (samples, chunks), (domains, batch)) ->
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let fixed =
+        Montecarlo.estimate_par ~chunks ~batch (Rng.create ~seed) ~samples f
+      in
+      let module Autotune = Nanodec_parallel.Autotune in
+      let runnable (p : Autotune.plan) = p.chunks >= 1 && p.batch >= 1 in
+      runnable (Autotune.plan ~domains ~samples ())
+      && Run_ctx.with_ctx ~domains (fun ctx ->
+             Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f
+             = fixed)
+      &&
+      let sink = Telemetry.create () in
+      Run_ctx.with_ctx ~domains ~telemetry:sink (fun ctx ->
+          (* Warm the sink so the second estimate plans from measured
+             cost, then re-check plan sanity and value identity. *)
+          ignore
+            (Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f);
+          runnable (Autotune.plan ~telemetry:sink ~domains ~samples ())
+          && Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f
+             = fixed))
+
 let telemetry_span_well_formedness =
   Property.make
     ~name:"Exported span trees are well-formed (children inside parents)"
@@ -576,6 +612,7 @@ let all =
     defect_map_determinism;
     pool_map_sequential_equivalence;
     chunked_mc_domain_invariance;
+    autotune_value_invariance;
     telemetry_transparency;
     telemetry_span_well_formedness;
     fault_probes_inert;

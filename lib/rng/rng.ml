@@ -1,7 +1,8 @@
 type t = {
   mutable state : int64;
-  (* PCG stream selector; must be odd. *)
-  increment : int64;
+  (* PCG stream selector; must be odd.  Mutable only for [copy_into]'s
+     zero-allocation scratch reuse; nothing else ever writes it. *)
+  mutable increment : int64;
   (* Cached second Gaussian from the polar method. *)
   mutable spare : float option;
 }
@@ -73,6 +74,15 @@ let split_n rng n =
   Array.init n (fun _ -> split rng)
 
 let copy rng = { rng with state = rng.state }
+
+(* Overwrite [into] with [src]'s full state (stream selector and polar
+   spare included): the scratch-reuse form of [copy] for per-sample hot
+   loops, where a fresh record per sample would be pure garbage.  [src]
+   is not touched. *)
+let copy_into src ~into =
+  into.state <- src.state;
+  into.increment <- src.increment;
+  into.spare <- src.spare
 
 let two_pow_32 = 1 lsl 32
 

@@ -37,6 +37,14 @@ val split_n : t -> int -> t array
 val copy : t -> t
 (** Snapshot of the current state; the copy evolves independently. *)
 
+val copy_into : t -> into:t -> unit
+(** [copy_into src ~into] overwrites [into] with [src]'s full state —
+    stream selector and cached polar spare included — so [into] then
+    draws exactly what {!copy}[ src] would, without allocating a record.
+    [src] is untouched.  The per-sample restart primitive of the
+    scheduler's hot loop: one scratch generator per domain, re-aimed at
+    a new stream for every sample. *)
+
 val uint32 : t -> int
 (** Next raw 32-bit draw in [0, 2^32). *)
 

@@ -20,6 +20,7 @@ let () =
       ("degenerate dimensions", Test_edge_cases.suite);
       ("exhaustive arrangements", Test_exhaustive.suite);
       ("parallel engine", Test_parallel.suite);
+      ("scheduler", Test_scheduler.suite);
       ("telemetry and run context", Test_telemetry.suite);
       ("fault injection and error taxonomy", Test_fault.suite);
       ("proptest oracles", Test_properties.suite);

@@ -290,6 +290,25 @@ let test_map_reduce_order () =
             expected got))
     domain_counts
 
+let test_timeout_mid_batch () =
+  (* The deadline check runs inside the batch loop, so a deadline that
+     expires while a domain is mid-way through a claimed batch must
+     still surface as a structured timeout — and leave the pool usable. *)
+  let module E = Nanodec_error in
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check_raises "deadline trips mid-batch"
+        (E.Error (E.Timeout { site = "pool.job"; seconds = Some 0.05 }))
+        (fun () ->
+          (* Two claims of 64 chunks each: ~128 ms of sleeping per
+             claim, so the 50 ms deadline always expires inside a
+             batch, never between claims. *)
+          Pool.parallel_for ~timeout_s:0.05 ~batch:64 pool ~chunks:128
+            (fun _ -> Unix.sleepf 0.002));
+      let xs = Array.init 50 Fun.id in
+      Alcotest.(check (array int))
+        "pool reusable after mid-batch timeout" (Array.map succ xs)
+        (Pool.map pool succ xs))
+
 let test_shutdown () =
   let pool = Pool.create ~domains:4 () in
   Alcotest.(check int) "domains" 4 (Pool.domains pool);
@@ -333,6 +352,8 @@ let suite =
     Alcotest.test_case "many successive jobs" `Quick test_many_successive_jobs;
     Alcotest.test_case "map_reduce folds in index order" `Quick
       test_map_reduce_order;
+    Alcotest.test_case "deadline expiring mid-batch times out cleanly" `Quick
+      test_timeout_mid_batch;
     Alcotest.test_case "shutdown is idempotent and final" `Quick test_shutdown;
     Alcotest.test_case "create validates domain count" `Quick
       test_create_validation;
