@@ -759,9 +759,205 @@ let gate_fault_overhead ~quick =
     exit 1
   end
 
+(* --- serve bench: BENCH_serve.json + the warm-cache gate ---
+
+   Boots the daemon in-process on a Unix socket, evaluates every Fig. 7
+   candidate (with a Monte-Carlo estimate) once cold and once warm, and
+   requires the warm pass — served from the artifact cache — to be at
+   least 5x faster in aggregate, with every warm result byte-identical
+   to its cold bytes.  A throughput loop over the warm set and the
+   p50/p99 of the daemon's own [serve.request_s] histogram land in
+   BENCH_serve.json alongside the per-design rows.  The gate is
+   always-on: a cache that misses, corrupts or fails to pay for itself
+   fails the process. *)
+
+module Serve = Nanodec_serve
+
+let serve_gate_threshold = 5.
+
+let serve_quantile ~q (h : Telemetry.hist_stats) =
+  let target = q *. float_of_int h.Telemetry.hs_count in
+  let rec scan acc = function
+    | [] -> h.Telemetry.hs_max_s
+    | (upper, n) :: rest ->
+      let acc = acc + n in
+      if float_of_int acc >= target then upper else scan acc rest
+  in
+  scan 0 h.Telemetry.hs_buckets
+
+let serve_result_of line response =
+  match Serve.Json.parse response with
+  | Error msg ->
+    Printf.eprintf "FAIL: unparsable daemon response to %s: %s\n" line msg;
+    exit 1
+  | Ok json ->
+    let field name to_v =
+      match Option.bind (Serve.Json.member name json) to_v with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "FAIL: daemon response to %s lacks %S: %s\n" line name
+          response;
+        exit 1
+    in
+    if field "status" Serve.Json.to_string_opt <> "ok" then begin
+      Printf.eprintf "FAIL: daemon answered an error to %s: %s\n" line response;
+      exit 1
+    end;
+    ( field "cached" Serve.Json.to_bool_opt,
+      Serve.Json.to_string (field "result" Option.some) )
+
+let run_serve_json ~quick =
+  let mc_samples = if quick then 500 else 4_000 in
+  let warm_reps = 3 in
+  let throughput_requests = if quick then 200 else 1_000 in
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nanodec-bench-%d.sock" (Unix.getpid ()))
+  in
+  let requests =
+    List.map
+      (fun (ct, m) ->
+        ( Printf.sprintf "%s-M%d" (Codebook.name ct) m,
+          Printf.sprintf
+            {|{"verb":"evaluate","params":{"code":"%s","length":%d},"exec":{"seed":2009,"mc_samples":%d}}|}
+            (Codebook.name ct) m mc_samples ))
+      Figures.fig7_candidates
+  in
+  let sink = Telemetry.create () in
+  Run_ctx.with_ctx ~domains:4 ~telemetry:sink @@ fun ctx ->
+  let state = Serve.Protocol.make_state ~base:ctx () in
+  let server = Serve.Server.create ~state (`Unix socket_path) in
+  let server_thread = Thread.create Serve.Server.serve server in
+  let rows, throughput =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.close server;
+        Thread.join server_thread)
+      (fun () ->
+        Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
+        let timed line =
+          let t0 = Unix.gettimeofday () in
+          let response = Serve.Client.request conn line in
+          (Unix.gettimeofday () -. t0, response)
+        in
+        section
+          (Printf.sprintf
+             "SERVE — cold vs warm-cache evaluate, %d fig7 designs x %d MC \
+              samples"
+             (List.length requests) mc_samples);
+        let rows =
+          List.map
+            (fun (name, line) ->
+              let cold_s, cold_response = timed line in
+              let cold_cached, cold_result = serve_result_of line cold_response in
+              let warm_s = ref infinity and warm = ref None in
+              for _ = 1 to warm_reps do
+                let t, response = timed line in
+                if t < !warm_s then warm_s := t;
+                warm := Some response
+              done;
+              let warm_cached, warm_result =
+                serve_result_of line (Option.get !warm)
+              in
+              let ok =
+                (not cold_cached) && warm_cached
+                && String.equal cold_result warm_result
+              in
+              Printf.printf
+                "%-8s cold %8.4fs   warm %8.4fs (%6.1fx)   hit ok: %b\n%!" name
+                cold_s !warm_s (cold_s /. !warm_s) ok;
+              (name, cold_s, !warm_s, ok))
+            requests
+        in
+        (* Throughput: warm evaluates round-robin over the design set. *)
+        let lines = Array.of_list (List.map snd requests) in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to throughput_requests - 1 do
+          ignore
+            (Serve.Client.request conn lines.(i mod Array.length lines))
+        done;
+        let throughput_s = Unix.gettimeofday () -. t0 in
+        ignore (Serve.Client.request conn {|{"verb":"shutdown"}|});
+        (rows, throughput_s))
+  in
+  let cold_total = List.fold_left (fun a (_, c, _, _) -> a +. c) 0. rows in
+  let warm_total = List.fold_left (fun a (_, _, w, _) -> a +. w) 0. rows in
+  let all_identical = List.for_all (fun (_, _, _, ok) -> ok) rows in
+  let speedup = cold_total /. warm_total in
+  let rps = float_of_int throughput_requests /. throughput in
+  let latency =
+    List.find_opt
+      (fun h -> h.Telemetry.hs_name = "serve.request_s")
+      (Telemetry.histograms sink)
+  in
+  Printf.printf
+    "serve aggregate: cold %.4fs -> warm %.4fs (%.1fx), identical: %b\n"
+    cold_total warm_total speedup all_identical;
+  Printf.printf "serve throughput: %d warm requests in %.4fs (%.0f req/s)\n"
+    throughput_requests throughput rps;
+  (match latency with
+  | Some h ->
+    Printf.printf
+      "serve latency (daemon-side, %d requests): p50 <= %.6fs, p99 <= %.6fs, \
+       max %.6fs\n"
+      h.Telemetry.hs_count
+      (serve_quantile ~q:0.5 h)
+      (serve_quantile ~q:0.99 h)
+      h.Telemetry.hs_max_s
+  | None -> print_endline "serve latency: no serve.request_s histogram");
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated_by\": \"bench/main.exe --serve%s\",\n"
+    (if quick then " --quick" else "");
+  out "  \"quick\": %b,\n" quick;
+  out "  \"mc_samples\": %d,\n" mc_samples;
+  out "  \"warm_reps\": %d,\n" warm_reps;
+  out "  \"gate_threshold\": %.1f,\n" serve_gate_threshold;
+  out "  \"all_identical\": %b,\n" all_identical;
+  out "  \"seconds\": {\"cold\": %.6f, \"warm\": %.6f},\n" cold_total warm_total;
+  out "  \"speedup\": %.3f,\n" speedup;
+  out "  \"throughput\": {\"requests\": %d, \"seconds\": %.6f, \"rps\": %.1f},\n"
+    throughput_requests throughput rps;
+  (match latency with
+  | Some h ->
+    out
+      "  \"latency\": {\"requests\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \
+       \"max_s\": %.9f},\n"
+      h.Telemetry.hs_count
+      (serve_quantile ~q:0.5 h)
+      (serve_quantile ~q:0.99 h)
+      h.Telemetry.hs_max_s
+  | None -> out "  \"latency\": null,\n");
+  out "  \"designs\": [\n";
+  List.iteri
+    (fun i (name, cold_s, warm_s, ok) ->
+      out
+        "    {\"name\": \"%s\", \"seconds\": {\"cold\": %.6f, \"warm\": \
+         %.6f}, \"speedup\": %.3f, \"hit_identical\": %b}%s\n"
+        (json_escape name) cold_s warm_s (cold_s /. warm_s) ok
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json (%d designs)\n" (List.length rows);
+  (* The gate is always-on: a cache this central must pay for itself. *)
+  if not all_identical then begin
+    prerr_endline "FAIL: a warm response diverged from its cold bytes";
+    exit 1
+  end;
+  if speedup < serve_gate_threshold then begin
+    Printf.eprintf "FAIL: warm-cache speedup %.2fx below the %.1fx gate\n"
+      speedup serve_gate_threshold;
+    exit 1
+  end
+
 let () =
   let argv = Array.to_list Sys.argv in
-  if List.mem "--json" argv then begin
+  if List.mem "--serve" argv then
+    run_serve_json ~quick:(List.mem "--quick" argv)
+  else if List.mem "--json" argv then begin
     let quick = List.mem "--quick" argv in
     let parallel_result = run_json ~quick in
     let kernel_result = run_kernel_json ~quick in

@@ -105,7 +105,7 @@ module Ctx_flags = struct
   type t = {
     domains : int option;
     seed : int;
-    mc_samples : int;
+    mc_samples : int option;  (* None = Monte-Carlo check disabled *)
     telemetry : string option;
     profile : bool;
     fault_plan : string option;
@@ -136,11 +136,13 @@ module Ctx_flags = struct
     in
     let mc_samples_arg =
       let doc =
-        "Monte-Carlo noise draws, where the command uses them (0 \
-         disables).  The estimate runs on the $(b,--domains) pool and is \
-         bit-for-bit independent of the domain count."
+        "Monte-Carlo noise draws, where the command uses them (omit to \
+         disable; estimates need at least 2).  The estimate runs on the \
+         $(b,--domains) pool and is bit-for-bit independent of the \
+         domain count."
       in
-      Arg.(value & opt int 0 & info [ "mc-samples" ] ~docv:"SAMPLES" ~doc)
+      Arg.(value & opt (some int) None
+           & info [ "mc-samples" ] ~docv:"SAMPLES" ~doc)
     in
     let telemetry_arg =
       let doc =
@@ -195,39 +197,23 @@ module Ctx_flags = struct
           $ telemetry_arg $ profile_arg $ fault_plan_arg $ timeout_arg
           $ no_degrade_arg $ chunks_arg)
 
-  (* One range check per numeric knob, shared by every subcommand —
-     previously each command rolled its own eprintf-and-exit-1. *)
+  (* One range check per numeric knob, shared by every subcommand and
+     — through the [Nanodec_error] validators — with the serve
+     protocol, so both surfaces reject bad values identically. *)
   let validate flags =
     Option.iter
       (fun d ->
         E.check_int_range ~what:"--domains" ~min:1 ~max:64
           ~hint:"the pool caps at 64 domains" d)
       flags.domains;
-    E.check_int_range ~what:"--seed" ~min:0 ~max:max_int flags.seed;
-    if flags.mc_samples <> 0 then
-      E.check_int_range ~what:"--mc-samples" ~min:2 ~max:100_000_000
-        ~hint:"0 disables the Monte-Carlo check; estimates need >= 2 draws"
-        flags.mc_samples;
-    match flags.timeout with
-    | Some s when not (s > 0.) ->
-      E.fail
-        (E.Invalid_input
-           { what = "--timeout must be positive"; hint = None })
-    | _ -> ()
+    E.check_seed ~what:"--seed" flags.seed;
+    Option.iter (E.check_mc_samples ~what:"--mc-samples") flags.mc_samples;
+    Option.iter (E.check_timeout_s ~what:"--timeout") flags.timeout
 
   let chunking_of_flags flags =
-    match flags.chunks with
-    | "auto" -> Run_ctx.Auto
-    | s -> (
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Run_ctx.Fixed n
-      | Some _ | None ->
-        E.fail
-          (E.Invalid_input
-             {
-               what = "--chunks must be 'auto' or a positive integer";
-               hint = Some (Printf.sprintf "got %S" s);
-             }))
+    match E.parse_chunks ~what:"--chunks" flags.chunks with
+    | `Auto -> Run_ctx.Auto
+    | `Fixed n -> Run_ctx.Fixed n
 
   (* [want_pool = false] keeps cheap closed-form commands from spawning
      domains they would never use; telemetry still works. *)
@@ -257,8 +243,8 @@ module Ctx_flags = struct
     in
     let result =
       Run_ctx.with_ctx ?domains ~seed:flags.seed
-        ~mc_samples:flags.mc_samples ?telemetry:sink ?fault
-        ?timeout_s:flags.timeout ~chunking
+        ~mc_samples:(Option.value flags.mc_samples ~default:0)
+        ?telemetry:sink ?fault ?timeout_s:flags.timeout ~chunking
         ~degrade:(not flags.no_degrade) f
     in
     Option.iter
@@ -273,6 +259,11 @@ module Ctx_flags = struct
 end
 
 let make_spec code_type code_length radix n_wires raw_bits =
+  (* Same ranges as the serve protocol's [params] validation. *)
+  E.check_int_range ~what:"--length" ~min:1 ~max:64 code_length;
+  E.check_int_range ~what:"--radix" ~min:2 ~max:16 radix;
+  E.check_int_range ~what:"--wires" ~min:1 ~max:10_000 n_wires;
+  E.check_int_range ~what:"--raw-bits" ~min:1 ~max:1_000_000_000 raw_bits;
   let base = { Design.default_spec with Design.raw_bits } in
   Design.spec ~base ~radix ~n_wires ~code_type ~code_length ()
 
@@ -289,7 +280,7 @@ let evaluate_cmd =
     | Ok () ->
       (* The pool is only worth spawning for the Monte-Carlo check; the
          closed-form report is sequential either way. *)
-      let mc = flags.Ctx_flags.mc_samples > 0 in
+      let mc = flags.Ctx_flags.mc_samples <> None in
       Ctx_flags.with_ctx ~want_pool:mc flags @@ fun ctx ->
       let spec = make_spec code_type code_length radix n_wires raw_bits in
       let report = Design.evaluate spec in
@@ -594,6 +585,8 @@ let baseline_cmd =
 let memory_cmd =
   let run code_type code_length raw_bits seed =
     handle @@ fun () ->
+    E.check_seed ~what:"--seed" seed;
+    E.check_int_range ~what:"--raw-bits" ~min:1 ~max:1_000_000_000 raw_bits;
     match Codebook.validate_length ~radix:2 ~length:code_length code_type with
     | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None })
     | Ok () ->
@@ -642,6 +635,10 @@ let memory_cmd =
 let check_cmd =
   let run seed count names_only =
     handle @@ fun () ->
+    Option.iter (E.check_seed ~what:"--seed") seed;
+    Option.iter
+      (fun c -> E.check_int_range ~what:"--count" ~min:1 ~max:1_000_000 c)
+      count;
     let open Nanodec_proptest in
     if names_only then (
       List.iter (fun p -> print_endline (Property.name p)) Oracles.all;
@@ -686,11 +683,98 @@ let check_cmd =
        ~doc:"Run the paper-proposition oracles as a correctness gate.")
     Term.(const run $ seed_arg $ count_arg $ list_arg)
 
+(* --- serve / client --- *)
+
+module Serve = Nanodec_serve
+
+let address_of ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp p
+  | Some _, Some _ ->
+    E.invalid_inputf "--socket and --port are mutually exclusive"
+  | None, None ->
+    E.invalid_inputf ~hint:"e.g. --socket /tmp/nanodec.sock or --port 7209"
+      "serve needs --socket PATH or --port N"
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on / connect to." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Loopback TCP port to listen on / connect to (0 = any free)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let run verbose socket port cache_capacity no_cache flags =
+    handle @@ fun () ->
+    setup_logging verbose;
+    let address = address_of ~socket ~port in
+    E.check_int_range ~what:"--cache-capacity" ~min:1 ~max:1_000_000
+      ~hint:"use --no-cache to disable caching instead" cache_capacity;
+    Ctx_flags.with_ctx flags @@ fun ctx ->
+    let state =
+      Serve.Protocol.make_state ~cache_enabled:(not no_cache)
+        ~cache_capacity ~base:ctx ()
+    in
+    let server = Serve.Server.create ~state address in
+    (match Serve.Server.address server with
+    | `Unix path -> Format.eprintf "nanodec serve: listening on %s@." path
+    | `Tcp p -> Format.eprintf "nanodec serve: listening on 127.0.0.1:%d@." p);
+    Serve.Server.serve server
+  in
+  let cache_capacity_arg =
+    let doc = "Artifact-cache capacity (entries, across all kinds)." in
+    Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the artifact cache: every request executes cold." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let term =
+    Term.(const run $ verbose_arg $ socket_arg $ port_arg $ cache_capacity_arg
+          $ no_cache_arg $ Ctx_flags.term)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the cached design-evaluation daemon (JSON lines over a socket).")
+    term
+
+let client_cmd =
+  let run socket port requests =
+    handle @@ fun () ->
+    let address = address_of ~socket ~port in
+    Serve.Client.with_connection address @@ fun conn ->
+    let send line =
+      if String.trim line <> "" then
+        print_endline (Serve.Client.request conn line)
+    in
+    if requests <> [] then List.iter send requests
+    else
+      try
+        while true do
+          send (input_line stdin)
+        done
+      with End_of_file -> ()
+  in
+  let requests_arg =
+    let doc =
+      "Request lines to send (one JSON object each).  Without any, \
+       requests are read from stdin, one per line."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running serve daemon and print the responses.")
+    Term.(const run $ socket_arg $ port_arg $ requests_arg)
+
 let main_cmd =
   let doc = "MSPT nanowire-decoder design flow (DAC 2009 reproduction)." in
   Cmd.group
     (Cmd.info "nanodec" ~version:"1.0.0" ~doc)
     [ evaluate_cmd; sweep_cmd; codes_cmd; trace_cmd; figures_cmd; headlines_cmd;
-      export_cmd; ablate_cmd; baseline_cmd; memory_cmd; check_cmd ]
+      export_cmd; ablate_cmd; baseline_cmd; memory_cmd; check_cmd; serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

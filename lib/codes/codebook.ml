@@ -87,3 +87,6 @@ let minimal_length ~radix ~min_size ct =
     else grow (length + step)
   in
   grow step
+
+let cache_key ~radix ~length ct =
+  Printf.sprintf "codebook/v1|%s|n=%d|M=%d" (name ct) radix length

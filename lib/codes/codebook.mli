@@ -41,3 +41,8 @@ val to_seq : radix:int -> length:int -> t -> Word.t Seq.t
 
 val minimal_length : radix:int -> min_size:int -> t -> int
 (** Smallest valid [length] whose space size is at least [min_size]. *)
+
+val cache_key : radix:int -> length:int -> t -> string
+(** Canonical, injective content key of the family's construction
+    parameters — the artifact-cache key of the word sequence this
+    triple determines.  Stable across processes ("codebook/v1|..."). *)

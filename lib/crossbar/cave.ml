@@ -60,6 +60,26 @@ let check_config c =
 
 let window c = c.margin_fraction *. Vt_levels.separation (levels_of_config c)
 
+let config_key c =
+  (* Canonical, injective serialization of every parameter [analyze]
+     reads: the artifact-cache key of the analysis, the compiled kernel
+     and every estimate derived from this configuration.  Floats are
+     rendered with %h (hex, exact) so distinct values never collide and
+     the key is identical on every platform. *)
+  let placement =
+    match c.placement with
+    | Vt_levels.Centered -> "centered"
+    | Vt_levels.Spread rail -> Printf.sprintf "spread:%h" rail
+  in
+  let r = c.rules in
+  Printf.sprintf
+    "cave/v1|pl=%h|pn=%h|padf=%h|ovl=%h|wall=%h|row=%h|st=%h|s0=%h|mf=%h|vdd=%h|plc=%s|n=%d|%s|M=%d|N=%d"
+    r.Geometry.litho_pitch r.Geometry.nanowire_pitch
+    r.Geometry.pad_min_width_factor r.Geometry.pad_overlap
+    r.Geometry.cave_wall r.Geometry.contact_row_length c.sigma_t
+    c.sigma_base c.margin_fraction c.supply_voltage placement c.radix
+    (Codebook.name c.code_type) c.code_length c.n_wires
+
 let wire_window_probability ~sigma_t ~sigma_base ~window ~nu_row =
   (* Independent contributions: intrinsic region variability plus one
      sigma_t^2 of variance per doping operation received. *)
@@ -75,7 +95,7 @@ let is_usable = function
   | Geometry.Addressable _ -> true
   | Geometry.Shared_between_pads _ | Geometry.Excess_in_pad _ -> false
 
-let analyze config =
+let analyze ?nu config =
   check_config config;
   let omega =
     Codebook.space_size ~radix:config.radix ~length:config.code_length
@@ -86,7 +106,10 @@ let analyze config =
     Pattern.of_codebook ~radix:config.radix ~length:config.code_length
       ~n_wires:config.n_wires config.code_type
   in
-  let nu = Variability.nu_matrix pattern in
+  (* [?nu] is the precomputed [Variability.nu_matrix pattern] — callers
+     holding it (the serve artifact cache) skip the recount; the value
+     is identical either way, so this is a pure fast path. *)
+  let nu = match nu with Some nu -> nu | None -> Variability.nu_matrix pattern in
   let w = window config in
   let wire_probability =
     Array.init config.n_wires (fun i ->
@@ -150,14 +173,21 @@ let kernel_of_analysis analysis =
     ~usable:(Array.map is_usable analysis.layout.Geometry.statuses)
     (passes_of_analysis analysis)
 
-let mc_yield_window_par ?ctx ?pool ?chunks ?batch rng ~samples analysis =
+let mc_yield_window_par ?ctx ?pool ?chunks ?batch ?kernel rng ~samples
+    analysis =
   (* Everything the chunk bodies share — here, the whole compiled pass
      program — is computed before the fan-out; the bodies only read it
-     (and mutate their own stream and domain-local scratch). *)
+     (and mutate their own stream and domain-local scratch).  [?kernel]
+     lets a caller holding the compiled program (the serve artifact
+     cache) skip the per-call compile; the kernel is pure, so the
+     estimate is identical either way. *)
   let tel = Nanodec_parallel.Run_ctx.telemetry_of ctx in
   let kernel =
-    Nanodec_telemetry.Telemetry.with_span tel "kernel.compile" @@ fun () ->
-    kernel_of_analysis analysis
+    match kernel with
+    | Some k -> k
+    | None ->
+      Nanodec_telemetry.Telemetry.with_span tel "kernel.compile"
+      @@ fun () -> kernel_of_analysis analysis
   in
   (* Fault site: before the fan-out.  When the estimate runs inside an
      outer pool chunk (the sweep pipelines), an injected crash here is

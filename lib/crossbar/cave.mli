@@ -52,7 +52,18 @@ type analysis = {
   yield : float;  (** cave yield Y — mean of [wire_probability] *)
 }
 
-val analyze : config -> analysis
+val analyze : ?nu:Imatrix.t -> config -> analysis
+(** [?nu] is the precomputed {!Nanodec_mspt.Variability.nu_matrix} of
+    the config's pattern (keyed by
+    {!Nanodec_mspt.Pattern.cache_key} in the serve artifact cache);
+    passing it skips the recount, the result is identical either way. *)
+
+val config_key : config -> string
+(** Canonical, injective serialization of every parameter {!analyze}
+    reads ("cave/v1|..."): the content-address of the analysis, the
+    compiled kernel and every Monte-Carlo estimate derived from this
+    configuration.  Floats render as exact hex ([%h]), so distinct
+    configurations never collide and the key is platform-stable. *)
 
 val wire_window_probability :
   sigma_t:float -> sigma_base:float -> window:float -> nu_row:int array -> float
@@ -81,6 +92,7 @@ val mc_yield_window_par :
   ?pool:Nanodec_parallel.Pool.t ->
   ?chunks:int ->
   ?batch:int ->
+  ?kernel:Kernel.t ->
   Rng.t ->
   samples:int ->
   analysis ->
@@ -96,7 +108,10 @@ val mc_yield_window_par :
     workspace scratch.  [?ctx] supplies pool, chunking policy and
     telemetry (spans [kernel.compile] and [cave.mc_yield_window],
     counter [kernel.samples] — the autotuner's preferred calibration
-    denominator); the deprecated [?pool] still wins when given. *)
+    denominator); the deprecated [?pool] still wins when given.
+    [?kernel] supplies a pre-compiled {!kernel_of_analysis} of the same
+    analysis (the serve artifact cache holds one), skipping the
+    per-call compile; the estimate is identical either way. *)
 
 val mc_yield_window_reference :
   ?ctx:Nanodec_parallel.Run_ctx.t ->

@@ -68,3 +68,37 @@ let check_int_range ~what ?hint ~min ~max n =
       n
 
 let internal detail = Internal { detail }
+
+(* --- shared numeric-knob validators ---
+
+   The CLI flags and the serve protocol accept the same execution knobs
+   (seed, mc-samples, timeout, chunks); these are the one definition of
+   what each accepts, so both surfaces reject bad values with the same
+   taxonomy error and the same message.  [what] carries the
+   surface-specific spelling ("--mc-samples" vs "mc_samples"). *)
+
+let check_seed ?(what = "seed") seed =
+  check_int_range ~what ~min:0 ~max:max_int seed
+
+let check_mc_samples ?(what = "mc-samples") n =
+  check_int_range ~what ~min:2 ~max:100_000_000
+    ~hint:"Monte-Carlo estimates need at least 2 draws; omit the field to \
+           disable the check"
+    n
+
+let check_timeout_s ?(what = "timeout") s =
+  (* [not (s > 0.)] also catches NaN, which compares false to
+     everything. *)
+  if not (s > 0.) || s = infinity then
+    invalid_inputf "%s must be a positive finite number of seconds (got %h)"
+      what s
+
+let parse_chunks ?(what = "chunks") = function
+  | "auto" -> `Auto
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> `Fixed n
+    | Some _ | None ->
+      invalid_inputf
+        ~hint:(Printf.sprintf "got %S" s)
+        "%s must be 'auto' or a positive integer" what)

@@ -74,3 +74,27 @@ val check_int_range : what:string -> ?hint:string -> min:int -> max:int -> int -
 
 val internal : string -> t
 (** [Internal] from a detail string (typically [Printexc.to_string]). *)
+
+(** {1 Shared execution-knob validators}
+
+    One definition of what the common numeric knobs accept, shared
+    between the CLI flags and the serve protocol so both surfaces
+    reject bad values identically ([Invalid_input], exit code 2 / JSON
+    kind [invalid-input]).  [?what] carries the surface-specific
+    spelling of the knob ("--mc-samples" vs "mc_samples"). *)
+
+val check_seed : ?what:string -> int -> unit
+(** Seeds are non-negative. *)
+
+val check_mc_samples : ?what:string -> int -> unit
+(** Monte-Carlo draw counts are in [2, 100_000_000]: estimates need at
+    least two draws, so an explicit 0 (or 1, or any negative value) is
+    rejected — a surface that wants "disabled" must omit the knob
+    entirely rather than pass 0. *)
+
+val check_timeout_s : ?what:string -> float -> unit
+(** Deadlines are strictly positive and finite; NaN is rejected. *)
+
+val parse_chunks : ?what:string -> string -> [ `Auto | `Fixed of int ]
+(** Parse a chunking spec: ["auto"] or a positive decimal integer;
+    anything else (including ["0"] and negatives) is [Invalid_input]. *)

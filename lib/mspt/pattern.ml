@@ -55,3 +55,22 @@ let pp ppf p =
       Word.pp ppf w)
     p.rows;
   Format.fprintf ppf "@]"
+
+let cache_key p =
+  (* Content-addressed: every digit of the matrix, row-major, so two
+     patterns share a key iff they are the same pattern.  Digits are
+     single integers < radix, so a digit dump plus the dimensions is
+     injective. *)
+  let b = Buffer.create (16 + (n_wires p * (n_regions p + 1))) in
+  Buffer.add_string b
+    (Printf.sprintf "pattern/v1|n=%d|%dx%d|" p.radix (n_wires p)
+       (n_regions p));
+  Array.iter
+    (fun w ->
+      for j = 0 to Word.length w - 1 do
+        Buffer.add_string b (string_of_int (Word.get w j));
+        Buffer.add_char b ','
+      done;
+      Buffer.add_char b ';')
+    p.rows;
+  Buffer.contents b

@@ -42,3 +42,8 @@ val transitions_between_rows : t -> int array
 val total_transitions : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+val cache_key : t -> string
+(** Canonical, injective content key of the pattern — dimensions, radix
+    and every digit row-major — used by the serve artifact cache to key
+    the derived ν matrix.  Stable across processes ("pattern/v1|..."). *)

@@ -99,6 +99,46 @@ let chunking_of = function None -> Auto | Some t -> t.chunking
 let map_list t f xs =
   Pool.map_list_opt ?timeout_s:t.timeout_s ?cancel:t.cancel t.pool f xs
 
+let with_request ~base ?seed ?mc_samples ?timeout_s ?fault ?chunking
+    ?(degrade = true) ?(warn = true) f =
+  let seed = Option.value seed ~default:base.seed in
+  let mc_samples = Option.value mc_samples ~default:base.mc_samples in
+  let chunking = Option.value chunking ~default:base.chunking in
+  if mc_samples < 0 then
+    invalid_arg "Run_ctx.with_request: mc_samples must be >= 0";
+  (match timeout_s with
+  | Some s when s <= 0. ->
+    invalid_arg "Run_ctx.with_request: timeout_s must be positive"
+  | Some _ | None -> ());
+  (match chunking with
+  | Fixed n when n < 1 ->
+    invalid_arg "Run_ctx.with_request: Fixed chunking must be >= 1"
+  | Fixed _ | Auto -> ());
+  match fault, degrade with
+  | None, true ->
+    (* The common shape: borrow the base context's pool and sink
+       untouched — nothing is mutated on the shared pool, so any number
+       of requests can derive from one base without interfering. *)
+    f
+      {
+        base with
+        seed;
+        mc_samples;
+        timeout_s;
+        chunking;
+        owns_pool = false;
+      }
+  | _ ->
+    (* A request-specific fault plan (or a fail-closed degrade policy)
+       must never touch the shared pool: an exhausted retry budget
+       poisons a pool permanently, and [Pool.set_fault] has no restore
+       discipline.  Such requests get a private pool of the same width,
+       joined before the reply; results are bit-for-bit identical by
+       the pool's determinism contract. *)
+    let domains = match base.pool with Some p -> Pool.domains p | None -> 1 in
+    with_ctx ~domains ~seed ~mc_samples ?telemetry:base.telemetry ?fault
+      ?timeout_s ~chunking ~degrade ~warn f
+
 let resolve ?ctx ?pool () =
   match ctx with
   | Some c -> (

@@ -125,6 +125,41 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     cancellation token into the fan-out.  The one-liner the sweep,
     figure, scaling and ablation pipelines use. *)
 
+val with_request :
+  base:t ->
+  ?seed:int ->
+  ?mc_samples:int ->
+  ?timeout_s:float ->
+  ?fault:Nanodec_fault.Fault.t ->
+  ?chunking:chunking ->
+  ?degrade:bool ->
+  ?warn:bool ->
+  (t -> 'a) ->
+  'a
+(** Per-request context derivation — the serve daemon's workhorse.
+    [with_request ~base ?seed ... f] runs [f] under a context that
+    overrides the given knobs and inherits everything else (pool,
+    telemetry sink, cancellation) from [base].  Two regimes:
+
+    {ul
+    {- without a request fault plan and with [degrade] left [true]
+       (the default), the derived context {e borrows} the base pool
+       without mutating it — any number of requests can derive from one
+       base concurrently;}
+    {- a request carrying [?fault] or [~degrade:false] gets a {e
+       private} pool of the same domain width, joined before
+       [with_request] returns: an exhausted retry budget poisons a pool
+       permanently, so request-scoped chaos must never touch the shared
+       one.  Results are bit-for-bit identical either way by the pool
+       determinism contract.}}
+
+    Unlike {!make}, the [NANODEC_FAULT_PLAN] environment boundary is
+    {e not} re-read for the borrow path — the base context already
+    resolved it; the private-pool path re-enters {!make} and therefore
+    honours it, matching what a standalone run of the request would
+    see.  Raises [Invalid_argument] on a non-positive [timeout_s],
+    negative [mc_samples] or [Fixed n < 1], like {!make}. *)
+
 val resolve : ?ctx:t -> ?pool:Pool.t -> unit -> t
 (** Back-compatibility shim for entry points that still accept the
     deprecated [?pool] argument next to [?ctx]: the context wins, a

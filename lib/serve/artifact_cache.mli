@@ -1,0 +1,77 @@
+(** Content-addressed LRU cache for expensive pure artifacts.
+
+    The serve daemon's amortization layer: compiled kernels, code
+    constructions, ν matrices, whole design reports and Monte-Carlo
+    estimates are all pure functions of their canonical parameter keys
+    ({!Nanodec_crossbar.Cave.config_key} and friends), so a cache entry
+    is observationally identical to rebuilding — the hard invariant the
+    [cache_hit ≡ cache_miss] oracle enforces bit-for-bit.
+
+    Keys are the canonical parameter strings themselves, never a lossy
+    hash: injectivity of the keying functions (the second oracle) is
+    what makes a hit provably safe, and an MD5 of the key is kept only
+    as a display handle ({!digest}).
+
+    O(1) lookup and insertion (hash table + intrusive doubly-linked
+    recency list), least-recently-{e used} eviction, and per-entry
+    build-cost accounting: every entry remembers what it cost to build,
+    {!stats} reports both the seconds spent building misses and the
+    seconds hits would otherwise have re-spent ([saved_s]) — the
+    daemon's amortization telemetry.  All operations take one mutex;
+    the structure is safe to share across threads and domains. *)
+
+type 'v t
+
+type stats = {
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  build_s : float;  (** total seconds spent building entries (misses) *)
+  saved_s : float;
+      (** sum over hits of the entry's recorded build cost — the time
+          the cache has saved so far *)
+}
+
+val create : ?enabled:bool -> capacity:int -> unit -> 'v t
+(** [capacity] is the maximum entry count; at least 1 (a capacity-1
+    cache is the eviction-heavy degenerate case the oracles exercise).
+    [enabled = false] builds a pass-through cache: {!find_or_build}
+    always builds, stores nothing, and counts every call as a miss —
+    the cold path with identical accounting, used by the
+    [cache_hit ≡ cache_miss] oracle and [serve --no-cache].
+    Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find_or_build : 'v t -> key:string -> (unit -> 'v) -> 'v * bool
+(** [find_or_build t ~key build] returns the cached value for [key]
+    (marking it most recently used) or runs [build], stores the result
+    with its measured build time, evicts the least recently used entry
+    if over capacity, and returns it.  The boolean is [true] on a hit.
+    [build]'s exceptions propagate; nothing is stored on failure.  The
+    mutex is {e not} held while [build] runs — builders may take
+    seconds; two threads racing the same cold key both build (last
+    store wins), which is benign because builders are pure. *)
+
+val find_opt : 'v t -> string -> 'v option
+(** Lookup without building; counts as a hit/miss and refreshes
+    recency like {!find_or_build}. *)
+
+val mem : 'v t -> string -> bool
+(** Pure membership probe: no counter moves, no recency refresh. *)
+
+val length : 'v t -> int
+
+val keys : 'v t -> string list
+(** Most recently used first — the eviction order reversed.  For tests
+    and the [stats] verb. *)
+
+val stats : 'v t -> stats
+
+val digest : string -> string
+(** MD5 hex of a key — the short display handle used in logs and the
+    [stats] verb; never used for addressing. *)
+
+val clear : 'v t -> unit
+(** Drop every entry (counters keep their totals; [evictions] does not
+    count cleared entries). *)

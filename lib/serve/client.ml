@@ -1,0 +1,56 @@
+module E = Nanodec_error
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let sockaddr_of = function
+  | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | `Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let describe = function
+  | `Unix path -> Printf.sprintf "unix socket %S" path
+  | `Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+let connect ?(attempts = 40) address =
+  let domain, addr = sockaddr_of address in
+  let rec attempt left =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when left > 1 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      attempt (left - 1)
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      E.invalid_inputf ~hint:"is the daemon running?" "cannot connect to %s: %s"
+        (describe address) (Unix.error_message err)
+  in
+  attempt (max 1 attempts)
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> line
+  | exception End_of_file ->
+    E.fail (E.internal "daemon closed the connection before responding")
+
+let request_json t json =
+  match Json.parse (request t (Json.to_string json)) with
+  | Ok v -> v
+  | Error msg ->
+    E.fail (E.internal (Printf.sprintf "unparsable response from daemon: %s" msg))
+
+let close t =
+  (* Closing the channels closes the shared fd; ignore double-closes. *)
+  (try close_out_noerr t.oc with _ -> ());
+  (try close_in_noerr t.ic with _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?attempts address f =
+  let t = connect ?attempts address in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

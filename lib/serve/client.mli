@@ -1,0 +1,29 @@
+(** Blocking line-protocol client for the serve daemon.
+
+    One connection, blocking I/O, one response line per request line —
+    the counterpart the CLI's [nanodec client] command, the tests and
+    the bench closed loop all use.  Responses come back in request
+    order (the daemon executes serially), so pipelining [request]
+    calls from one connection is safe. *)
+
+type t
+
+val connect : ?attempts:int -> Server.address -> t
+(** Connect, retrying a refused/missing socket [attempts] times
+    (default 40) at 50 ms intervals — the daemon may still be binding
+    when a test or bench races it up.  Raises
+    [Nanodec_error.Error (Invalid_input _)] once the attempts are
+    exhausted. *)
+
+val request : t -> string -> string
+(** Send one line (the newline is appended) and block for the response
+    line.  Raises [Nanodec_error.Error (Internal _)] if the daemon
+    closes the connection first. *)
+
+val request_json : t -> Json.t -> Json.t
+(** {!request} through the JSON writer/parser. *)
+
+val close : t -> unit
+
+val with_connection : ?attempts:int -> Server.address -> (t -> 'a) -> 'a
+(** [connect] + [f] + [close], exception-safe. *)

@@ -1,0 +1,51 @@
+(** Minimal JSON: a value type, a hardened recursive-descent parser and
+    a single-line writer.
+
+    The repo deliberately carries no JSON dependency (the telemetry
+    exporter hand-writes its documents); the serve protocol needs the
+    other direction too, so this module is the one place JSON is read.
+    The parser is written for a network boundary: it never raises on
+    malformed input (it returns [Error] with a position-carrying
+    message), bounds nesting depth so adversarial [[[[…] input cannot
+    blow the stack, rejects trailing garbage, and accepts only what RFC
+    8259 grammar allows — in particular [NaN]/[Infinity] literals are
+    parse errors, so non-finite numbers cannot enter the protocol
+    except as out-of-range field {e values}, which the protocol layer
+    validates. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val max_depth : int
+(** 64 — nesting beyond this is a parse error, not a stack overflow. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document.  Error messages name the byte
+    offset and what was expected — they end up verbatim in the
+    protocol's [invalid-input] hint. *)
+
+val to_string : t -> string
+(** Canonical single-line rendering: no spaces after separators,
+    strings escaped per RFC 8259 (control characters as [\u00XX]),
+    floats as the shortest representation that round-trips ([%.17g]
+    fallback), object fields in the order given.  Never contains a
+    newline, so a rendered value is always one protocol line. *)
+
+(** {1 Accessors} — total, [option]-returning *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s within [int] range. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -1,0 +1,507 @@
+open Nanodec_codes
+open Nanodec_numerics
+open Nanodec_crossbar
+open Nanodec
+module E = Nanodec_error
+module Run_ctx = Nanodec_parallel.Run_ctx
+module Fault = Nanodec_fault.Fault
+
+type state = {
+  artifacts : Artifacts.t;
+  base : Run_ctx.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable stopping : bool;
+}
+
+let make_state ?(cache_enabled = true) ?(cache_capacity = 256) ~base () =
+  {
+    artifacts = Artifacts.create ~enabled:cache_enabled ~capacity:cache_capacity ();
+    base;
+    requests = 0;
+    errors = 0;
+    stopping = false;
+  }
+
+let artifacts state = state.artifacts
+let base state = state.base
+let requests state = state.requests
+let errors state = state.errors
+let stopping state = state.stopping
+
+let known_verbs =
+  [ "ping"; "evaluate"; "yield"; "sweep"; "codes"; "check"; "stats"; "shutdown" ]
+
+(* --- request field access ---
+
+   Every accessor is total and fails as [Invalid_input] naming the
+   field, so the fuzz battery's bad values (floats where ints belong,
+   negative seeds, zero sample counts) all map to the same JSON error
+   kind the CLI maps them to on exit code 2. *)
+
+let obj_field json name = Json.member name json
+
+let int_field json name =
+  match obj_field json name with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_int_opt v with
+    | Some i -> Some i
+    | None ->
+      E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+        "field %S must be an integer" name)
+
+let float_field json name =
+  match obj_field json name with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Some f
+    | None ->
+      E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+        "field %S must be a number" name)
+
+let string_field json name =
+  match obj_field json name with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some s -> Some s
+    | None ->
+      E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+        "field %S must be a string" name)
+
+let bool_field json name =
+  match obj_field json name with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_bool_opt v with
+    | Some b -> Some b
+    | None ->
+      E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+        "field %S must be a boolean" name)
+
+(* --- the execution knobs of one request --- *)
+
+type exec = {
+  seed : int option;
+  mc_samples : int option;
+  timeout_s : float option;
+  fault : Fault.t option;
+  no_degrade : bool;
+  chunking : Run_ctx.chunking option;
+}
+
+let exec_of_json json =
+  match obj_field json "exec" with
+  | None | Some Json.Null ->
+    {
+      seed = None;
+      mc_samples = None;
+      timeout_s = None;
+      fault = None;
+      no_degrade = false;
+      chunking = None;
+    }
+  | Some (Json.Obj _ as e) ->
+    let seed = int_field e "seed" in
+    Option.iter (E.check_seed ~what:"seed") seed;
+    let mc_samples = int_field e "mc_samples" in
+    Option.iter (E.check_mc_samples ~what:"mc_samples") mc_samples;
+    let timeout_s = float_field e "timeout" in
+    Option.iter (E.check_timeout_s ~what:"timeout") timeout_s;
+    let fault =
+      match string_field e "fault_plan" with
+      | None -> None
+      | Some spec -> Some (Fault.create (Fault.parse_exn spec))
+    in
+    let no_degrade = Option.value (bool_field e "no_degrade") ~default:false in
+    let chunking =
+      match obj_field e "chunks" with
+      | None | Some Json.Null -> None
+      | Some (Json.Int n) ->
+        Some
+          (match E.parse_chunks ~what:"chunks" (string_of_int n) with
+          | `Auto -> Run_ctx.Auto
+          | `Fixed n -> Run_ctx.Fixed n)
+      | Some (Json.String s) ->
+        Some
+          (match E.parse_chunks ~what:"chunks" s with
+          | `Auto -> Run_ctx.Auto
+          | `Fixed n -> Run_ctx.Fixed n)
+      | Some v ->
+        E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+          "field \"chunks\" must be 'auto' or a positive integer"
+    in
+    { seed; mc_samples; timeout_s; fault; no_degrade; chunking }
+  | Some v ->
+    E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+      "field \"exec\" must be an object"
+
+(* A request that injects faults, forbids degradation or carries a
+   deadline must actually execute: serving its pooled work from the
+   result cache would skip the very failure semantics it asked for. *)
+let bypasses_result_cache exec =
+  exec.fault <> None || exec.no_degrade || exec.timeout_s <> None
+
+let with_request_ctx state exec f =
+  Run_ctx.with_request ~base:state.base ?seed:exec.seed
+    ?mc_samples:exec.mc_samples ?timeout_s:exec.timeout_s ?fault:exec.fault
+    ?chunking:exec.chunking ~degrade:(not exec.no_degrade) ~warn:false f
+
+(* --- design parameters --- *)
+
+let code_type_field json =
+  match string_field json "code" with
+  | None -> Codebook.Balanced_gray
+  | Some s -> (
+    match Codebook.of_name s with
+    | Some ct -> ct
+    | None ->
+      E.invalid_inputf ~hint:"known families: TC, GC, BGC, HC, AHC"
+        "unknown code type %S" s)
+
+let params_of_json json =
+  match obj_field json "params" with
+  | None | Some Json.Null -> Json.Obj []
+  | Some (Json.Obj _ as p) -> p
+  | Some v ->
+    E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
+      "field \"params\" must be an object"
+
+let spec_of_params params =
+  let code_type = code_type_field params in
+  let code_length = Option.value (int_field params "length") ~default:10 in
+  E.check_int_range ~what:"length" ~min:1 ~max:64 code_length;
+  let radix = Option.value (int_field params "radix") ~default:2 in
+  E.check_int_range ~what:"radix" ~min:2 ~max:16 radix;
+  let n_wires = Option.value (int_field params "wires") ~default:20 in
+  E.check_int_range ~what:"wires" ~min:1 ~max:10_000 n_wires;
+  let raw_bits =
+    Option.value (int_field params "raw_bits") ~default:(16 * 1024 * 8)
+  in
+  E.check_int_range ~what:"raw_bits" ~min:1 ~max:1_000_000_000 raw_bits;
+  (match Codebook.validate_length ~radix ~length:code_length code_type with
+  | Ok () -> ()
+  | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None }));
+  let base = { Design.default_spec with Design.raw_bits } in
+  Design.spec ~base ~radix ~n_wires ~code_type ~code_length ()
+
+(* --- response rendering ---
+
+   Responses carry no wall-clock, pid or host fields: a response is a
+   pure function of the request, which is what makes the CI smoke
+   goldens and the concurrent-soak byte-equality test possible. *)
+
+let estimate_json ~seed (e : Montecarlo.estimate) =
+  Json.Obj
+    [
+      ("mean", Json.Float e.Montecarlo.mean);
+      ("std_error", Json.Float e.Montecarlo.std_error);
+      ("ci95_low", Json.Float e.Montecarlo.ci95_low);
+      ("ci95_high", Json.Float e.Montecarlo.ci95_high);
+      ("samples", Json.Int e.Montecarlo.samples);
+      ("seed", Json.Int seed);
+    ]
+
+let report_json (r : Design.report) =
+  let spec = r.Design.spec in
+  let cave = spec.Design.cave in
+  Json.Obj
+    [
+      ("code", Json.String (Codebook.name cave.Cave.code_type));
+      ("radix", Json.Int cave.Cave.radix);
+      ("length", Json.Int cave.Cave.code_length);
+      ("wires", Json.Int cave.Cave.n_wires);
+      ("raw_bits", Json.Int spec.Design.raw_bits);
+      ("omega", Json.Int r.Design.omega);
+      ("phi", Json.Int r.Design.phi);
+      ("phi_per_wire", Json.Float r.Design.phi_per_wire);
+      ("sigma_norm1", Json.Float r.Design.sigma_norm1);
+      ("average_nu", Json.Float r.Design.average_nu);
+      ("max_nu", Json.Int r.Design.max_nu);
+      ("pattern_transitions", Json.Int r.Design.pattern_transitions);
+      ("cave_yield", Json.Float r.Design.cave_yield);
+      ("crossbar_yield", Json.Float r.Design.crossbar_yield);
+      ("effective_bits", Json.Float r.Design.effective_bits);
+      ("bit_area", Json.Float r.Design.bit_area);
+      ("area", Json.Float r.Design.area);
+      ("n_pads", Json.Int r.Design.n_pads);
+      ("removed_wires", Json.Int r.Design.removed_wires);
+    ]
+
+let ok_response ~id ~verb ~cached result =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("verb", Json.String verb);
+      ("cached", Json.Bool cached);
+      ("result", result);
+    ]
+
+let error_response ~id err =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "error");
+      ("kind", Json.String (E.label err));
+      ("exit_code", Json.Int (E.exit_code err));
+      ( "message",
+        Json.String
+          (match err with
+          | E.Invalid_input { what; _ } -> what
+          | E.Timeout { site; seconds } -> (
+            match seconds with
+            | Some s -> Printf.sprintf "%s timed out after %gs" site s
+            | None -> Printf.sprintf "%s was cancelled" site)
+          | E.Worker_crash { site; detail; injected } ->
+            Printf.sprintf "%s crashed%s: %s" site
+              (if injected then " (injected)" else "")
+              detail
+          | E.Degraded { site; reason } ->
+            Printf.sprintf "%s refused to degrade: %s" site reason
+          | E.Internal { detail } -> detail) );
+      ( "hint",
+        match err with
+        | E.Invalid_input { hint = Some h; _ } -> Json.String h
+        | _ -> Json.Null );
+    ]
+
+(* --- verbs --- *)
+
+let run_evaluate state ~exec params =
+  let spec = spec_of_params params in
+  let report, report_hit = Artifacts.report state.artifacts spec in
+  match exec.mc_samples with
+  | None -> (report_json report, report_hit)
+  | Some samples ->
+    with_request_ctx state exec @@ fun ctx ->
+    let seed = Run_ctx.seed ctx in
+    let config = spec.Design.cave in
+    let estimate, est_hit =
+      if bypasses_result_cache exec then (
+        let analysis, _ = Artifacts.analysis state.artifacts config in
+        let kernel, _ = Artifacts.kernel state.artifacts config in
+        ( Cave.mc_yield_window_par ~ctx ~kernel (Rng.create ~seed) ~samples
+            analysis,
+          false ))
+      else Artifacts.estimate state.artifacts ~ctx ~seed ~samples config
+    in
+    ( (match report_json report with
+      | Json.Obj fields ->
+        Json.Obj (fields @ [ ("mc", estimate_json ~seed estimate) ])
+      | other -> other),
+      report_hit && est_hit )
+
+let run_yield state ~exec params =
+  let spec = spec_of_params params in
+  let samples = Option.value exec.mc_samples ~default:1000 in
+  with_request_ctx state exec @@ fun ctx ->
+  let seed = Run_ctx.seed ctx in
+  let config = spec.Design.cave in
+  let analysis, _ = Artifacts.analysis state.artifacts config in
+  let estimate, est_hit =
+    if bypasses_result_cache exec then (
+      let kernel, _ = Artifacts.kernel state.artifacts config in
+      ( Cave.mc_yield_window_par ~ctx ~kernel (Rng.create ~seed) ~samples
+          analysis,
+        false ))
+    else Artifacts.estimate state.artifacts ~ctx ~seed ~samples config
+  in
+  ( Json.Obj
+      [
+        ("analytic_yield", Json.Float analysis.Cave.yield);
+        ("mc", estimate_json ~seed estimate);
+      ],
+    est_hit )
+
+let sweep_row_json (r : Design.report) =
+  let cave = r.Design.spec.Design.cave in
+  Json.Obj
+    [
+      ("code", Json.String (Codebook.name cave.Cave.code_type));
+      ("radix", Json.Int cave.Cave.radix);
+      ("length", Json.Int cave.Cave.code_length);
+      ("phi", Json.Int r.Design.phi);
+      ("crossbar_yield", Json.Float r.Design.crossbar_yield);
+      ("effective_bits", Json.Float r.Design.effective_bits);
+      ("bit_area", Json.Float r.Design.bit_area);
+    ]
+
+let run_sweep state params =
+  let code_type = code_type_field params in
+  let code_length = Option.value (int_field params "length") ~default:10 in
+  let spec =
+    spec_of_params
+      (Json.Obj
+         [
+           ("code", Json.String (Codebook.name code_type));
+           ("length", Json.Int code_length);
+           ( "radix",
+             Json.Int (Option.value (int_field params "radix") ~default:2) );
+           ( "wires",
+             Json.Int (Option.value (int_field params "wires") ~default:20) );
+           ( "raw_bits",
+             Json.Int
+               (Option.value (int_field params "raw_bits")
+                  ~default:(16 * 1024 * 8)) );
+         ])
+  in
+  let reports, hit = Artifacts.sweep state.artifacts spec in
+  (Json.Obj [ ("rows", Json.List (List.map sweep_row_json reports)) ], hit)
+
+let run_codes state params =
+  let code_type = code_type_field params in
+  let code_length = Option.value (int_field params "length") ~default:10 in
+  E.check_int_range ~what:"length" ~min:1 ~max:64 code_length;
+  let radix = Option.value (int_field params "radix") ~default:2 in
+  E.check_int_range ~what:"radix" ~min:2 ~max:16 radix;
+  let count = Option.value (int_field params "count") ~default:16 in
+  E.check_int_range ~what:"count" ~min:1 ~max:1_000_000 count;
+  (match Codebook.validate_length ~radix ~length:code_length code_type with
+  | Ok () -> ()
+  | Error msg -> E.fail (E.Invalid_input { what = msg; hint = None }));
+  let words, hit =
+    Artifacts.words state.artifacts ~radix ~length:code_length ~count code_type
+  in
+  ( Json.Obj
+      [
+        ("code", Json.String (Codebook.name code_type));
+        ( "omega",
+          Json.Int (Codebook.space_size ~radix ~length:code_length code_type) );
+        ( "words",
+          Json.List (List.map (fun w -> Json.String (Word.to_string w)) words)
+        );
+      ],
+    hit )
+
+let run_check params =
+  let open Nanodec_proptest in
+  let seed = int_field params "seed" in
+  Option.iter (E.check_seed ~what:"seed") seed;
+  let count = Option.value (int_field params "count") ~default:25 in
+  E.check_int_range ~what:"count" ~min:1 ~max:10_000 count;
+  let reports = Property.run_suite ?seed ~count Oracles.all in
+  let failures =
+    List.filter_map
+      (fun r ->
+        match r.Property.outcome with
+        | Property.Pass _ -> None
+        | Property.Fail f ->
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.String (Property.name r.Property.property));
+                 ("seed", Json.Int f.Property.seed);
+                 ("case_index", Json.Int f.Property.case_index);
+                 ("counterexample", Json.String f.Property.counterexample);
+                 ( "message",
+                   match f.Property.message with
+                   | Some m -> Json.String m
+                   | None -> Json.Null );
+               ])
+        )
+      reports
+  in
+  Json.Obj
+    [
+      ("seed", Json.Int (Property.effective_seed seed));
+      ("count", Json.Int count);
+      ("properties", Json.Int (List.length reports));
+      ("failed", Json.Int (List.length failures));
+      ("failures", Json.List failures);
+    ]
+
+let run_stats state =
+  let s = Artifact_cache.stats state.artifacts in
+  Json.Obj
+    [
+      ("requests", Json.Int state.requests);
+      ("errors", Json.Int state.errors);
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.Int s.Artifact_cache.capacity);
+            ("entries", Json.Int s.Artifact_cache.entries);
+            ("hits", Json.Int s.Artifact_cache.hits);
+            ("misses", Json.Int s.Artifact_cache.misses);
+            ("evictions", Json.Int s.Artifact_cache.evictions);
+            ("build_s", Json.Float s.Artifact_cache.build_s);
+            ("saved_s", Json.Float s.Artifact_cache.saved_s);
+          ] );
+      ( "keys",
+        Json.List
+          (List.map
+             (fun k -> Json.String (Artifact_cache.digest k))
+             (Artifact_cache.keys state.artifacts)) );
+    ]
+
+(* --- dispatch --- *)
+
+let dispatch state ~id json =
+  let verb =
+    match string_field json "verb" with
+    | Some v -> v
+    | None ->
+      E.invalid_inputf
+        ~hint:("known verbs: " ^ String.concat ", " known_verbs)
+        "request has no \"verb\" field"
+  in
+  let exec = exec_of_json json in
+  let params = params_of_json json in
+  let result, cached =
+    match verb with
+    | "ping" -> (Json.Obj [ ("pong", Json.Bool true) ], false)
+    | "evaluate" -> run_evaluate state ~exec params
+    | "yield" -> run_yield state ~exec params
+    | "sweep" -> run_sweep state params
+    | "codes" -> run_codes state params
+    | "check" -> (run_check params, false)
+    | "stats" -> (run_stats state, false)
+    | "shutdown" ->
+      state.stopping <- true;
+      (Json.Obj [ ("stopping", Json.Bool true) ], false)
+    | v ->
+      E.invalid_inputf
+        ~hint:("known verbs: " ^ String.concat ", " known_verbs)
+        "unknown verb %S" v
+  in
+  ok_response ~id ~verb ~cached result
+
+let error_line err = Json.to_string (error_response ~id:Json.Null err)
+
+let handle_line state line =
+  state.requests <- state.requests + 1;
+  let id, response =
+    match Json.parse line with
+    | Error msg ->
+      ( Json.Null,
+        Error
+          (E.Invalid_input { what = "malformed JSON request"; hint = Some msg })
+      )
+    | Ok (Json.Obj _ as json) -> (
+      let id = Option.value (Json.member "id" json) ~default:Json.Null in
+      match dispatch state ~id json with
+      | response -> (id, Ok response)
+      | exception exn -> (
+        match Errors.classify exn with
+        | Some err -> (id, Error err)
+        | None ->
+          (* A genuine bug — but a daemon must answer, not die.  The
+             detail keeps the exception text so the bug is findable. *)
+          (id, Error (E.internal (Printexc.to_string exn)))))
+    | Ok v ->
+      ( Json.Null,
+        Error
+          (E.Invalid_input
+             {
+               what = "request must be a JSON object";
+               hint = Some (Printf.sprintf "got %s" (Json.to_string v));
+             }) )
+  in
+  match response with
+  | Ok r -> Json.to_string r
+  | Error err ->
+    state.errors <- state.errors + 1;
+    Json.to_string (error_response ~id err)

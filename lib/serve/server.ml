@@ -1,0 +1,263 @@
+module E = Nanodec_error
+module Telemetry = Nanodec_telemetry.Telemetry
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+type address = [ `Unix of string | `Tcp of int ]
+
+let default_max_line_bytes = 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* bytes of the current incomplete line *)
+  mutable out : string;  (* pending response bytes *)
+  mutable sent : int;
+  mutable discarding : bool;  (* inside an oversized line, until '\n' *)
+  mutable closing : bool;  (* close once [out] drains *)
+}
+
+type t = {
+  state : Protocol.state;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  unlink_on_close : string option;
+  max_line_bytes : int;
+  mutable conns : conn list;
+  mutable open_ : bool;
+}
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let create ?(backlog = 16) ?(max_line_bytes = default_max_line_bytes) ~state
+    address =
+  let fd, bound, unlink_on_close =
+    match address with
+    | `Unix path ->
+      (match (Unix.stat path).Unix.st_kind with
+      | Unix.S_SOCK -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ ->
+        E.invalid_inputf ~hint:"refusing to unlink a non-socket file"
+          "socket path %S already exists" path
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with Unix.Unix_error (err, _, _) ->
+         close_fd fd;
+         E.invalid_inputf "cannot bind Unix socket %S: %s" path
+           (Unix.error_message err));
+      (fd, `Unix path, Some path)
+    | `Tcp port ->
+      if port < 0 || port > 65535 then
+        E.invalid_inputf "TCP port must be in [0, 65535] (got %d)" port;
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      (try Unix.bind fd addr
+       with Unix.Unix_error (err, _, _) ->
+         close_fd fd;
+         E.invalid_inputf "cannot bind 127.0.0.1:%d: %s" port
+           (Unix.error_message err));
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      (fd, `Tcp bound_port, None)
+  in
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  {
+    state;
+    listen_fd = fd;
+    bound;
+    unlink_on_close;
+    max_line_bytes;
+    conns = [];
+    open_ = true;
+  }
+
+let address t = t.bound
+
+let drop_conn t conn =
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  close_fd conn.fd
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    close_fd t.listen_fd;
+    List.iter (fun c -> close_fd c.fd) t.conns;
+    t.conns <- [];
+    Option.iter
+      (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+      t.unlink_on_close
+  end
+
+(* --- request execution --- *)
+
+let enqueue conn response =
+  conn.out <- conn.out ^ response ^ "\n"
+
+let answer t conn line =
+  let sink = Run_ctx.telemetry (Protocol.base t.state) in
+  let t0 = Unix.gettimeofday () in
+  let response = Protocol.handle_line t.state line in
+  Telemetry.record sink "serve.request_s" (Unix.gettimeofday () -. t0);
+  Telemetry.count sink "serve.requests" 1;
+  enqueue conn response
+
+let oversized t conn =
+  enqueue conn
+    (Protocol.error_line
+       (E.Invalid_input
+          {
+            what =
+              Printf.sprintf "request line exceeds %d bytes" t.max_line_bytes;
+            hint = Some "one JSON object per line";
+          }))
+
+(* Split freshly read bytes into complete lines (executing each) and
+   stash the incomplete tail back into [conn.inbuf], honouring the
+   oversized-line resync state. *)
+let feed t conn data =
+  let n = String.length data in
+  let pos = ref 0 in
+  while !pos < n do
+    match String.index_from_opt data !pos '\n' with
+    | Some nl ->
+      if conn.discarding then begin
+        (* Tail of an already-answered oversized line: swallow it and
+           resynchronise. *)
+        conn.discarding <- false;
+        Buffer.clear conn.inbuf
+      end
+      else begin
+        Buffer.add_substring conn.inbuf data !pos (nl - !pos);
+        let line = Buffer.contents conn.inbuf in
+        Buffer.clear conn.inbuf;
+        if String.length line > t.max_line_bytes then oversized t conn
+        else if String.trim line <> "" then answer t conn line
+      end;
+      pos := nl + 1
+    | None ->
+      if not conn.discarding then begin
+        Buffer.add_substring conn.inbuf data !pos (n - !pos);
+        if Buffer.length conn.inbuf > t.max_line_bytes then begin
+          oversized t conn;
+          conn.discarding <- true;
+          Buffer.clear conn.inbuf
+        end
+      end;
+      pos := n
+  done
+
+let read_chunk = 65536
+
+let handle_readable t conn =
+  let bytes = Bytes.create read_chunk in
+  match Unix.read conn.fd bytes 0 read_chunk with
+  | 0 ->
+    (* EOF: an incomplete trailing line is dropped by design (the
+       client never finished sending it). *)
+    if conn.out = "" then drop_conn t conn else conn.closing <- true
+  | n -> feed t conn (Bytes.sub_string bytes 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> drop_conn t conn
+
+let handle_writable t conn =
+  let pending = String.length conn.out - conn.sent in
+  if pending > 0 then
+    match
+      Unix.write_substring conn.fd conn.out conn.sent pending
+    with
+    | n ->
+      conn.sent <- conn.sent + n;
+      if conn.sent = String.length conn.out then begin
+        conn.out <- "";
+        conn.sent <- 0;
+        if conn.closing then drop_conn t conn
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> drop_conn t conn
+
+let handle_accept t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    t.conns <-
+      {
+        fd;
+        inbuf = Buffer.create 256;
+        out = "";
+        sent = 0;
+        discarding = false;
+        closing = false;
+      }
+      :: t.conns
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* After a shutdown request: no new connections, no new reads — just
+   flush every pending response, then close.  Complete lines that had
+   already been read were answered before we got here ([feed] executes
+   eagerly), so nothing fully received is dropped. *)
+let drain t =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec flush () =
+    let pending =
+      List.filter (fun c -> String.length c.out > c.sent) t.conns
+    in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.5 with
+      | _, w, _ ->
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | Some conn -> handle_writable t conn
+            | None -> ())
+          w;
+        flush ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush ()
+    end
+  in
+  flush ();
+  close t
+
+let serve t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec loop () =
+    if not t.open_ then ()
+    else if Protocol.stopping t.state then drain t
+    else begin
+      let reads = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+      let writes =
+        List.filter_map
+          (fun c -> if String.length c.out > c.sent then Some c.fd else None)
+          t.conns
+      in
+      match Unix.select reads writes [] 1.0 with
+      | r, w, _ ->
+        if List.mem t.listen_fd r then handle_accept t;
+        List.iter
+          (fun fd ->
+            if fd <> t.listen_fd then
+              match List.find_opt (fun c -> c.fd = fd) t.conns with
+              | Some conn -> handle_readable t conn
+              | None -> ())
+          r;
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | Some conn -> handle_writable t conn
+            | None -> ())
+          w;
+        loop ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* [close] raced us from another thread. *)
+        ()
+    end
+  in
+  loop ()

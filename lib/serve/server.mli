@@ -1,0 +1,53 @@
+(** The daemon's socket loop: accept, frame lines, answer, never die.
+
+    One single-threaded [select] loop multiplexes any number of client
+    connections over a Unix-domain or loopback TCP socket.  Complete
+    request lines are executed {e serially}, in arrival order, through
+    {!Protocol.handle_line} — concurrency is interleaved connections,
+    not interleaved execution, which keeps every response a pure
+    function of its request (the concurrent-soak determinism test's
+    contract).  Socket-level hazards are handled at this layer:
+
+    {ul
+    {- a line longer than [max_line_bytes] is answered with an
+       [invalid-input] error and the connection resynchronises at the
+       next newline — the daemon neither buffers the flood nor drops
+       the client;}
+    {- client disconnects, [EPIPE]/[ECONNRESET] and half-written
+       responses only ever close that one connection;}
+    {- a [shutdown] request stops the accept loop, drains the complete
+       lines already buffered on every connection (answering each),
+       flushes pending responses and returns — no request that fully
+       arrived before the shutdown response is dropped.}}
+
+    When the protocol state's base context carries a telemetry sink,
+    every request records its latency in the [serve.request_s]
+    histogram and bumps [serve.requests] — the source of the bench's
+    p50/p99. *)
+
+type address =
+  [ `Unix of string  (** filesystem path of a Unix-domain socket *)
+  | `Tcp of int  (** loopback TCP port; 0 lets the kernel pick *) ]
+
+type t
+
+val default_max_line_bytes : int
+(** 1 MiB. *)
+
+val create :
+  ?backlog:int -> ?max_line_bytes:int -> state:Protocol.state -> address -> t
+(** Bind and listen (unlinking a pre-existing Unix socket path).  TCP
+    binds loopback only.  Raises [Nanodec_error.Error (Invalid_input _)]
+    when the address cannot be bound. *)
+
+val address : t -> address
+(** The bound address — for [`Tcp 0], the port the kernel picked. *)
+
+val serve : t -> unit
+(** Run the loop until a [shutdown] request completes the drain.
+    Idempotent with {!close}: the socket is closed (and a Unix path
+    unlinked) on return. *)
+
+val close : t -> unit
+(** Close the listening socket and every connection without draining.
+    Safe to call from another thread to abort {!serve}. *)

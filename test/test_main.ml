@@ -25,4 +25,6 @@ let () =
       ("fault injection and error taxonomy", Test_fault.suite);
       ("proptest oracles", Test_properties.suite);
       ("compiled kernels", Test_kernel.suite);
+      ("artifact cache", Test_artifact_cache.suite);
+      ("serve protocol and daemon", Test_serve.suite);
     ]

@@ -1,0 +1,591 @@
+(* The serve daemon's test battery.
+
+   Three layers:
+   - protocol round trips through [Protocol.handle_line] directly (no
+     sockets): every verb, the cached flag, per-request seed isolation,
+     bit-for-bit agreement with standalone sequential runs, and the
+     timeout / no-degrade / fault-plan error mapping onto the same
+     taxonomy kinds the CLI turns into exit codes;
+   - a protocol fuzz battery: malformed JSON, truncated documents,
+     hostile nesting, wrong-typed and out-of-range numerics — every one
+     must come back as a parseable [invalid-input] error response and
+     leave the daemon answering;
+   - real sockets: a server thread serving Unix-domain and TCP clients,
+     oversized-line resync, partial-line EOF, shutdown draining
+     pipelined requests, and the 8-client soak whose responses must be
+     byte-identical across clients and across domain counts 1 and 4. *)
+
+open Nanodec_serve
+module Run_ctx = Nanodec_parallel.Run_ctx
+
+let with_state ?cache_enabled ?(domains = 2) f =
+  Run_ctx.with_ctx ~domains @@ fun ctx ->
+  f (Protocol.make_state ?cache_enabled ~base:ctx ())
+
+let parse_response line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparsable response %S: %s" line msg
+
+let member name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks field %S: %s" name (Json.to_string json)
+
+let string_member name json =
+  match Json.to_string_opt (member name json) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string" name
+
+let int_member name json =
+  match Json.to_int_opt (member name json) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %S is not an int" name
+
+let float_member name json =
+  match Json.to_float_opt (member name json) with
+  | Some f -> f
+  | None -> Alcotest.failf "field %S is not a number" name
+
+let bool_member name json =
+  match Json.to_bool_opt (member name json) with
+  | Some b -> b
+  | None -> Alcotest.failf "field %S is not a bool" name
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let ask state line = parse_response (Protocol.handle_line state line)
+
+let expect_ok response =
+  Alcotest.(check string)
+    ("status of " ^ Json.to_string response)
+    "ok"
+    (string_member "status" response);
+  member "result" response
+
+let expect_error ~kind ~exit_code response =
+  Alcotest.(check string) "status" "error" (string_member "status" response);
+  Alcotest.(check string) "kind" kind (string_member "kind" response);
+  Alcotest.(check int) "exit_code" exit_code (int_member "exit_code" response)
+
+(* --- protocol round trips --- *)
+
+let test_ping () =
+  with_state @@ fun state ->
+  let r = ask state {|{"id":"abc","verb":"ping"}|} in
+  Alcotest.(check string) "id echoed" "abc" (string_member "id" r);
+  Alcotest.(check string) "verb echoed" "ping" (string_member "verb" r);
+  Alcotest.(check bool) "pong" true (bool_member "pong" (expect_ok r))
+
+let test_evaluate_matches_direct () =
+  with_state @@ fun state ->
+  let r =
+    ask state {|{"verb":"evaluate","params":{"code":"BGC","length":10}}|}
+  in
+  let result = expect_ok r in
+  let direct =
+    Nanodec.Design.evaluate
+      (Nanodec.Design.spec ~code_type:Nanodec_codes.Codebook.Balanced_gray
+         ~code_length:10 ())
+  in
+  Alcotest.(check int) "phi" direct.Nanodec.Design.phi (int_member "phi" result);
+  Alcotest.(check (float 0.)) "crossbar_yield"
+    direct.Nanodec.Design.crossbar_yield
+    (float_member "crossbar_yield" result);
+  Alcotest.(check (float 0.)) "bit_area" direct.Nanodec.Design.bit_area
+    (float_member "bit_area" result)
+
+let test_evaluate_mc_matches_direct () =
+  with_state @@ fun state ->
+  let r =
+    ask state
+      {|{"verb":"evaluate","params":{"code":"BGC","length":8},"exec":{"seed":11,"mc_samples":300}}|}
+  in
+  let mc = member "mc" (expect_ok r) in
+  let direct =
+    Run_ctx.with_ctx ~domains:2 @@ fun ctx ->
+    let spec =
+      Nanodec.Design.spec ~code_type:Nanodec_codes.Codebook.Balanced_gray
+        ~code_length:8 ()
+    in
+    Nanodec_crossbar.Cave.mc_yield_window_par ~ctx
+      (Nanodec_numerics.Rng.create ~seed:11)
+      ~samples:300
+      (Nanodec_crossbar.Cave.analyze spec.Nanodec.Design.cave)
+  in
+  Alcotest.(check (float 0.)) "mc mean is bit-for-bit the direct estimate"
+    direct.Nanodec_numerics.Montecarlo.mean
+    (float_member "mean" mc);
+  Alcotest.(check int) "samples" 300 (int_member "samples" mc);
+  Alcotest.(check int) "seed" 11 (int_member "seed" mc)
+
+let test_cached_flag_and_identical_result () =
+  with_state @@ fun state ->
+  let line =
+    {|{"verb":"evaluate","params":{"code":"TC","length":8},"exec":{"seed":3,"mc_samples":200}}|}
+  in
+  let r1 = ask state line in
+  let r2 = ask state line in
+  Alcotest.(check bool) "first is cold" false (bool_member "cached" r1);
+  Alcotest.(check bool) "second is cached" true (bool_member "cached" r2);
+  Alcotest.(check string) "hit result is byte-identical to the cold result"
+    (Json.to_string (member "result" r1))
+    (Json.to_string (member "result" r2))
+
+let test_yield_defaults () =
+  with_state @@ fun state ->
+  let r = ask state {|{"verb":"yield","params":{"code":"TC","length":6}}|} in
+  let mc = member "mc" (expect_ok r) in
+  Alcotest.(check int) "default samples" 1000 (int_member "samples" mc);
+  Alcotest.(check int) "default seed" Run_ctx.default_seed
+    (int_member "seed" mc)
+
+let test_seed_isolation () =
+  with_state @@ fun state ->
+  let line seed =
+    Printf.sprintf
+      {|{"verb":"yield","params":{"code":"TC","length":6},"exec":{"seed":%d,"mc_samples":200}}|}
+      seed
+  in
+  let r1 = ask state (line 1) in
+  let r2 = ask state (line 2) in
+  let r3 = ask state (line 1) in
+  Alcotest.(check string) "same seed reproduces across interleaved requests"
+    (Json.to_string (member "result" r1))
+    (Json.to_string (member "result" r3));
+  Alcotest.(check bool) "different seeds draw different noise" false
+    (String.equal
+       (Json.to_string (member "result" r1))
+       (Json.to_string (member "result" r2)))
+
+let test_matches_standalone_sequential_run () =
+  (* A daemon request must return exactly what a one-shot sequential
+     CLI-style run of the same parameters computes. *)
+  let direct =
+    Run_ctx.with_ctx ~domains:1 @@ fun ctx ->
+    let spec =
+      Nanodec.Design.spec ~code_type:Nanodec_codes.Codebook.Gray
+        ~code_length:8 ()
+    in
+    Nanodec_crossbar.Cave.mc_yield_window_par ~ctx
+      (Nanodec_numerics.Rng.create ~seed:21)
+      ~samples:400
+      (Nanodec_crossbar.Cave.analyze spec.Nanodec.Design.cave)
+  in
+  with_state ~domains:4 @@ fun state ->
+  let r =
+    ask state
+      {|{"verb":"yield","params":{"code":"GC","length":8},"exec":{"seed":21,"mc_samples":400}}|}
+  in
+  let mc = member "mc" (expect_ok r) in
+  Alcotest.(check (float 0.)) "daemon(4 domains) = standalone(1 domain)"
+    direct.Nanodec_numerics.Montecarlo.mean
+    (float_member "mean" mc)
+
+let test_codes_round_trip () =
+  with_state @@ fun state ->
+  let r =
+    ask state {|{"verb":"codes","params":{"code":"AHC","length":6,"count":5}}|}
+  in
+  let result = expect_ok r in
+  let words =
+    match Json.to_list_opt (member "words" result) with
+    | Some l -> List.filter_map Json.to_string_opt l
+    | None -> Alcotest.fail "words is not a list"
+  in
+  let direct =
+    List.map Nanodec_codes.Word.to_string
+      (Nanodec_codes.Codebook.sequence ~radix:2 ~length:6 ~count:5
+         Nanodec_codes.Codebook.Arranged_hot)
+  in
+  Alcotest.(check (list string)) "word sequence" direct words
+
+let test_sweep_round_trip () =
+  with_state @@ fun state ->
+  let line = {|{"verb":"sweep","params":{"radix":2,"wires":20}}|} in
+  let r1 = ask state line in
+  let rows =
+    match Json.to_list_opt (member "rows" (expect_ok r1)) with
+    | Some l -> l
+    | None -> Alcotest.fail "rows is not a list"
+  in
+  let direct = Nanodec.Optimizer.sweep () in
+  Alcotest.(check int) "row count matches Optimizer.sweep"
+    (List.length direct) (List.length rows);
+  let r2 = ask state line in
+  Alcotest.(check bool) "sweep result cached on repeat" true
+    (bool_member "cached" r2)
+
+let test_check_verb () =
+  with_state @@ fun state ->
+  let r = ask state {|{"verb":"check","params":{"count":2,"seed":5}}|} in
+  let result = expect_ok r in
+  Alcotest.(check int) "runs every oracle"
+    (List.length Nanodec_proptest.Oracles.all)
+    (int_member "properties" result);
+  Alcotest.(check int) "no failures" 0 (int_member "failed" result);
+  Alcotest.(check int) "echoes the seed" 5 (int_member "seed" result)
+
+let test_stats_counts () =
+  with_state @@ fun state ->
+  ignore (ask state {|{"verb":"ping"}|});
+  ignore (ask state {|not json|});
+  ignore (ask state {|{"verb":"evaluate"}|});
+  let r = ask state {|{"verb":"stats"}|} in
+  let result = expect_ok r in
+  Alcotest.(check int) "requests counted" 4 (int_member "requests" result);
+  Alcotest.(check int) "errors counted" 1 (int_member "errors" result);
+  let cache = member "cache" result in
+  Alcotest.(check bool) "evaluate populated the cache" true
+    (int_member "entries" cache > 0)
+
+let test_shutdown_flag () =
+  with_state @@ fun state ->
+  Alcotest.(check bool) "not stopping initially" false
+    (Protocol.stopping state);
+  let r = ask state {|{"verb":"shutdown"}|} in
+  Alcotest.(check bool) "stopping acknowledged" true
+    (bool_member "stopping" (expect_ok r));
+  Alcotest.(check bool) "state marked stopping" true (Protocol.stopping state)
+
+(* --- error mapping --- *)
+
+let test_unknown_verb () =
+  with_state @@ fun state ->
+  let r = ask state {|{"id":7,"verb":"frobnicate"}|} in
+  expect_error ~kind:"invalid-input" ~exit_code:2 r;
+  Alcotest.(check int) "id still echoed" 7 (int_member "id" r);
+  let hint = string_member "hint" r in
+  Alcotest.(check bool) "hint lists the verbs" true
+    (List.for_all (fun v -> contains ~needle:v hint) Protocol.known_verbs)
+
+let test_malformed_json_then_alive () =
+  with_state @@ fun state ->
+  let r = ask state "{" in
+  expect_error ~kind:"invalid-input" ~exit_code:2 r;
+  let r2 = ask state {|{"verb":"ping"}|} in
+  Alcotest.(check bool) "daemon still answers" true
+    (bool_member "pong" (expect_ok r2))
+
+let test_non_object_request () =
+  with_state @@ fun state ->
+  expect_error ~kind:"invalid-input" ~exit_code:2 (ask state "[1,2,3]");
+  expect_error ~kind:"invalid-input" ~exit_code:2 (ask state "42")
+
+let test_invalid_numerics () =
+  with_state @@ fun state ->
+  let cases =
+    [
+      {|{"verb":"yield","exec":{"mc_samples":0}}|};
+      {|{"verb":"yield","exec":{"mc_samples":-5}}|};
+      {|{"verb":"yield","exec":{"mc_samples":1}}|};
+      {|{"verb":"yield","exec":{"seed":-1}}|};
+      {|{"verb":"yield","exec":{"seed":1.5}}|};
+      {|{"verb":"yield","exec":{"timeout":-1}}|};
+      {|{"verb":"yield","exec":{"timeout":0}}|};
+      {|{"verb":"yield","exec":{"chunks":0}}|};
+      {|{"verb":"yield","exec":{"chunks":"minus one"}}|};
+      {|{"verb":"evaluate","params":{"radix":1}}|};
+      {|{"verb":"evaluate","params":{"radix":-2}}|};
+      {|{"verb":"evaluate","params":{"length":0}}|};
+      {|{"verb":"evaluate","params":{"wires":0}}|};
+      {|{"verb":"evaluate","params":{"raw_bits":0}}|};
+      {|{"verb":"codes","params":{"count":0}}|};
+      {|{"verb":"check","params":{"count":0}}|};
+      {|{"verb":"check","params":{"count":1000000}}|};
+      {|{"verb":"evaluate","params":{"code":"XYZ"}}|};
+    ]
+  in
+  List.iter
+    (fun line -> expect_error ~kind:"invalid-input" ~exit_code:2 (ask state line))
+    cases;
+  Alcotest.(check bool) "daemon still answers after the battery" true
+    (bool_member "pong" (expect_ok (ask state {|{"verb":"ping"}|})))
+
+let test_fuzz_battery () =
+  with_state @@ fun state ->
+  let deep = String.concat "" (List.init 100 (fun _ -> "[")) in
+  let hostile =
+    [
+      "";
+      "   ";
+      "{";
+      "[";
+      "\"just a string\"";
+      "null";
+      "true";
+      "{\"verb\":\"ping\"";
+      "{\"verb\": }";
+      "{\"verb\":42}";
+      "{\"verb\":[\"ping\"]}";
+      "{\"verb\":\"ping\",\"id\":}";
+      "{\"verb\":\"ping\"}garbage";
+      deep;
+      "{\"verb\":\"evaluate\",\"params\":{\"length\":\"ten\"}}";
+      "{\"verb\":\"evaluate\",\"params\":42}";
+      "{\"verb\":\"evaluate\",\"exec\":[]}";
+      "{\"verb\":\"yield\",\"exec\":{\"seed\":99999999999999999999999999}}";
+      "{\"verb\":\"yield\",\"exec\":{\"timeout\":NaN}}";
+      "{\"verb\":\"yield\",\"exec\":{\"timeout\":Infinity}}";
+      "{\"verb\":\"ping\",\"id\":\"\\u0000 raw \x01 control\"}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      let r = ask state line in
+      Alcotest.(check string)
+        (Printf.sprintf "hostile line %S maps to an error" line)
+        "error"
+        (string_member "status" r);
+      Alcotest.(check string)
+        (Printf.sprintf "hostile line %S is invalid-input" line)
+        "invalid-input"
+        (string_member "kind" r))
+    hostile;
+  Alcotest.(check bool) "daemon survives the fuzz battery" true
+    (bool_member "pong" (expect_ok (ask state {|{"verb":"ping"}|})))
+
+let test_timeout_mapping () =
+  with_state @@ fun state ->
+  let r =
+    ask state
+      {|{"verb":"yield","params":{"code":"BGC","length":10},"exec":{"mc_samples":50000,"timeout":1e-06}}|}
+  in
+  expect_error ~kind:"timeout" ~exit_code:3 r;
+  Alcotest.(check bool) "shared pool still serves after the timeout" true
+    (bool_member "pong" (expect_ok (ask state {|{"verb":"ping"}|})))
+
+let test_no_degrade_mapping () =
+  with_state @@ fun state ->
+  let baseline =
+    ask state
+      {|{"verb":"yield","params":{"code":"TC","length":6},"exec":{"seed":9,"mc_samples":200}}|}
+  in
+  let r =
+    ask state
+      {|{"verb":"yield","params":{"code":"TC","length":6},"exec":{"seed":9,"mc_samples":200,"fault_plan":"seed=1;pool.chunk:crash:p=1","no_degrade":true}}|}
+  in
+  expect_error ~kind:"degraded" ~exit_code:5 r;
+  (* With degradation allowed the same chaos plan must recover to the
+     exact uninjected result — on a private pool, leaving the shared
+     one untouched. *)
+  let recovered =
+    ask state
+      {|{"verb":"yield","params":{"code":"TC","length":6},"exec":{"seed":9,"mc_samples":200,"fault_plan":"seed=1;pool.chunk:crash:p=0.4:max=20"}}|}
+  in
+  Alcotest.(check string) "chaos run recovers the uninjected bytes"
+    (Json.to_string (member "result" baseline))
+    (Json.to_string (member "result" recovered));
+  let after =
+    ask state
+      {|{"verb":"yield","params":{"code":"TC","length":6},"exec":{"seed":9,"mc_samples":200}}|}
+  in
+  Alcotest.(check string) "shared pool unpoisoned, result unchanged"
+    (Json.to_string (member "result" baseline))
+    (Json.to_string (member "result" after))
+
+(* --- sockets --- *)
+
+let serve_in_thread ?max_line_bytes ?(domains = 2) ?cache_enabled address k =
+  Run_ctx.with_ctx ~domains @@ fun ctx ->
+  let state = Protocol.make_state ?cache_enabled ~base:ctx () in
+  let server = Server.create ?max_line_bytes ~state address in
+  let thread = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Belt and braces: if the test failed before shutting down. *)
+      Server.close server;
+      Thread.join thread)
+    (fun () -> k (Server.address server))
+
+let tmp_socket_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nanodec-test-%d.sock" (Unix.getpid ()))
+
+let test_unix_socket_end_to_end () =
+  let path = tmp_socket_path () in
+  serve_in_thread (`Unix path) @@ fun address ->
+  Client.with_connection address @@ fun conn ->
+  let ping = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "pong over the socket" true
+    (bool_member "pong" (expect_ok ping));
+  let eval =
+    parse_response
+      (Client.request conn {|{"verb":"evaluate","params":{"length":8}}|})
+  in
+  ignore (expect_ok eval);
+  let bye = parse_response (Client.request conn {|{"verb":"shutdown"}|}) in
+  Alcotest.(check bool) "shutdown acknowledged" true
+    (bool_member "stopping" (expect_ok bye));
+  (* The server loop exits and unlinks its socket. *)
+  let rec wait n =
+    if Sys.file_exists path && n > 0 then (Unix.sleepf 0.05; wait (n - 1))
+  in
+  wait 40;
+  Alcotest.(check bool) "socket path unlinked" false (Sys.file_exists path)
+
+let test_tcp_end_to_end () =
+  serve_in_thread (`Tcp 0) @@ fun address ->
+  (match address with
+  | `Tcp port -> Alcotest.(check bool) "kernel picked a port" true (port > 0)
+  | `Unix _ -> Alcotest.fail "expected a TCP address");
+  Client.with_connection address @@ fun conn ->
+  let ping = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "pong over TCP" true (bool_member "pong" (expect_ok ping));
+  ignore (Client.request conn {|{"verb":"shutdown"}|})
+
+let test_shutdown_drains_pipelined_requests () =
+  serve_in_thread (`Tcp 0) @@ fun address ->
+  let conn = Client.connect address in
+  (* Both lines land in one write: the ping is already buffered when
+     the shutdown executes, so the drain must still answer it. *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match address with
+  | `Tcp port ->
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  | `Unix path -> Unix.connect fd (Unix.ADDR_UNIX path));
+  let payload = {|{"id":1,"verb":"shutdown"}|} ^ "\n" ^ {|{"id":2,"verb":"ping"}|} ^ "\n" in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let ic = Unix.in_channel_of_descr fd in
+  let l1 = parse_response (input_line ic) in
+  let l2 = parse_response (input_line ic) in
+  Alcotest.(check bool) "shutdown answered" true
+    (bool_member "stopping" (expect_ok l1));
+  Alcotest.(check bool) "pipelined ping drained" true
+    (bool_member "pong" (expect_ok l2));
+  Unix.close fd;
+  Client.close conn
+
+let test_oversized_line_resync () =
+  serve_in_thread ~max_line_bytes:1024 (`Tcp 0) @@ fun address ->
+  Client.with_connection address @@ fun conn ->
+  let flood = String.make 5000 'x' in
+  let r1 = parse_response (Client.request conn flood) in
+  expect_error ~kind:"invalid-input" ~exit_code:2 r1;
+  Alcotest.(check bool) "error names the limit" true
+    (contains ~needle:"exceeds" (string_member "message" r1));
+  let r2 = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "connection resynchronised" true
+    (bool_member "pong" (expect_ok r2));
+  ignore (Client.request conn {|{"verb":"shutdown"}|})
+
+let test_partial_line_eof_dropped () =
+  serve_in_thread (`Tcp 0) @@ fun address ->
+  (* First client sends half a request and hangs up. *)
+  (Client.with_connection address @@ fun conn ->
+   ignore conn);
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match address with
+  | `Tcp port ->
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  | `Unix path -> Unix.connect fd (Unix.ADDR_UNIX path));
+  let partial = {|{"verb":"pi|} in
+  ignore (Unix.write_substring fd partial 0 (String.length partial));
+  Unix.close fd;
+  Unix.sleepf 0.1;
+  (* Second client: the daemon is still alive and well. *)
+  Client.with_connection address @@ fun conn ->
+  let r = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "daemon alive after partial-line EOF" true
+    (bool_member "pong" (expect_ok r));
+  ignore (Client.request conn {|{"verb":"shutdown"}|})
+
+(* --- the 8-client soak ---
+
+   Every client sends the same request list; the daemon executes
+   serially, so after a warmup pass primes the cache every response is
+   a hit and must be byte-identical across clients — and across domain
+   counts, by the Monte-Carlo determinism contract. *)
+
+let soak_requests =
+  List.map
+    (fun seed ->
+      Printf.sprintf
+        {|{"verb":"yield","params":{"code":"BGC","length":8},"exec":{"seed":%d,"mc_samples":200}}|}
+        seed)
+    [ 1; 2; 3; 4 ]
+
+let run_soak ~domains =
+  serve_in_thread ~domains (`Tcp 0) @@ fun address ->
+  (* Warmup: prime the cache so the soak responses all carry
+     cached=true and are therefore byte-comparable. *)
+  (Client.with_connection address @@ fun conn ->
+   List.iter (fun line -> ignore (Client.request conn line)) soak_requests);
+  let results = Array.make 8 [] in
+  let clients =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            Client.with_connection address @@ fun conn ->
+            results.(i) <-
+              List.map (fun line -> Client.request conn line) soak_requests)
+          ())
+  in
+  List.iter Thread.join clients;
+  (Client.with_connection address @@ fun conn ->
+   ignore (Client.request conn {|{"verb":"shutdown"}|}));
+  Array.to_list results
+
+let test_concurrent_soak_deterministic () =
+  let soak1 = run_soak ~domains:1 in
+  let soak4 = run_soak ~domains:4 in
+  let reference = List.hd soak1 in
+  List.iteri
+    (fun i responses ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains=1 client %d matches client 0" i)
+        reference responses)
+    soak1;
+  List.iteri
+    (fun i responses ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains=4 client %d matches the domains=1 bytes" i)
+        reference responses)
+    soak4
+
+let suite =
+  [
+    Alcotest.test_case "ping round trip" `Quick test_ping;
+    Alcotest.test_case "evaluate matches Design.evaluate" `Quick
+      test_evaluate_matches_direct;
+    Alcotest.test_case "evaluate mc matches the direct estimate" `Quick
+      test_evaluate_mc_matches_direct;
+    Alcotest.test_case "cached flag, hit ≡ cold bytes" `Quick
+      test_cached_flag_and_identical_result;
+    Alcotest.test_case "yield defaults" `Quick test_yield_defaults;
+    Alcotest.test_case "per-request seed isolation" `Quick test_seed_isolation;
+    Alcotest.test_case "daemon = standalone sequential run" `Quick
+      test_matches_standalone_sequential_run;
+    Alcotest.test_case "codes round trip" `Quick test_codes_round_trip;
+    Alcotest.test_case "sweep round trip" `Quick test_sweep_round_trip;
+    Alcotest.test_case "check verb" `Quick test_check_verb;
+    Alcotest.test_case "stats counters" `Quick test_stats_counts;
+    Alcotest.test_case "shutdown flag" `Quick test_shutdown_flag;
+    Alcotest.test_case "unknown verb" `Quick test_unknown_verb;
+    Alcotest.test_case "malformed JSON leaves the daemon alive" `Quick
+      test_malformed_json_then_alive;
+    Alcotest.test_case "non-object requests rejected" `Quick
+      test_non_object_request;
+    Alcotest.test_case "invalid numerics rejected uniformly" `Quick
+      test_invalid_numerics;
+    Alcotest.test_case "protocol fuzz battery" `Quick test_fuzz_battery;
+    Alcotest.test_case "timeout maps to kind=timeout" `Quick
+      test_timeout_mapping;
+    Alcotest.test_case "no-degrade maps to kind=degraded" `Quick
+      test_no_degrade_mapping;
+    Alcotest.test_case "unix socket end to end" `Quick
+      test_unix_socket_end_to_end;
+    Alcotest.test_case "tcp end to end" `Quick test_tcp_end_to_end;
+    Alcotest.test_case "shutdown drains pipelined requests" `Quick
+      test_shutdown_drains_pipelined_requests;
+    Alcotest.test_case "oversized line resync" `Quick
+      test_oversized_line_resync;
+    Alcotest.test_case "partial line at EOF dropped" `Quick
+      test_partial_line_eof_dropped;
+    Alcotest.test_case "8-client soak, domains 1 = domains 4" `Quick
+      test_concurrent_soak_deterministic;
+  ]
