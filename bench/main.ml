@@ -716,6 +716,215 @@ let gate_kernel_speedup (aggregate, all_identical) =
     exit 1
   end
 
+(* --- variance-reduction bench: BENCH_mc.json + --gate-vr-samples ---
+
+   Measures, per Fig. 7 candidate design, how many samples each
+   sampling strategy needs to pin the window yield to the same +/- CI a
+   plain Monte-Carlo run would need — the tentpole claim of the
+   [Montecarlo.spec] redesign.  The plain side is exact, not sampled:
+   each wire passes independently with the closed-form probability
+   [analysis.wire_probability], so the per-sample variance of the plain
+   estimator is (1/n^2) sum p_i (1 - p_i) with no pilot noise.  Each
+   variance-reduced strategy gets a pilot run whose empirical variance
+   converts to a samples-to-target count at the same CI half-width
+   (h = rel_target * yield, n = v * (z/h)^2), and its estimate must
+   bracket the analytic yield — a biased "fast" estimator fails the
+   bench, never mind the gate.
+
+   The bench runs at a production operating point (sigma_t = 0.02, the
+   tightened implant control of a tuned process) where yields are high
+   and plain sampling wastes almost every draw on all-pass samples;
+   importance sampling aims every draw at the failure boundary and
+   reweights exactly, which is where the 10x comes from.
+
+   A determinism battery reruns the best strategy across domain counts
+   1/2/4, chunking policies and batch sizes — any drift fails the
+   process, exactly like the parallel bench's gate.
+
+   --gate-vr-samples RATIO fails the process unless at least 3
+   high-yield designs (analytic yield >= 0.9) reach a RATIO-fold
+   sample reduction with a bracketing estimate. *)
+
+let mc_rel_target = 0.001
+let mc_sigma_t = 0.02
+let mc_high_yield = 0.9
+let mc_gate_designs = 3
+
+let mc_designs () =
+  List.map
+    (fun (ct, m) ->
+      let spec = Design.spec ~code_type:ct ~code_length:m () in
+      let config =
+        { spec.Design.cave with Nanodec_crossbar.Cave.sigma_t = mc_sigma_t }
+      in
+      ( Printf.sprintf "%s-M%d" (Codebook.name ct) m,
+        Nanodec_crossbar.Cave.analyze config ))
+    Figures.fig7_candidates
+
+let run_mc_json ~quick =
+  let module Cave = Nanodec_crossbar.Cave in
+  let module Kernel = Nanodec_crossbar.Kernel in
+  let pilot = if quick then 1_000 else 4_000 in
+  let z = Montecarlo.z95 in
+  let strategies =
+    [
+      ("stratified-16", Montecarlo.Stratified 16);
+      ("importance-1.0", Montecarlo.Importance 1.0);
+    ]
+  in
+  let samples_to_target ~mean v =
+    let h = mc_rel_target *. Float.abs mean in
+    int_of_float (ceil (v *. (z /. h) ** 2.))
+  in
+  let rows =
+    List.map
+      (fun (name, analysis) ->
+        let kernel = Cave.kernel_of_analysis analysis in
+        let target = Kernel.target kernel in
+        let exact = analysis.Cave.yield in
+        let n = float_of_int (Array.length analysis.Cave.wire_probability) in
+        let v_plain =
+          Array.fold_left
+            (fun acc p -> acc +. (p *. (1. -. p)))
+            0. analysis.Cave.wire_probability
+          /. (n *. n)
+        in
+        let exact_se = sqrt (v_plain /. float_of_int pilot) in
+        let n_plain = samples_to_target ~mean:exact v_plain in
+        let cells =
+          List.map
+            (fun (sname, strategy) ->
+              let e =
+                Montecarlo.run
+                  (Montecarlo.spec ~strategy (Montecarlo.fixed pilot))
+                  (Rng.create ~seed:2009) target
+              in
+              let v =
+                e.Montecarlo.std_error ** 2. *. float_of_int e.Montecarlo.samples
+              in
+              let brackets =
+                Float.abs (e.Montecarlo.mean -. exact)
+                <= (6. *. (e.Montecarlo.std_error +. exact_se)) +. 1e-9
+              in
+              let n_s = max 2 (samples_to_target ~mean:exact v) in
+              ( sname,
+                v,
+                n_s,
+                float_of_int n_plain /. float_of_int n_s,
+                brackets ))
+            strategies
+        in
+        (* Determinism battery on the winning strategy: the sample
+           schedule must not leak into the estimate. *)
+        let best_name, best_strategy =
+          let best, _ =
+            List.fold_left2
+              (fun (acc, av) (sname, _, _, vr, _) s ->
+                if vr > av then ((sname, snd s), vr) else (acc, av))
+              (("", Montecarlo.Plain), neg_infinity)
+              cells strategies
+          in
+          best
+        in
+        let spec =
+          Montecarlo.spec ~strategy:best_strategy (Montecarlo.fixed 512)
+        in
+        let baseline = Montecarlo.run spec (Rng.create ~seed:7) target in
+        let deterministic =
+          List.for_all
+            (fun (domains, chunking, batch) ->
+              Run_ctx.with_ctx ~domains ~chunking ?batch ~warn:false
+                (fun ctx ->
+                  Montecarlo.run ~ctx spec (Rng.create ~seed:7) target
+                  = baseline))
+            [
+              (1, Run_ctx.Fixed 5, None);
+              (2, Run_ctx.Auto, None);
+              (2, Run_ctx.Fixed 16, Some 4);
+              (4, Run_ctx.Auto, None);
+              (4, Run_ctx.Fixed 3, Some 2);
+            ]
+        in
+        let _, _, _, best_vr, best_ok =
+          List.find (fun (s, _, _, _, _) -> s = best_name) cells
+        in
+        Printf.printf
+          "%-8s yield %.5f  plain n=%-9d best %s  n=%-8d (%6.1fx)  \
+           brackets: %b  deterministic: %b\n%!"
+          name exact n_plain best_name
+          (let _, _, n_s, _, _ =
+             List.find (fun (s, _, _, _, _) -> s = best_name) cells
+           in
+           n_s)
+          best_vr best_ok deterministic;
+        (name, exact, v_plain, n_plain, cells, best_name, deterministic))
+      (mc_designs ())
+  in
+  let gate_rows =
+    List.filter_map
+      (fun (name, exact, _, _, cells, best_name, deterministic) ->
+        if exact < mc_high_yield then None
+        else
+          let _, _, _, vr, ok =
+            List.find (fun (s, _, _, _, _) -> s = best_name) cells
+          in
+          if ok && deterministic then Some (name, vr) else None)
+      rows
+  in
+  let oc = open_out "BENCH_mc.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated_by\": \"bench/main.exe --mc%s\",\n"
+    (if quick then " --quick" else "");
+  out "  \"quick\": %b,\n" quick;
+  out "  \"pilot_samples\": %d,\n" pilot;
+  out "  \"rel_target\": %g,\n" mc_rel_target;
+  out "  \"sigma_t\": %g,\n" mc_sigma_t;
+  out "  \"high_yield_threshold\": %g,\n" mc_high_yield;
+  out "  \"designs\": [\n";
+  List.iteri
+    (fun i (name, exact, v_plain, n_plain, cells, best_name, deterministic) ->
+      out
+        "    {\"name\": \"%s\", \"yield\": %.17g, \"plain\": {\"variance\": \
+         %.6e, \"samples_to_target\": %d}, \"high_yield\": %b, \"best\": \
+         \"%s\", \"deterministic\": %b, \"strategies\": {"
+        (json_escape name) exact v_plain n_plain (exact >= mc_high_yield)
+        (json_escape best_name) deterministic;
+      List.iteri
+        (fun j (sname, v, n_s, vr, ok) ->
+          out
+            "%s\"%s\": {\"variance\": %.6e, \"samples_to_target\": %d, \
+             \"vr_factor\": %.3f, \"brackets_exact\": %b}"
+            (if j > 0 then ", " else "")
+            (json_escape sname) v n_s vr ok)
+        cells;
+      out "}}%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_mc.json (%d designs, %d high-yield at gate)\n"
+    (List.length rows) (List.length gate_rows);
+  gate_rows
+
+(* --gate-vr-samples RATIO: at least [mc_gate_designs] high-yield
+   designs must cut the samples-to-CI by RATIO with a bracketing,
+   schedule-deterministic estimate. *)
+let gate_vr_samples ~threshold gate_rows =
+  let passing = List.filter (fun (_, vr) -> vr >= threshold) gate_rows in
+  Printf.printf
+    "variance-reduction gate: %d high-yield designs at >= %.1fx (need %d)\n"
+    (List.length passing) threshold mc_gate_designs;
+  List.iter
+    (fun (name, vr) -> Printf.printf "  %-8s %6.1fx\n" name vr)
+    passing;
+  if List.length passing < mc_gate_designs then begin
+    Printf.eprintf
+      "FAIL: only %d high-yield designs reached the %.1fx \
+       variance-reduction gate (need %d)\n"
+      (List.length passing) threshold mc_gate_designs;
+    exit 1
+  end
+
 (* --gate-overhead: a sink on the sequential path must cost < 5 %.
    Best-of-5 on the Monte-Carlo workload, whose per-chunk probes make
    it the most telemetry-dense of the four. *)
@@ -955,7 +1164,23 @@ let run_serve_json ~quick =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  if List.mem "--serve" argv then
+  if List.mem "--mc" argv then begin
+    let gate_rows = run_mc_json ~quick:(List.mem "--quick" argv) in
+    let rec gate_arg = function
+      | "--gate-vr-samples" :: v :: _ -> (
+        match float_of_string_opt v with
+        | Some t when t > 0. -> Some t
+        | Some _ | None ->
+          prerr_endline "FAIL: --gate-vr-samples needs a positive ratio";
+          exit 2)
+      | _ :: rest -> gate_arg rest
+      | [] -> None
+    in
+    match gate_arg argv with
+    | Some threshold -> gate_vr_samples ~threshold gate_rows
+    | None -> ()
+  end
+  else if List.mem "--serve" argv then
     run_serve_json ~quick:(List.mem "--quick" argv)
   else if List.mem "--json" argv then begin
     let quick = List.mem "--quick" argv in

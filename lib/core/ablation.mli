@@ -31,48 +31,57 @@ val sweep :
 (** Generic one-parameter ablation on the paper's platform (span
     [ablation.<parameter>]).  The swept values evaluate across the
     context's pool with identical results for every domain count; the
-    deprecated [?pool] is folded in via [Run_ctx.resolve]. *)
+    deprecated [?pool] is folded in via [Run_ctx.resolve].
+    @deprecated [?pool] — pass the pool inside [?ctx]
+    ([Run_ctx.make ~pool ()]). *)
 
 val sigma_t :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Per-implant noise, 10–120 mV. *)
+(** Per-implant noise, 10–120 mV.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val sigma_base :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Intrinsic variability, 0–200 mV. *)
+(** Intrinsic variability, 0–200 mV.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val margin :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Addressability window fraction, 0.2–0.5. *)
+(** Addressability window fraction, 0.2–0.5.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val overlay :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Pad overlay margin, 0–28 nm. *)
+(** Pad overlay margin, 0–28 nm.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val cave_wires :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Nanowires per half cave, 10–60. *)
+(** Nanowires per half cave, 10–60.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val all :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series list
+(** Every ablation of the battery, in presentation order.
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val conclusion_holds : series -> bool
 (** BGC yield ≥ TC yield at every swept point. *)

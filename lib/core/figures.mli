@@ -59,7 +59,9 @@ val fig7 :
 (** TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8, on the paper platform.
     The context's pool fans the points out across its domains (span
     [figures.fig7]); the result is identical for every domain count.
-    The deprecated [?pool] is folded in via [Run_ctx.resolve]. *)
+    The deprecated [?pool] is folded in via [Run_ctx.resolve].
+    @deprecated [?pool] — pass the pool inside [?ctx]
+    ([Run_ctx.make ~pool ()]). *)
 
 (** {1 Fig. 8 — bit area vs code type and length} *)
 
@@ -75,7 +77,8 @@ val fig8 :
   ?spec:Design.spec ->
   unit ->
   fig8_point list
-(** All five families at M ∈ 6,8,10 (span [figures.fig8]). *)
+(** All five families at M ∈ 6,8,10 (span [figures.fig8]).
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 (** {1 Extension — multi-valued decoder designs}
 
@@ -101,7 +104,8 @@ val multivalued_designs :
   unit ->
   multivalued_point list
 (** TC and GC at every radix in 2..4, at the two smallest valid lengths
-    covering the half cave (span [figures.multivalued]). *)
+    covering the half cave (span [figures.multivalued]).
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 (** {1 Headline numbers} *)
 

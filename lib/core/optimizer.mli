@@ -37,7 +37,9 @@ val sweep :
     evaluate across the pool's domains and the report list (order
     included) is identical for every domain count.  The deprecated
     [?pool] is still honoured — [Run_ctx.resolve] folds it in, with
-    [?ctx] winning when both carry a pool. *)
+    [?ctx] winning when both carry a pool.
+    @deprecated [?pool] — pass the pool inside [?ctx]
+    ([Run_ctx.make ~pool ()]). *)
 
 val best :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
@@ -46,7 +48,8 @@ val best :
   ?candidates:candidate list ->
   objective ->
   Design.report
-(** The sweep's winner under [objective]. *)
+(** The sweep's winner under [objective].
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val score : objective -> Design.report -> float
 (** Scalar score (lower is better) used by {!best}; exposed for tests. *)

@@ -40,7 +40,9 @@ val sweep_nodes :
     inline on the submitting domain (counted by
     {!Nanodec_parallel.Pool.inline_submissions}).  Results are
     identical for every domain count; the deprecated [?pool] is folded
-    in via [Run_ctx.resolve]. *)
+    in via [Run_ctx.resolve].
+    @deprecated [?pool] — pass the pool inside [?ctx]
+    ([Run_ctx.make ~pool ()]). *)
 
 val sweep_memory_sizes :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
@@ -49,6 +51,7 @@ val sweep_memory_sizes :
   unit ->
   point list
 (** Minimum-bit-area design per raw density (default 4 kB – 256 kB) on
-    the paper's 32 nm node (span [scaling.memory_sizes]). *)
+    the paper's 32 nm node (span [scaling.memory_sizes]).
+    @deprecated [?pool] — pass the pool inside [?ctx]. *)
 
 val pp_point : Format.formatter -> point -> unit

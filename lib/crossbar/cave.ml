@@ -173,15 +173,15 @@ let kernel_of_analysis analysis =
     ~usable:(Array.map is_usable analysis.layout.Geometry.statuses)
     (passes_of_analysis analysis)
 
-let mc_yield_window_par ?ctx ?pool ?chunks ?batch ?kernel rng ~samples
-    analysis =
+let mc_yield_window_par ?ctx ?pool ?spec ?kernel rng ~samples analysis =
   (* Everything the chunk bodies share — here, the whole compiled pass
      program — is computed before the fan-out; the bodies only read it
      (and mutate their own stream and domain-local scratch).  [?kernel]
      lets a caller holding the compiled program (the serve artifact
      cache) skip the per-call compile; the kernel is pure, so the
      estimate is identical either way. *)
-  let tel = Nanodec_parallel.Run_ctx.telemetry_of ctx in
+  let ctx = Nanodec_parallel.Run_ctx.resolve ?ctx ?pool () in
+  let tel = Nanodec_parallel.Run_ctx.telemetry ctx in
   let kernel =
     match kernel with
     | Some k -> k
@@ -189,28 +189,38 @@ let mc_yield_window_par ?ctx ?pool ?chunks ?batch ?kernel rng ~samples
       Nanodec_telemetry.Telemetry.with_span tel "kernel.compile"
       @@ fun () -> kernel_of_analysis analysis
   in
+  (* An explicit spec wins; otherwise the context's mc_method/rel_error
+     knobs pick it, with [samples] as the fixed count or adaptive cap. *)
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> Montecarlo.spec_of_ctx ~ctx ~samples ()
+  in
   (* Fault site: before the fan-out.  When the estimate runs inside an
      outer pool chunk (the sweep pipelines), an injected crash here is
      recovered by that pool's retry/degradation; standalone callers see
      it classified as a worker crash at the taxonomy boundary. *)
-  Nanodec_fault.Fault.hit
-    (Nanodec_parallel.Run_ctx.fault_of ctx)
-    "cave.window";
+  Nanodec_fault.Fault.hit (Nanodec_parallel.Run_ctx.fault ctx) "cave.window";
   Nanodec_telemetry.Telemetry.with_span tel "cave.mc_yield_window"
   @@ fun () ->
-  Nanodec_telemetry.Telemetry.count tel "kernel.samples" samples;
-  Montecarlo.estimate_par ?ctx ?pool ?chunks ?batch rng ~samples
-    (Kernel.draw kernel)
+  let e = Montecarlo.run ~ctx spec rng (Kernel.target kernel) in
+  (* Counted after the run: adaptive stopping makes the spent sample
+     count an output, not an input. *)
+  Nanodec_telemetry.Telemetry.count tel "kernel.samples"
+    e.Montecarlo.samples;
+  e
 
-let mc_yield_window_reference ?ctx ?pool ?chunks ?batch rng ~samples analysis =
+let mc_yield_window_reference ?ctx ?pool rng ~samples analysis =
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in
-  Montecarlo.estimate_par ?ctx ?pool ?chunks ?batch rng ~samples
+  Montecarlo.estimate_par ?ctx ?pool rng ~samples
     (mc_window_draw analysis ~passes ~w)
 
-let mc_yield_window rng ~samples analysis =
+let mc_yield_window ?spec rng ~samples analysis =
   let kernel = kernel_of_analysis analysis in
-  Montecarlo.estimate rng ~samples (Kernel.draw kernel)
+  match spec with
+  | None -> Montecarlo.estimate rng ~samples (Kernel.draw kernel)
+  | Some spec -> Montecarlo.run spec rng (Kernel.target kernel)
 
 let mc_yield_functional rng ~samples analysis =
   let passes = passes_of_analysis analysis in

@@ -76,11 +76,14 @@ val kernel_of_analysis : analysis -> Kernel.t
     share the kernel across any number of estimates and domains. *)
 
 val mc_yield_window :
-  Rng.t -> samples:int -> analysis -> Montecarlo.estimate
+  ?spec:Montecarlo.spec -> Rng.t -> samples:int -> analysis ->
+  Montecarlo.estimate
 (** Monte-Carlo re-estimate of the analytic yield by sampling fabrication
     noise through the process simulator and applying the window test.
-    Runs on the compiled {!Kernel}; bit-for-bit identical to the
-    historical allocating implementation. *)
+    Runs on the compiled {!Kernel}.  Without [?spec], the plain
+    single-stream sequential estimator; with one, [Montecarlo.run] on
+    the kernel's full {!Kernel.target} ([samples] is then ignored in
+    favour of the spec's stopping rule). *)
 
 val mc_yield_functional :
   Rng.t -> samples:int -> analysis -> Montecarlo.estimate
@@ -90,34 +93,38 @@ val mc_yield_functional :
 val mc_yield_window_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
-  ?chunks:int ->
-  ?batch:int ->
+  ?spec:Montecarlo.spec ->
   ?kernel:Kernel.t ->
   Rng.t ->
   samples:int ->
   analysis ->
   Montecarlo.estimate
-(** Chunked window-yield estimate on {!Montecarlo.estimate_par}, running
-    the compiled {!Kernel}: the result is bit-for-bit identical for
-    every chunking, batch size and domain count (including
-    [pool = None]) {e and} to {!mc_yield_window_reference} of the same
-    arguments, though it differs from the single-stream
+(** Chunked window-yield estimate on {!Montecarlo.run}, running the
+    compiled {!Kernel}: the result is bit-for-bit identical for every
+    chunking, batch size and domain count (including [pool = None])
+    {e and} — on the plain strategy — to {!mc_yield_window_reference}
+    of the same arguments, though it differs from the single-stream
     {!mc_yield_window} of the same seed.  All shared state (the
     compiled pass program) is computed once before the fan-out, never
     per chunk; chunk bodies only read it, drawing into domain-local
-    workspace scratch.  [?ctx] supplies pool, chunking policy and
-    telemetry (spans [kernel.compile] and [cave.mc_yield_window],
-    counter [kernel.samples] — the autotuner's preferred calibration
-    denominator); the deprecated [?pool] still wins when given.
-    [?kernel] supplies a pre-compiled {!kernel_of_analysis} of the same
-    analysis (the serve artifact cache holds one), skipping the
-    per-call compile; the estimate is identical either way. *)
+    workspace scratch.
+
+    The sampling configuration resolves in order: an explicit [?spec]
+    wins; otherwise the context's [mc_method]/[rel_error] knobs build
+    one through {!Montecarlo.spec_of_ctx} with [samples] as the fixed
+    count (or the adaptive cap).  [?ctx] also supplies pool, chunking
+    policy and telemetry (spans [kernel.compile] and
+    [cave.mc_yield_window], counter [kernel.samples] — counted {e
+    after} the run, since adaptive stopping makes the spent count an
+    output).  [?kernel] supplies a pre-compiled {!kernel_of_analysis}
+    of the same analysis (the serve artifact cache holds one), skipping
+    the per-call compile; the estimate is identical either way.
+    @deprecated [?pool] — pass the pool inside [?ctx]
+    ([Run_ctx.make ~pool ()]). *)
 
 val mc_yield_window_reference :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
   ?pool:Nanodec_parallel.Pool.t ->
-  ?chunks:int ->
-  ?batch:int ->
   Rng.t ->
   samples:int ->
   analysis ->

@@ -18,6 +18,27 @@ type t = {
       (* identity indices 0..cells-1: the base-fluctuation sweep as a
          target list, so both noise stages run the same fused loop *)
   draws_per_sample : int;
+  (* --- variance-reduction tables, all compile-time ---
+     Per-cell total noise scale sigma_c = sqrt(nu_c sigma_t^2 +
+     sigma_base^2) where nu_c counts the implant doses landing on cell
+     c; cells are independent, so each strategy may redraw a cell's
+     {e total} from N(0, sigma_c^2) in place of the dose-by-dose sum —
+     equal in law, different stream. *)
+  cell_sigma : float array;
+  inv_sigma2 : float array;  (* 1/sigma_c^2, 0 for noiseless cells *)
+  alpha : float array;
+      (* importance mixture weight of cell c within its wire's row:
+         proportional to the cell's marginal failure probability
+         2*Phi(-w/sigma_c), normalized per usable wire (uniform over
+         the noisy cells when every p underflows); 0 on non-usable
+         wires and noiseless cells *)
+  alpha_cdf : float array;  (* running per-row sums of [alpha] *)
+  n_usable : int;
+  strat_cell : int;
+      (* globally dominant cell: max sigma_c over usable wires, the
+         axis stratified sampling conditions on; -1 when no usable
+         wire has a noisy cell *)
+  strat_sigma : float;
 }
 
 (* One scratch per domain, shared by every kernel that domain runs: a
@@ -108,6 +129,61 @@ let compile ~n_wires ~n_regions ~sigma_t ~sigma_base ~window ~usable passes =
       done)
     ordered;
   let cells = n_wires * n_regions in
+  let cell_sigma = Array.make cells 0. in
+  (* nu_c: implant doses per cell, read off the flattened program. *)
+  Array.iter
+    (fun c -> cell_sigma.(c) <- cell_sigma.(c) +. 1.)
+    targets;
+  for c = 0 to cells - 1 do
+    cell_sigma.(c) <-
+      sqrt ((cell_sigma.(c) *. sigma_t *. sigma_t) +. (sigma_base *. sigma_base))
+  done;
+  let inv_sigma2 =
+    Array.map (fun s -> if s > 0. then 1. /. (s *. s) else 0.) cell_sigma
+  in
+  let alpha = Array.make cells 0. in
+  let alpha_cdf = Array.make cells 0. in
+  let n_usable = ref 0 in
+  let strat_cell = ref (-1) in
+  for i = 0 to n_wires - 1 do
+    if usable.(i) then begin
+      incr n_usable;
+      let base = i * n_regions in
+      let row_sum = ref 0. in
+      let noisy = ref 0 in
+      for j = 0 to n_regions - 1 do
+        let s = cell_sigma.(base + j) in
+        if s > 0. then begin
+          incr noisy;
+          if
+            !strat_cell < 0 || s > cell_sigma.(!strat_cell)
+          then strat_cell := base + j;
+          let p = 2. *. Special.normal_cdf (-.window /. s) in
+          alpha.(base + j) <- p;
+          row_sum := !row_sum +. p
+        end
+      done;
+      if !noisy > 0 then begin
+        let acc = ref 0. in
+        for j = 0 to n_regions - 1 do
+          let c = base + j in
+          alpha.(c) <-
+            (if !row_sum > 0. then alpha.(c) /. !row_sum
+             else if cell_sigma.(c) > 0. then 1. /. float_of_int !noisy
+             else 0.);
+          acc := !acc +. alpha.(c);
+          alpha_cdf.(c) <- !acc
+        done;
+        (* The last noisy cell's cdf is forced to 1 so the selection
+           scan can never fall off the row on rounding. *)
+        let last = ref (-1) in
+        for j = 0 to n_regions - 1 do
+          if alpha.(base + j) > 0. then last := base + j
+        done;
+        if !last >= 0 then alpha_cdf.(!last) <- 1.
+      end
+    end
+  done;
   {
     n = n_wires;
     m = n_regions;
@@ -124,26 +200,35 @@ let compile ~n_wires ~n_regions ~sigma_t ~sigma_base ~window ~usable passes =
     plane = (if sigma_base <> 0. then Array.init cells (fun i -> i) else [||]);
     draws_per_sample =
       Array.length targets + (if sigma_base <> 0. then cells else 0);
+    cell_sigma;
+    inv_sigma2;
+    alpha;
+    alpha_cdf;
+    n_usable = !n_usable;
+    strat_cell = !strat_cell;
+    strat_sigma =
+      (if !strat_cell >= 0 then cell_sigma.(!strat_cell) else 0.);
   }
 
 let draws_per_sample k = k.draws_per_sample
 let n_passes k = k.n_passes
 
-let draw k rng =
+let scratch_for k =
   let ws = Nanodec_parallel.Workspace.get workspace in
   if Array.length ws.noise < k.cells then ws.noise <- Array.make k.cells 0.;
-  let noise = ws.noise in
-  let fast = ws.fast in
-  Rng.Fast.load fast rng;
-  Array.fill noise 0 k.cells 0.;
+  ws
+
+let fill_noise k ws =
+  Array.fill ws.noise 0 k.cells 0.;
   (* Implant noise: one sigma_t Gaussian per precompiled target cell, in
      the exact order [Process.sample_vt_noise] walks passes and regions. *)
-  Rng.Fast.add_gaussians fast ~sigma:k.sigma_t k.targets noise;
+  Rng.Fast.add_gaussians ws.fast ~sigma:k.sigma_t k.targets ws.noise;
   (* Intrinsic noise: row-major plane sweep, gated exactly like the
      reference ([sigma_base <> 0.], not an epsilon test). *)
   if k.sigma_base <> 0. then
-    Rng.Fast.add_gaussians fast ~sigma:k.sigma_base k.plane noise;
-  Rng.Fast.store fast rng;
+    Rng.Fast.add_gaussians ws.fast ~sigma:k.sigma_base k.plane ws.noise
+
+let scan_yield k noise =
   let good = ref 0 in
   let w = k.window in
   let m = k.m in
@@ -162,3 +247,110 @@ let draw k rng =
     end
   done;
   float_of_int !good /. float_of_int k.n
+
+let draw k rng =
+  let ws = scratch_for k in
+  Rng.Fast.load ws.fast rng;
+  fill_noise k ws;
+  Rng.Fast.store ws.fast rng;
+  scan_yield k ws.noise
+
+(* The window predicate is even in the noise vector (every comparison
+   is on |z|), so an antithetic pair's average is the single draw's
+   value exactly — the pair costs one set of Gaussians instead of two.
+   Unbiasedness is the plain draw's; the variance reduction on this
+   integrand is nil by symmetry, which the strategy oracle checks. *)
+let draw_antithetic k rng = draw k rng
+
+let draw_stratified k ~strata ~stratum rng =
+  if k.strat_cell < 0 then draw k rng
+  else begin
+    let ws = scratch_for k in
+    Rng.Fast.load ws.fast rng;
+    fill_noise k ws;
+    (* One extra uniform places the dominant cell inside its stratum;
+       the 2^-33 nudge keeps the quantile argument strictly inside
+       (0, 1) even at u = 0. *)
+    let u = Rng.Fast.float ws.fast in
+    Rng.Fast.store ws.fast rng;
+    let p =
+      (float_of_int stratum +. u +. 0x1p-33) /. float_of_int strata
+    in
+    (* Replace the dominant cell's dose-by-dose sum with an equal-law
+       stratified total: valid because cells are independent, so the
+       conditional joint given the stratum factorizes. *)
+    ws.noise.(k.strat_cell) <- Special.normal_quantile ~sigma:k.strat_sigma p;
+    scan_yield k ws.noise
+  end
+
+let draw_importance k ~shift rng =
+  let ws = scratch_for k in
+  let fast = ws.fast in
+  Rng.Fast.load fast rng;
+  (* The scratch plane is reused as one wire's row of cell totals
+     (m <= cells always). *)
+  let noise = ws.noise in
+  let mu = shift *. k.window in
+  let w = k.window in
+  let m = k.m in
+  (* Unbiased failure mass: yield = (n_usable - sum_i B_i w_i) / n with
+     B_i the wire-failure indicator under the proposal and w_i the
+     exact inverse likelihood ratio of the per-wire mixture that
+     shifted one alpha-chosen cell by +-mu. *)
+  let fail_sum = ref 0. in
+  for i = 0 to k.n - 1 do
+    if Array.unsafe_get k.usable i then begin
+      let base = i * m in
+      (* A wire with no noisy cell can never fail: no draws, no term. *)
+      if Array.unsafe_get k.alpha_cdf (base + m - 1) > 0. then begin
+        let u = Rng.Fast.float fast in
+        let sel = ref 0 in
+        while u >= Array.unsafe_get k.alpha_cdf (base + !sel) do incr sel done;
+        let sign = if Rng.Fast.float fast < 0.5 then 1. else -1. in
+        let failed = ref false in
+        for j = 0 to m - 1 do
+          let c = base + j in
+          let s = Array.unsafe_get k.cell_sigma c in
+          let z =
+            if s > 0. then begin
+              let z = s *. Rng.Fast.gaussian_std fast in
+              if j = !sel then z +. (sign *. mu) else z
+            end
+            else 0.
+          in
+          Array.unsafe_set noise j z;
+          if Float.abs z >= w then failed := true
+        done;
+        if !failed then begin
+          (* rho_c(z) = e^{-mu^2/(2 sigma_c^2)} cosh(mu z / sigma_c^2)
+             is the symmetric-mixture density ratio of cell c; the
+             proposal's ratio is the alpha-mixture of the rho terms.
+             The selected cell's own term bounds the sum away from
+             zero, so weights never explode. *)
+          let r = ref 0. in
+          for j = 0 to m - 1 do
+            let c = base + j in
+            let a = Array.unsafe_get k.alpha c in
+            if a > 0. then begin
+              let is2 = Array.unsafe_get k.inv_sigma2 c in
+              let z = Array.unsafe_get noise j in
+              r :=
+                !r
+                +. a
+                   *. exp (-0.5 *. mu *. mu *. is2)
+                   *. Float.cosh (mu *. z *. is2)
+            end
+          done;
+          fail_sum := !fail_sum +. (1. /. !r)
+        end
+      end
+    end
+  done;
+  Rng.Fast.store fast rng;
+  (float_of_int k.n_usable -. !fail_sum) /. float_of_int k.n
+
+let target k =
+  Montecarlo.target ~antithetic:(draw_antithetic k)
+    ~stratified:(fun ~strata ~stratum g -> draw_stratified k ~strata ~stratum g)
+    ~importance:(fun ~shift g -> draw_importance k ~shift g)
+    (draw k)

@@ -57,3 +57,43 @@ val draws_per_sample : t -> int
 
 val n_passes : t -> int
 (** Passes in the compiled program (after per-step dose splitting). *)
+
+(** {1 Variance-reduced draws}
+
+    Strategy-specific single-sample evaluators, each an {e equally
+    unbiased} estimator of the same window yield on its own draw
+    stream.  They share {!draw}'s zero-allocation discipline (the same
+    domain-local scratch, the same {!Rng.Fast} mirror); their
+    per-cell tables — total noise scale σ{_c}² = ν{_c}σ{_T}² +
+    σ{_base}², marginal failure probabilities, importance mixture
+    weights, the dominant stratification cell — are all precomputed by
+    {!compile}.  Callers normally reach them through {!target} rather
+    than directly. *)
+
+val draw_antithetic : t -> Rng.t -> float
+(** The antithetic pair's average.  The window predicate is even in
+    the noise vector, so this equals {!draw}'s value on the same
+    stream — the pair is a draw-cost optimisation (one Gaussian set
+    for two samples' worth of the pair), not a variance reduction, on
+    this integrand. *)
+
+val draw_stratified : t -> strata:int -> stratum:int -> Rng.t -> float
+(** {!draw}, except the globally dominant cell's total (the max-σ cell
+    on a usable wire) is redrawn from stratum [stratum] of [strata]
+    equal-probability strata of its N(0, σ{^2}) law — equal in law
+    overall by cell independence.  Falls back to {!draw} when no
+    usable wire has a noisy cell. *)
+
+val draw_importance : t -> shift:float -> Rng.t -> float
+(** One importance-sampled estimate of the yield: per usable wire, a
+    mixture proposal shifts one failure-probability-chosen cell by
+    ±[shift]·window and reweights wire failures with the exact inverse
+    likelihood ratio.  Weights are self-bounding (the selected cell's
+    own mixture term bounds the ratio away from zero), so the
+    estimator's variance at high yield is far below the Bernoulli
+    variance the plain draw pays. *)
+
+val target : t -> Nanodec_numerics.Montecarlo.target
+(** The fully-equipped Monte-Carlo target of this kernel: {!draw} as
+    the plain integrand plus all three strategy evaluators — what
+    {!Cave.mc_yield_window_par} hands to [Montecarlo.run]. *)

@@ -102,3 +102,49 @@ let parse_chunks ?(what = "chunks") = function
       invalid_inputf
         ~hint:(Printf.sprintf "got %S" s)
         "%s must be 'auto' or a positive integer" what)
+
+let check_rel_error ?(what = "rel-error") r =
+  (* [not (r > 0.)] also catches NaN. *)
+  if (not (r > 0.)) || r > 0.5 then
+    invalid_inputf
+      ~hint:
+        "the adaptive stopping rule targets z95*SE <= rel-error*|mean|; \
+         values above 0.5 would stop before the estimate means anything"
+      "%s must be in (0, 0.5] (got %g)" what r
+
+let parse_mc_method ?(what = "mc-method") s =
+  let bad () =
+    invalid_inputf
+      ~hint:(Printf.sprintf "got %S" s)
+      "%s must be plain, antithetic, stratified[:STRATA] or \
+       importance[:SHIFT]"
+      what
+  in
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "plain" -> `Plain
+    | "antithetic" -> `Antithetic
+    | "stratified" -> `Stratified 16
+    | "importance" -> `Importance 1.0
+    | _ -> bad ())
+  | Some i -> (
+    let name = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match name with
+    | "stratified" -> (
+      match int_of_string_opt arg with
+      | Some k when k >= 2 && k <= 4096 -> `Stratified k
+      | Some _ | None ->
+        invalid_inputf
+          ~hint:(Printf.sprintf "got %S" s)
+          "%s: stratified strata count must be an integer in [2, 4096]"
+          what)
+    | "importance" -> (
+      match float_of_string_opt arg with
+      | Some f when f > 0. && f <= 8. -> `Importance f
+      | Some _ | None ->
+        invalid_inputf
+          ~hint:(Printf.sprintf "got %S" s)
+          "%s: importance shift must be a number in (0, 8]" what)
+    | _ -> bad ())

@@ -98,3 +98,16 @@ val check_timeout_s : ?what:string -> float -> unit
 val parse_chunks : ?what:string -> string -> [ `Auto | `Fixed of int ]
 (** Parse a chunking spec: ["auto"] or a positive decimal integer;
     anything else (including ["0"] and negatives) is [Invalid_input]. *)
+
+val check_rel_error : ?what:string -> float -> unit
+(** Adaptive-stopping relative-error targets lie in (0, 0.5]; NaN,
+    zero, negatives and anything above 0.5 are [Invalid_input]. *)
+
+val parse_mc_method :
+  ?what:string ->
+  string ->
+  [ `Plain | `Antithetic | `Stratified of int | `Importance of float ]
+(** Parse a Monte-Carlo sampling strategy: [plain], [antithetic],
+    [stratified] (16 strata), [stratified:K] with K in [2, 4096],
+    [importance] (shift 1.0) or [importance:S] with S in (0, 8].
+    Anything else is [Invalid_input]. *)

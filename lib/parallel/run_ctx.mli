@@ -42,6 +42,26 @@ type chunking =
     [chunking], domain count and batch size — the per-sample stream
     discipline guarantees it. *)
 
+(** The Monte-Carlo sampling strategy the context's estimators should
+    use.  The datatype lives here (not in [Nanodec_numerics]) because
+    the context is the value that travels from the CLI flags and the
+    serve protocol down to every estimator; {!Nanodec_numerics}'s
+    [Montecarlo.strategy] re-exports it by equation, so the two are the
+    same type.  Unlike {!chunking}, the method {e is} part of the
+    numeric result: each strategy is a different (equally unbiased)
+    estimator with its own draw stream. *)
+type mc_method =
+  | Plain  (** independent draws — the exact reference estimator *)
+  | Antithetic
+      (** evaluate each draw and its sign-mirrored twin as one pair *)
+  | Stratified of int
+      (** stratify the dominant noise axis into this many strata
+          (>= 2) *)
+  | Importance of float
+      (** shift the dominant-region Gaussian toward the failure
+          boundary by this fraction of the window (> 0, finite) and
+          reweight exactly *)
+
 val default_seed : int
 (** 2009 — the paper year, the seed used throughout the reproduction. *)
 
@@ -58,6 +78,9 @@ val make :
   ?timeout_s:float ->
   ?cancel:Pool.Cancel.t ->
   ?chunking:chunking ->
+  ?batch:int ->
+  ?mc_method:mc_method ->
+  ?rel_error:float ->
   ?max_retries:int ->
   ?degrade:bool ->
   ?warn:bool ->
@@ -76,8 +99,14 @@ val make :
     [max_retries] and [degrade] configure the spawned pool's
     supervision policy (borrowed pools keep their own settings).
     [chunking] (default [Auto]) selects the estimators' scheduling
-    policy; [Fixed n] with [n < 1] raises [Invalid_argument].
-    [seed] defaults to {!default_seed}, [mc_samples] to
+    policy and [batch] (>= 1) overrides the per-claim batch size of
+    every estimator fan-out; [Fixed n] with [n < 1] or [batch < 1]
+    raise [Invalid_argument].  [mc_method] (default {!Plain}) and
+    [rel_error] select the estimators' sampling strategy and, when
+    [rel_error] is set (must lie in (0, 0.5]), CI-driven adaptive
+    stopping — the context carries them exactly as it carries [seed]
+    and [mc_samples], and consumers build their [Montecarlo.spec] from
+    them.  [seed] defaults to {!default_seed}, [mc_samples] to
     {!default_mc_samples} (raises [Invalid_argument] when negative). *)
 
 val with_ctx :
@@ -90,6 +119,9 @@ val with_ctx :
   ?timeout_s:float ->
   ?cancel:Pool.Cancel.t ->
   ?chunking:chunking ->
+  ?batch:int ->
+  ?mc_method:mc_method ->
+  ?rel_error:float ->
   ?max_retries:int ->
   ?degrade:bool ->
   ?warn:bool ->
@@ -109,6 +141,13 @@ val timeout_s : t -> float option
 val cancel : t -> Pool.Cancel.t option
 val chunking : t -> chunking
 
+val batch : t -> int option
+(** Explicit per-claim batch size for estimator fan-outs; [None] leaves
+    it to the chunking plan. *)
+
+val mc_method : t -> mc_method
+val rel_error : t -> float option
+
 val pool_of : t option -> Pool.t option
 (** [pool_of ctx] through an optional context — the spelling used by
     [?ctx] consumers. *)
@@ -118,6 +157,13 @@ val fault_of : t option -> Nanodec_fault.Fault.t option
 
 val chunking_of : t option -> chunking
 (** [Auto] without a context. *)
+
+val batch_of : t option -> int option
+
+val mc_method_of : t option -> mc_method
+(** {!Plain} without a context. *)
+
+val rel_error_of : t option -> float option
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ctx f xs] maps through the context's pool (or
@@ -132,6 +178,8 @@ val with_request :
   ?timeout_s:float ->
   ?fault:Nanodec_fault.Fault.t ->
   ?chunking:chunking ->
+  ?mc_method:mc_method ->
+  ?rel_error:float ->
   ?degrade:bool ->
   ?warn:bool ->
   (t -> 'a) ->

@@ -362,18 +362,21 @@ let chunked_mc_domain_invariance =
     (fun (seed, (samples, chunks), domains) ->
       let f rng = Rng.gaussian rng +. Rng.float rng in
       let p rng = Rng.float rng < 0.5 in
+      let chunking = Nanodec_parallel.Run_ctx.Fixed chunks in
+      let seq_ctx = Nanodec_parallel.Run_ctx.make ~chunking () in
       let sequential =
-        Montecarlo.estimate_par ~chunks (Rng.create ~seed) ~samples f
+        Montecarlo.estimate_par ~ctx:seq_ctx (Rng.create ~seed) ~samples f
       in
       let sequential_prop =
-        Montecarlo.estimate_proportion_par ~chunks (Rng.create ~seed) ~samples
-          p
+        Montecarlo.estimate_proportion_par ~ctx:seq_ctx (Rng.create ~seed)
+          ~samples p
       in
       Nanodec_parallel.Pool.with_pool ~domains (fun pool ->
-          Montecarlo.estimate_par ~pool ~chunks (Rng.create ~seed) ~samples f
+          let ctx = Nanodec_parallel.Run_ctx.make ~pool ~chunking () in
+          Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f
           = sequential
-          && Montecarlo.estimate_proportion_par ~pool ~chunks
-               (Rng.create ~seed) ~samples p
+          && Montecarlo.estimate_proportion_par ~ctx (Rng.create ~seed)
+               ~samples p
              = sequential_prop))
 
 (* --- Telemetry (pure-observer contract) --- *)
@@ -395,11 +398,11 @@ let telemetry_transparency =
       let f rng = Rng.gaussian rng +. Rng.float rng in
       let p rng = Rng.float rng < 0.5 in
       let run ?telemetry () =
-        Run_ctx.with_ctx ~domains ?telemetry (fun ctx ->
-            ( Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
-                f,
-              Montecarlo.estimate_proportion_par ~ctx ~chunks
-                (Rng.create ~seed) ~samples p ))
+        Run_ctx.with_ctx ~domains ?telemetry
+          ~chunking:(Run_ctx.Fixed chunks) (fun ctx ->
+            ( Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f,
+              Montecarlo.estimate_proportion_par ~ctx (Rng.create ~seed)
+                ~samples p ))
       in
       let bare = run () in
       let sink = Telemetry.create () in
@@ -423,7 +426,8 @@ let autotune_value_invariance =
     (fun (seed, (samples, chunks), (domains, batch)) ->
       let f rng = Rng.gaussian rng +. Rng.float rng in
       let fixed =
-        Montecarlo.estimate_par ~chunks ~batch (Rng.create ~seed) ~samples f
+        let ctx = Run_ctx.make ~chunking:(Run_ctx.Fixed chunks) ~batch () in
+        Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f
       in
       let module Autotune = Nanodec_parallel.Autotune in
       let runnable (p : Autotune.plan) = p.chunks >= 1 && p.batch >= 1 in
@@ -502,9 +506,9 @@ let fault_probes_inert =
       let domains = 1 lsl dexp in
       let f rng = Rng.gaussian rng +. Rng.float rng in
       let run ?fault () =
-        Run_ctx.with_ctx ~domains ?fault ~warn:false (fun ctx ->
-            Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
-              f)
+        Run_ctx.with_ctx ~domains ?fault ~warn:false
+          ~chunking:(Run_ctx.Fixed chunks) (fun ctx ->
+            Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f)
       in
       let engine = Fault.inert () in
       let r = run () = run ~fault:engine () in
@@ -530,9 +534,9 @@ let fault_injection_transparency =
       let domains = 1 lsl dexp in
       let f rng = Rng.gaussian rng +. Rng.float rng in
       let run ?fault () =
-        Run_ctx.with_ctx ~domains ?fault ~warn:false (fun ctx ->
-            Montecarlo.estimate_par ~ctx ~chunks (Rng.create ~seed) ~samples
-              f)
+        Run_ctx.with_ctx ~domains ?fault ~warn:false
+          ~chunking:(Run_ctx.Fixed chunks) (fun ctx ->
+            Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f)
       in
       let plan =
         Fault.parse_exn
@@ -590,6 +594,114 @@ let kernel_reference_equivalence =
       && agree ~domains:4 ~fault:plan ()
       && agree ~domains:1 ~fault:plan ())
 
+(* --- the unified Monte-Carlo entry point --- *)
+
+(* [estimate]/[estimate_par] are documented as thin wrappers over
+   [Montecarlo.run] with the plain/fixed spec; this is the executable
+   form of that claim, at bit precision, sequential and pooled. *)
+let montecarlo_wrapper_spec_equivalence =
+  Property.make
+    ~name:"estimate/estimate_par are bit-equal to Montecarlo.run plain/fixed"
+    ~print:(fun (seed, (samples, chunks), dexp) ->
+      Printf.sprintf "seed %d, %d samples / %d chunks, %d domains" seed
+        samples chunks (1 lsl dexp))
+    (triple Generators.sample_seed
+       (pair (int_range 2 300) (int_range 1 16))
+       (int_range 0 2))
+    (fun (seed, (samples, chunks), dexp) ->
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let spec = Montecarlo.spec (Montecarlo.fixed samples) in
+      let target = Montecarlo.target f in
+      Montecarlo.estimate (Rng.create ~seed) ~samples f
+      = Montecarlo.run spec (Rng.create ~seed) target
+      && Run_ctx.with_ctx ~domains:(1 lsl dexp)
+           ~chunking:(Run_ctx.Fixed chunks) ~warn:false (fun ctx ->
+             Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples f
+             = Montecarlo.run ~ctx spec (Rng.create ~seed) target))
+
+(* Every sampling strategy is an equally unbiased estimator of the same
+   yield: on a cave whose exact answer is known in closed form (the
+   per-wire erf products of [analysis.wire_probability]), each
+   strategy's 95 % interval — widened to 6 combined standard errors,
+   with the {e exact} plain standard error added for the degenerate
+   all-ones cases where the empirical SE collapses to zero — brackets
+   the analytic mean.  Antithetic is checked at bit precision: the
+   window predicate is even, so the pair average equals the plain draw
+   on the same streams. *)
+let montecarlo_strategy_unbiasedness =
+  Property.make
+    ~name:"MC strategies bracket the analytic yield (antithetic bit-equal)"
+    ~print:(fun (config, seed) ->
+      Printf.sprintf "%s, seed %d"
+        (Generators.string_of_cave_config config)
+        seed)
+    (pair Generators.cave_config Generators.sample_seed)
+    (fun (config, seed) ->
+      let analysis = Cave.analyze config in
+      let kernel = Cave.kernel_of_analysis analysis in
+      let target = Kernel.target kernel in
+      let samples = 400 in
+      let run strategy =
+        Montecarlo.run
+          (Montecarlo.spec ~strategy (Montecarlo.fixed samples))
+          (Rng.create ~seed) target
+      in
+      let exact = analysis.Cave.yield in
+      let exact_se =
+        let n = float_of_int config.Cave.n_wires in
+        let v =
+          Array.fold_left
+            (fun acc p -> acc +. (p *. (1. -. p)))
+            0. analysis.Cave.wire_probability
+        in
+        sqrt (v /. float_of_int samples) /. n
+      in
+      let brackets (e : Montecarlo.estimate) =
+        Float.abs (e.Montecarlo.mean -. exact)
+        <= 6. *. (e.Montecarlo.std_error +. exact_se)
+      in
+      let plain = run Montecarlo.Plain in
+      brackets plain
+      && run Montecarlo.Antithetic = plain
+      && brackets (run (Montecarlo.Stratified 8))
+      && brackets (run (Montecarlo.Importance 1.0)))
+
+(* Adaptive stopping keeps the scheduling-invariance contract: the
+   batch-doubling rounds derive their streams from sequential splits of
+   the root, so the (estimate, spent samples) pair is a pure function
+   of (seed, spec) at every domain count, chunking and under injected
+   faults. *)
+let montecarlo_adaptive_determinism =
+  Property.make
+    ~name:"Adaptive-stopping estimates are schedule and fault invariant"
+    ~print:(fun ((seed, plan_seed), (chunks, dexp)) ->
+      Printf.sprintf "seed %d, plan seed %d, %d chunks, %d domains" seed
+        plan_seed chunks (1 lsl dexp))
+    (pair
+       (pair Generators.sample_seed (int_range 0 10_000))
+       (pair (int_range 1 16) (int_range 0 2)))
+    (fun ((seed, plan_seed), (chunks, dexp)) ->
+      let f rng = Rng.gaussian rng +. Rng.float rng in
+      let spec =
+        Montecarlo.spec
+          (Montecarlo.until_rel_error ~min_samples:16 ~max_samples:512 0.05)
+      in
+      let target = Montecarlo.target f in
+      let baseline = Montecarlo.run spec (Rng.create ~seed) target in
+      let fault =
+        Fault.create
+          (Fault.parse_exn
+             (Printf.sprintf
+                "seed=%d;pool.chunk:crash:p=0.2;mc.sample_batch:crash:p=0.15"
+                plan_seed))
+      in
+      Run_ctx.with_ctx ~domains:(1 lsl dexp)
+        ~chunking:(Run_ctx.Fixed chunks) ~warn:false (fun ctx ->
+          Montecarlo.run ~ctx spec (Rng.create ~seed) target = baseline)
+      && Run_ctx.with_ctx ~domains:(1 lsl dexp) ~fault ~warn:false
+           (fun ctx ->
+             Montecarlo.run ~ctx spec (Rng.create ~seed) target = baseline))
+
 let all =
   [
     h_bijectivity;
@@ -618,4 +730,7 @@ let all =
     fault_probes_inert;
     fault_injection_transparency;
     kernel_reference_equivalence;
+    montecarlo_wrapper_spec_equivalence;
+    montecarlo_strategy_unbiasedness;
+    montecarlo_adaptive_determinism;
   ]

@@ -100,6 +100,33 @@ let estimate cache ~ctx ~seed ~samples config =
   | Estimate e, hit -> (e, hit)
   | _ -> unwrap_error ~key ~wanted:"estimate"
 
+let estimate_spec cache ~ctx ~seed ~spec config =
+  (* The spec key replaces the plain [samples=] component: strategy and
+     stopping rule are part of the estimate's identity, and the
+     serialization is injective, so distinct specs never collide — with
+     each other or with the legacy plain keys. *)
+  let key =
+    Printf.sprintf "estimate|seed=%d|%s|%s" seed
+      (Montecarlo.spec_key spec)
+      (Cave.config_key config)
+  in
+  let samples =
+    match spec.Montecarlo.stopping with
+    | Montecarlo.Fixed_samples n -> n
+    | Montecarlo.Until_rel_error { max_samples; _ } -> max_samples
+  in
+  match
+    Artifact_cache.find_or_build cache ~key (fun () ->
+        let a, _ = analysis cache config in
+        let k, _ = kernel cache config in
+        Estimate
+          (Cave.mc_yield_window_par ~ctx ~spec ~kernel:k
+             (Rng.create ~seed)
+             ~samples a))
+  with
+  | Estimate e, hit -> (e, hit)
+  | _ -> unwrap_error ~key ~wanted:"estimate"
+
 let sweep cache spec =
   let key =
     Printf.sprintf "sweep|raw=%d|%s" spec.Design.raw_bits

@@ -62,6 +62,20 @@ val estimate :
     (config, seed, samples) — legitimate because the chunked estimator
     is bit-for-bit invariant in pool, chunking and domain count. *)
 
+val estimate_spec :
+  t ->
+  ctx:Nanodec_parallel.Run_ctx.t ->
+  seed:int ->
+  spec:Montecarlo.spec ->
+  Cave.config ->
+  Montecarlo.estimate * bool
+(** {!estimate} for requests that picked a sampling strategy or an
+    adaptive stopping rule: keyed by (config, seed,
+    {!Montecarlo.spec_key}) — every strategy/stopping combination is a
+    distinct, equally deterministic estimate, and the injective spec
+    serialization keeps the key space disjoint from the legacy plain
+    keys. *)
+
 val sweep : t -> Design.spec -> Design.report list * bool
 (** [Optimizer.sweep] of the default candidate grid on the spec's
     platform (sequential — rows are cheap closed forms; the cache, not

@@ -90,19 +90,25 @@ type exec = {
   fault : Fault.t option;
   no_degrade : bool;
   chunking : Run_ctx.chunking option;
+  mc_method : Run_ctx.mc_method option;
+  rel_error : float option;
 }
+
+let no_exec =
+  {
+    seed = None;
+    mc_samples = None;
+    timeout_s = None;
+    fault = None;
+    no_degrade = false;
+    chunking = None;
+    mc_method = None;
+    rel_error = None;
+  }
 
 let exec_of_json json =
   match obj_field json "exec" with
-  | None | Some Json.Null ->
-    {
-      seed = None;
-      mc_samples = None;
-      timeout_s = None;
-      fault = None;
-      no_degrade = false;
-      chunking = None;
-    }
+  | None | Some Json.Null -> no_exec
   | Some (Json.Obj _ as e) ->
     let seed = int_field e "seed" in
     Option.iter (E.check_seed ~what:"seed") seed;
@@ -133,7 +139,32 @@ let exec_of_json json =
         E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
           "field \"chunks\" must be 'auto' or a positive integer"
     in
-    { seed; mc_samples; timeout_s; fault; no_degrade; chunking }
+    (* Same grammar and bounds as the CLI's --mc-method/--rel-error,
+       through the same shared validators, so both surfaces reject bad
+       values identically. *)
+    let mc_method =
+      match string_field e "method" with
+      | None -> None
+      | Some s ->
+        Some
+          (match E.parse_mc_method ~what:"method" s with
+          | `Plain -> Run_ctx.Plain
+          | `Antithetic -> Run_ctx.Antithetic
+          | `Stratified k -> Run_ctx.Stratified k
+          | `Importance f -> Run_ctx.Importance f)
+    in
+    let rel_error = float_field e "rel_error" in
+    Option.iter (E.check_rel_error ~what:"rel_error") rel_error;
+    {
+      seed;
+      mc_samples;
+      timeout_s;
+      fault;
+      no_degrade;
+      chunking;
+      mc_method;
+      rel_error;
+    }
   | Some v ->
     E.invalid_inputf ~hint:(Printf.sprintf "got %s" (Json.to_string v))
       "field \"exec\" must be an object"
@@ -147,7 +178,8 @@ let bypasses_result_cache exec =
 let with_request_ctx state exec f =
   Run_ctx.with_request ~base:state.base ?seed:exec.seed
     ?mc_samples:exec.mc_samples ?timeout_s:exec.timeout_s ?fault:exec.fault
-    ?chunking:exec.chunking ~degrade:(not exec.no_degrade) ~warn:false f
+    ?chunking:exec.chunking ?mc_method:exec.mc_method ?rel_error:exec.rel_error
+    ~degrade:(not exec.no_degrade) ~warn:false f
 
 (* --- design parameters --- *)
 
@@ -193,16 +225,24 @@ let spec_of_params params =
    pure function of the request, which is what makes the CI smoke
    goldens and the concurrent-soak byte-equality test possible. *)
 
-let estimate_json ~seed (e : Montecarlo.estimate) =
+(* [?spec] appends the sampling-method tag only when the request opted
+   into one, so legacy requests keep byte-identical responses (the CI
+   smoke goldens). *)
+let estimate_json ~seed ?spec (e : Montecarlo.estimate) =
   Json.Obj
-    [
-      ("mean", Json.Float e.Montecarlo.mean);
-      ("std_error", Json.Float e.Montecarlo.std_error);
-      ("ci95_low", Json.Float e.Montecarlo.ci95_low);
-      ("ci95_high", Json.Float e.Montecarlo.ci95_high);
-      ("samples", Json.Int e.Montecarlo.samples);
-      ("seed", Json.Int seed);
-    ]
+    ([
+       ("mean", Json.Float e.Montecarlo.mean);
+       ("std_error", Json.Float e.Montecarlo.std_error);
+       ("ci95_low", Json.Float e.Montecarlo.ci95_low);
+       ("ci95_high", Json.Float e.Montecarlo.ci95_high);
+       ("samples", Json.Int e.Montecarlo.samples);
+       ("seed", Json.Int seed);
+     ]
+    @
+    match spec with
+    | None -> []
+    | Some s ->
+      [ ("method", Json.String (Montecarlo.strategy_name s.Montecarlo.strategy)) ])
 
 let report_json (r : Design.report) =
   let spec = r.Design.spec in
@@ -270,6 +310,29 @@ let error_response ~id err =
 
 (* --- verbs --- *)
 
+(* The request's sampling spec, built from the derived context exactly
+   as a standalone CLI run would build it.  [Some spec] also flags the
+   response to carry the method tag — only for requests that opted in,
+   keeping legacy responses golden-stable. *)
+let request_spec exec ~ctx ~samples =
+  if exec.mc_method = None && exec.rel_error = None then None
+  else Some (Montecarlo.spec_of_ctx ~ctx ~samples ())
+
+let run_estimate state ~exec ~ctx ~samples config =
+  let seed = Run_ctx.seed ctx in
+  let spec = request_spec exec ~ctx ~samples in
+  if bypasses_result_cache exec then (
+    let analysis, _ = Artifacts.analysis state.artifacts config in
+    let kernel, _ = Artifacts.kernel state.artifacts config in
+    ( Cave.mc_yield_window_par ~ctx ?spec ~kernel (Rng.create ~seed) ~samples
+        analysis,
+      false ))
+  else
+    match spec with
+    | None -> Artifacts.estimate state.artifacts ~ctx ~seed ~samples config
+    | Some spec ->
+      Artifacts.estimate_spec state.artifacts ~ctx ~seed ~spec config
+
 let run_evaluate state ~exec params =
   let spec = spec_of_params params in
   let report, report_hit = Artifacts.report state.artifacts spec in
@@ -279,18 +342,17 @@ let run_evaluate state ~exec params =
     with_request_ctx state exec @@ fun ctx ->
     let seed = Run_ctx.seed ctx in
     let config = spec.Design.cave in
-    let estimate, est_hit =
-      if bypasses_result_cache exec then (
-        let analysis, _ = Artifacts.analysis state.artifacts config in
-        let kernel, _ = Artifacts.kernel state.artifacts config in
-        ( Cave.mc_yield_window_par ~ctx ~kernel (Rng.create ~seed) ~samples
-            analysis,
-          false ))
-      else Artifacts.estimate state.artifacts ~ctx ~seed ~samples config
-    in
+    let estimate, est_hit = run_estimate state ~exec ~ctx ~samples config in
     ( (match report_json report with
       | Json.Obj fields ->
-        Json.Obj (fields @ [ ("mc", estimate_json ~seed estimate) ])
+        Json.Obj
+          (fields
+          @ [
+              ( "mc",
+                estimate_json ~seed
+                  ?spec:(request_spec exec ~ctx ~samples)
+                  estimate );
+            ])
       | other -> other),
       report_hit && est_hit )
 
@@ -301,18 +363,13 @@ let run_yield state ~exec params =
   let seed = Run_ctx.seed ctx in
   let config = spec.Design.cave in
   let analysis, _ = Artifacts.analysis state.artifacts config in
-  let estimate, est_hit =
-    if bypasses_result_cache exec then (
-      let kernel, _ = Artifacts.kernel state.artifacts config in
-      ( Cave.mc_yield_window_par ~ctx ~kernel (Rng.create ~seed) ~samples
-          analysis,
-        false ))
-    else Artifacts.estimate state.artifacts ~ctx ~seed ~samples config
-  in
+  let estimate, est_hit = run_estimate state ~exec ~ctx ~samples config in
   ( Json.Obj
       [
         ("analytic_yield", Json.Float analysis.Cave.yield);
-        ("mc", estimate_json ~seed estimate);
+        ( "mc",
+          estimate_json ~seed ?spec:(request_spec exec ~ctx ~samples) estimate
+        );
       ],
     est_hit )
 

@@ -25,6 +25,7 @@ let () =
       ("fault injection and error taxonomy", Test_fault.suite);
       ("proptest oracles", Test_properties.suite);
       ("compiled kernels", Test_kernel.suite);
+      ("variance-reduced monte carlo", Test_montecarlo_vr.suite);
       ("artifact cache", Test_artifact_cache.suite);
       ("serve protocol and daemon", Test_serve.suite);
     ]

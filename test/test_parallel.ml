@@ -39,28 +39,32 @@ let integrand rng =
 let predicate rng = Rng.float rng < 0.37
 
 let check_estimate_invariance ~samples ~chunks () =
+  let chunking = Run_ctx.Fixed chunks in
   List.iter
     (fun seed ->
+      let seq_ctx = Run_ctx.make ~chunking () in
       let baseline =
-        Montecarlo.estimate_par ~chunks (Rng.create ~seed) ~samples integrand
+        Montecarlo.estimate_par ~ctx:seq_ctx (Rng.create ~seed) ~samples
+          integrand
       in
       let baseline_prop =
-        Montecarlo.estimate_proportion_par ~chunks (Rng.create ~seed) ~samples
-          predicate
+        Montecarlo.estimate_proportion_par ~ctx:seq_ctx (Rng.create ~seed)
+          ~samples predicate
       in
       List.iter
         (fun domains ->
           Pool.with_pool ~domains (fun pool ->
+              let ctx = Run_ctx.make ~pool ~chunking () in
               let e =
-                Montecarlo.estimate_par ~pool ~chunks (Rng.create ~seed)
-                  ~samples integrand
+                Montecarlo.estimate_par ~ctx (Rng.create ~seed) ~samples
+                  integrand
               in
               Alcotest.check estimate
                 (Printf.sprintf "estimate seed=%d domains=%d" seed domains)
                 baseline e;
               let p =
-                Montecarlo.estimate_proportion_par ~pool ~chunks
-                  (Rng.create ~seed) ~samples predicate
+                Montecarlo.estimate_proportion_par ~ctx (Rng.create ~seed)
+                  ~samples predicate
               in
               Alcotest.check estimate
                 (Printf.sprintf "proportion seed=%d domains=%d" seed domains)
@@ -113,12 +117,11 @@ let test_estimate_validation () =
     (Invalid_argument "Montecarlo.estimate_par: need >= 2 samples")
     (fun () ->
       ignore (Montecarlo.estimate_par (Rng.create ~seed:1) ~samples:1 integrand));
+  (* Chunk counts now arrive through the context and are validated
+     there, uniformly for every estimator. *)
   Alcotest.check_raises "chunks < 1"
-    (Invalid_argument "Montecarlo.estimate_par: need >= 1 chunk")
-    (fun () ->
-      ignore
-        (Montecarlo.estimate_par ~chunks:0 (Rng.create ~seed:1) ~samples:10
-           integrand))
+    (Invalid_argument "Run_ctx.make: Fixed chunking must be >= 1")
+    (fun () -> ignore (Run_ctx.make ~chunking:(Run_ctx.Fixed 0) ()))
 
 (* --- crossbar Monte-Carlo yield --- *)
 

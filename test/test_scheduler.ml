@@ -26,17 +26,20 @@ let predicate rng = Rng.float rng < 0.41
 
 (* --- adversarial chunk/batch combinations --- *)
 
+let ctx_fixed ?pool ?batch chunks =
+  Run_ctx.make ?pool ~chunking:(Run_ctx.Fixed chunks) ?batch ()
+
 let test_adversarial_chunking () =
   let samples = 97 in
   (* One pool-less, fixed-chunk reference per estimator; every
      scheduling shape must reproduce it bit-for-bit. *)
   let baseline =
-    Montecarlo.estimate_par ~chunks:8 (Rng.create ~seed:2009) ~samples
-      integrand
+    Montecarlo.estimate_par ~ctx:(ctx_fixed 8) (Rng.create ~seed:2009)
+      ~samples integrand
   in
   let baseline_prop =
-    Montecarlo.estimate_proportion_par ~chunks:8 (Rng.create ~seed:2009)
-      ~samples predicate
+    Montecarlo.estimate_proportion_par ~ctx:(ctx_fixed 8)
+      (Rng.create ~seed:2009) ~samples predicate
   in
   let combos =
     [
@@ -60,11 +63,12 @@ let test_adversarial_chunking () =
                 Printf.sprintf "domains=%d chunks=%d batch=%d" domains chunks
                   batch
               in
+              let ctx = ctx_fixed ~pool ~batch chunks in
               Alcotest.check estimate ("estimate " ^ what) baseline
-                (Montecarlo.estimate_par ~pool ~chunks ~batch
-                   (Rng.create ~seed:2009) ~samples integrand);
+                (Montecarlo.estimate_par ~ctx (Rng.create ~seed:2009)
+                   ~samples integrand);
               Alcotest.check estimate ("proportion " ^ what) baseline_prop
-                (Montecarlo.estimate_proportion_par ~pool ~chunks ~batch
+                (Montecarlo.estimate_proportion_par ~ctx
                    (Rng.create ~seed:2009) ~samples predicate))
             combos))
     [ 1; 4 ]
@@ -76,8 +80,8 @@ let fault_spec = "seed=7;pool.chunk:crash:p=0.2;mc.sample_batch:crash:p=0.15"
 let test_determinism_under_faults () =
   let samples = 300 in
   let baseline =
-    Montecarlo.estimate_par ~chunks:16 (Rng.create ~seed:2009) ~samples
-      integrand
+    Montecarlo.estimate_par ~ctx:(ctx_fixed 16) (Rng.create ~seed:2009)
+      ~samples integrand
   in
   List.iter
     (fun domains ->
@@ -87,9 +91,10 @@ let test_determinism_under_faults () =
              so every (domains, batch) shape faces the same faults. *)
           let fault = Fault.create (Fault.parse_exn fault_spec) in
           let e =
-            Run_ctx.with_ctx ~domains ~fault ~warn:false (fun ctx ->
-                Montecarlo.estimate_par ~ctx ~chunks:16 ~batch
-                  (Rng.create ~seed:2009) ~samples integrand)
+            Run_ctx.with_ctx ~domains ~fault ~warn:false
+              ~chunking:(Run_ctx.Fixed 16) ~batch (fun ctx ->
+                Montecarlo.estimate_par ~ctx (Rng.create ~seed:2009) ~samples
+                  integrand)
           in
           Alcotest.check estimate
             (Printf.sprintf "faulted run, domains=%d batch=%d" domains batch)
