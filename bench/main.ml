@@ -968,19 +968,29 @@ let gate_fault_overhead ~quick =
     exit 1
   end
 
-(* --- serve bench: BENCH_serve.json + the warm-cache gate ---
+(* --- serve bench: BENCH_serve.json + the warm-cache gates ---
 
-   Boots the daemon in-process on a Unix socket, evaluates every Fig. 7
-   candidate (with a Monte-Carlo estimate) once cold and once warm, and
-   requires the warm pass — served from the artifact cache — to be at
-   least 5x faster in aggregate, with every warm result byte-identical
-   to its cold bytes.  A throughput loop over the warm set and the
-   p50/p99 of the daemon's own [serve.request_s] histogram land in
-   BENCH_serve.json alongside the per-design rows.  The gate is
-   always-on: a cache that misses, corrupts or fails to pay for itself
-   fails the process. *)
+   Three daemon lifetimes on one Unix socket:
+
+   1. cold/warm evaluates over every Fig. 7 candidate, a serial and a
+      4-client concurrent throughput loop, then a graceful shutdown
+      whose drain writes the artifact-cache snapshot;
+   2. a restarted daemon on the same [--cache-file]: every request must
+      come back warm, byte-identical to the pre-restart cold bytes, and
+      the whole warm-after-restart pass at least 5x faster than cold;
+   3. an overload probe (max-inflight 1, max-queue 1, the first request
+      stalled by an injected serve.dispatch fault): of five pipelined
+      requests exactly capacity are admitted, and the shed count on the
+      wire must equal the [serve.shed] telemetry counter exactly.
+
+   The p50/p99 of the daemon's own [serve.request_s] histogram land in
+   BENCH_serve.json alongside the per-design rows and the concurrency /
+   overload / persistence stats.  All gates are always-on: a cache that
+   misses, corrupts, fails to survive a restart or fails to pay for
+   itself — or admission control that miscounts — fails the process. *)
 
 module Serve = Nanodec_serve
+module Fault = Nanodec_fault.Fault
 
 let serve_gate_threshold = 5.
 
@@ -1019,10 +1029,16 @@ let run_serve_json ~quick =
   let mc_samples = if quick then 500 else 4_000 in
   let warm_reps = 3 in
   let throughput_requests = if quick then 200 else 1_000 in
+  let conc_clients = 4 in
   let socket_path =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "nanodec-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cache_file =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nanodec-bench-%d.snapshot" (Unix.getpid ()))
   in
   let requests =
     List.map
@@ -1033,68 +1049,195 @@ let run_serve_json ~quick =
             (Codebook.name ct) m mc_samples ))
       Figures.fig7_candidates
   in
+  let lines = Array.of_list (List.map snd requests) in
   let sink = Telemetry.create () in
-  Run_ctx.with_ctx ~domains:4 ~telemetry:sink @@ fun ctx ->
-  let state = Serve.Protocol.make_state ~base:ctx () in
-  let server = Serve.Server.create ~state (`Unix socket_path) in
-  let server_thread = Thread.create Serve.Server.serve server in
-  let rows, throughput =
+  (* Phase 1: cold/warm + throughput; the graceful drain persists the
+     cache snapshot for phase 2. *)
+  let rows, throughput, conc_throughput =
+    Run_ctx.with_ctx ~domains:4 ~telemetry:sink @@ fun ctx ->
+    let state = Serve.Protocol.make_state ~base:ctx () in
+    let server = Serve.Server.create ~cache_file ~state (`Unix socket_path) in
+    let server_thread = Thread.create Serve.Server.serve server in
     Fun.protect
       ~finally:(fun () ->
         Serve.Server.close server;
         Thread.join server_thread)
       (fun () ->
-        Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
-        let timed line =
+        let rows, throughput_s =
+          Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
+          let timed line =
+            let t0 = Unix.gettimeofday () in
+            let response = Serve.Client.request conn line in
+            (Unix.gettimeofday () -. t0, response)
+          in
+          section
+            (Printf.sprintf
+               "SERVE — cold vs warm-cache evaluate, %d fig7 designs x %d MC \
+                samples"
+               (List.length requests) mc_samples);
+          let rows =
+            List.map
+              (fun (name, line) ->
+                let cold_s, cold_response = timed line in
+                let cold_cached, cold_result =
+                  serve_result_of line cold_response
+                in
+                let warm_s = ref infinity and warm = ref None in
+                for _ = 1 to warm_reps do
+                  let t, response = timed line in
+                  if t < !warm_s then warm_s := t;
+                  warm := Some response
+                done;
+                let warm_cached, warm_result =
+                  serve_result_of line (Option.get !warm)
+                in
+                let ok =
+                  (not cold_cached) && warm_cached
+                  && String.equal cold_result warm_result
+                in
+                Printf.printf
+                  "%-8s cold %8.4fs   warm %8.4fs (%6.1fx)   hit ok: %b\n%!"
+                  name cold_s !warm_s (cold_s /. !warm_s) ok;
+                (name, cold_s, !warm_s, ok, cold_result))
+              requests
+          in
+          (* Throughput: warm evaluates round-robin over the design set. *)
           let t0 = Unix.gettimeofday () in
-          let response = Serve.Client.request conn line in
-          (Unix.gettimeofday () -. t0, response)
+          for i = 0 to throughput_requests - 1 do
+            ignore
+              (Serve.Client.request conn lines.(i mod Array.length lines))
+          done;
+          (rows, Unix.gettimeofday () -. t0)
         in
-        section
-          (Printf.sprintf
-             "SERVE — cold vs warm-cache evaluate, %d fig7 designs x %d MC \
-              samples"
-             (List.length requests) mc_samples);
-        let rows =
-          List.map
-            (fun (name, line) ->
-              let cold_s, cold_response = timed line in
-              let cold_cached, cold_result = serve_result_of line cold_response in
-              let warm_s = ref infinity and warm = ref None in
-              for _ = 1 to warm_reps do
-                let t, response = timed line in
-                if t < !warm_s then warm_s := t;
-                warm := Some response
-              done;
-              let warm_cached, warm_result =
-                serve_result_of line (Option.get !warm)
-              in
-              let ok =
-                (not cold_cached) && warm_cached
-                && String.equal cold_result warm_result
-              in
-              Printf.printf
-                "%-8s cold %8.4fs   warm %8.4fs (%6.1fx)   hit ok: %b\n%!" name
-                cold_s !warm_s (cold_s /. !warm_s) ok;
-              (name, cold_s, !warm_s, ok))
-            requests
-        in
-        (* Throughput: warm evaluates round-robin over the design set. *)
-        let lines = Array.of_list (List.map snd requests) in
+        (* Concurrent throughput: the same warm load split over
+           [conc_clients] connections hitting the worker pool at once. *)
+        let per_client = throughput_requests / conc_clients in
         let t0 = Unix.gettimeofday () in
-        for i = 0 to throughput_requests - 1 do
-          ignore
-            (Serve.Client.request conn lines.(i mod Array.length lines))
-        done;
-        let throughput_s = Unix.gettimeofday () -. t0 in
-        ignore (Serve.Client.request conn {|{"verb":"shutdown"}|});
-        (rows, throughput_s))
+        let clients =
+          List.init conc_clients (fun _ ->
+              Thread.create
+                (fun () ->
+                  Serve.Client.with_connection (`Unix socket_path)
+                  @@ fun conn ->
+                  for i = 0 to per_client - 1 do
+                    ignore
+                      (Serve.Client.request conn
+                         lines.(i mod Array.length lines))
+                  done)
+                ())
+        in
+        List.iter Thread.join clients;
+        let conc_s = Unix.gettimeofday () -. t0 in
+        (Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
+         ignore (Serve.Client.request conn {|{"verb":"shutdown"}|}));
+        (* Join the drain: the snapshot must be on disk before the
+           restart phase boots. *)
+        Thread.join server_thread;
+        (rows, throughput_s, conc_s))
   in
-  let cold_total = List.fold_left (fun a (_, c, _, _) -> a +. c) 0. rows in
-  let warm_total = List.fold_left (fun a (_, _, w, _) -> a +. w) 0. rows in
-  let all_identical = List.for_all (fun (_, _, _, ok) -> ok) rows in
+  let snapshot_bytes =
+    match Unix.stat cache_file with
+    | s -> s.Unix.st_size
+    | exception Unix.Unix_error _ -> 0
+  in
+  (* Phase 2: a fresh daemon restored from the snapshot — warm from
+     request one, byte-identical to the pre-restart cold bytes. *)
+  let restart_s, restart_all_warm, restart_identical =
+    Run_ctx.with_ctx ~domains:4 @@ fun ctx ->
+    let state = Serve.Protocol.make_state ~base:ctx () in
+    let server = Serve.Server.create ~cache_file ~state (`Unix socket_path) in
+    let server_thread = Thread.create Serve.Server.serve server in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.close server;
+        Thread.join server_thread)
+      (fun () ->
+        let dt, answers =
+          Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
+          let t0 = Unix.gettimeofday () in
+          let answers =
+            List.map
+              (fun (name, line) ->
+                let cached, result =
+                  serve_result_of line (Serve.Client.request conn line)
+                in
+                (name, cached, result))
+              requests
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          ignore (Serve.Client.request conn {|{"verb":"shutdown"}|});
+          (dt, answers)
+        in
+        Thread.join server_thread;
+        ( dt,
+          List.for_all (fun (_, cached, _) -> cached) answers,
+          List.for_all
+            (fun (name, _, result) ->
+              List.exists
+                (fun (n, _, _, _, cold_result) ->
+                  String.equal n name && String.equal result cold_result)
+                rows)
+            answers ))
+  in
+  (try Sys.remove cache_file with Sys_error _ -> ());
+  (* Phase 3: deterministic overload.  Capacity 2 (one worker, one
+     queue slot), the first request stalled at serve.dispatch: of five
+     pipelined requests exactly three must shed, and the telemetry
+     counter must agree with the wire. *)
+  let overload_capacity = 2 and overload_pipelined = 5 in
+  let overload_shed, overload_tele =
+    let osink = Telemetry.create () in
+    let fault =
+      Fault.create (Fault.parse_exn "seed=1;serve.dispatch:stall=300ms:key=0")
+    in
+    Run_ctx.with_ctx ~domains:1 ~telemetry:osink ~fault @@ fun ctx ->
+    let state = Serve.Protocol.make_state ~base:ctx () in
+    let server =
+      Serve.Server.create ~max_inflight:1 ~max_queue:1 ~state
+        (`Unix socket_path)
+    in
+    let server_thread = Thread.create Serve.Server.serve server in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.close server;
+        Thread.join server_thread)
+      (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        let payload =
+          String.concat ""
+            (List.init overload_pipelined (fun _ -> {|{"verb":"ping"}|} ^ "\n"))
+        in
+        ignore (Unix.write_substring fd payload 0 (String.length payload));
+        let ic = Unix.in_channel_of_descr fd in
+        let shed = ref 0 in
+        for _ = 1 to overload_pipelined do
+          match Serve.Json.parse (input_line ic) with
+          | Ok json ->
+            if
+              Option.bind (Serve.Json.member "kind" json)
+                Serve.Json.to_string_opt
+              = Some "overloaded"
+            then incr shed
+          | Error msg ->
+            Printf.eprintf "FAIL: unparsable overload response: %s\n" msg;
+            exit 1
+        done;
+        Unix.close fd;
+        (Serve.Client.with_connection (`Unix socket_path) @@ fun conn ->
+         ignore (Serve.Client.request conn {|{"verb":"shutdown"}|}));
+        Thread.join server_thread;
+        ( !shed,
+          Option.value ~default:0
+            (List.assoc_opt "serve.shed" (Telemetry.counters osink)) ))
+  in
+  let cold_total = List.fold_left (fun a (_, c, _, _, _) -> a +. c) 0. rows in
+  let warm_total = List.fold_left (fun a (_, _, w, _, _) -> a +. w) 0. rows in
+  let all_identical = List.for_all (fun (_, _, _, ok, _) -> ok) rows in
   let speedup = cold_total /. warm_total in
   let rps = float_of_int throughput_requests /. throughput in
+  let conc_rps = float_of_int throughput_requests /. conc_throughput in
+  let restart_speedup = cold_total /. restart_s in
   let latency =
     List.find_opt
       (fun h -> h.Telemetry.hs_name = "serve.request_s")
@@ -1105,6 +1248,18 @@ let run_serve_json ~quick =
     cold_total warm_total speedup all_identical;
   Printf.printf "serve throughput: %d warm requests in %.4fs (%.0f req/s)\n"
     throughput_requests throughput rps;
+  Printf.printf
+    "serve concurrency: %d clients x %d warm requests in %.4fs (%.0f req/s)\n"
+    conc_clients
+    (throughput_requests / conc_clients)
+    conc_throughput conc_rps;
+  Printf.printf
+    "serve restart: %d-byte snapshot, warm pass %.4fs (%.1fx vs cold), all \
+     warm: %b, identical: %b\n"
+    snapshot_bytes restart_s restart_speedup restart_all_warm restart_identical;
+  Printf.printf
+    "serve overload: %d pipelined at capacity %d -> %d shed (telemetry %d)\n"
+    overload_pipelined overload_capacity overload_shed overload_tele;
   (match latency with
   | Some h ->
     Printf.printf
@@ -1129,6 +1284,18 @@ let run_serve_json ~quick =
   out "  \"speedup\": %.3f,\n" speedup;
   out "  \"throughput\": {\"requests\": %d, \"seconds\": %.6f, \"rps\": %.1f},\n"
     throughput_requests throughput rps;
+  out
+    "  \"concurrency\": {\"clients\": %d, \"requests\": %d, \"seconds\": \
+     %.6f, \"rps\": %.1f},\n"
+    conc_clients throughput_requests conc_throughput conc_rps;
+  out
+    "  \"overload\": {\"capacity\": %d, \"pipelined\": %d, \"shed\": %d, \
+     \"telemetry_shed\": %d},\n"
+    overload_capacity overload_pipelined overload_shed overload_tele;
+  out
+    "  \"persistence\": {\"snapshot_bytes\": %d, \"restart_seconds\": %.6f, \
+     \"restart_speedup\": %.3f, \"all_warm\": %b, \"identical\": %b},\n"
+    snapshot_bytes restart_s restart_speedup restart_all_warm restart_identical;
   (match latency with
   | Some h ->
     out
@@ -1141,7 +1308,7 @@ let run_serve_json ~quick =
   | None -> out "  \"latency\": null,\n");
   out "  \"designs\": [\n";
   List.iteri
-    (fun i (name, cold_s, warm_s, ok) ->
+    (fun i (name, cold_s, warm_s, ok, _) ->
       out
         "    {\"name\": \"%s\", \"seconds\": {\"cold\": %.6f, \"warm\": \
          %.6f}, \"speedup\": %.3f, \"hit_identical\": %b}%s\n"
@@ -1151,7 +1318,8 @@ let run_serve_json ~quick =
   out "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote BENCH_serve.json (%d designs)\n" (List.length rows);
-  (* The gate is always-on: a cache this central must pay for itself. *)
+  (* The gates are always-on: a cache this central must pay for itself,
+     survive a restart and shed exactly what it says it sheds. *)
   if not all_identical then begin
     prerr_endline "FAIL: a warm response diverged from its cold bytes";
     exit 1
@@ -1159,6 +1327,28 @@ let run_serve_json ~quick =
   if speedup < serve_gate_threshold then begin
     Printf.eprintf "FAIL: warm-cache speedup %.2fx below the %.1fx gate\n"
       speedup serve_gate_threshold;
+    exit 1
+  end;
+  if not (restart_all_warm && restart_identical) then begin
+    prerr_endline
+      "FAIL: a restarted daemon did not serve the snapshot warm and \
+       byte-identical";
+    exit 1
+  end;
+  if restart_speedup < serve_gate_threshold then begin
+    Printf.eprintf
+      "FAIL: warm-after-restart speedup %.2fx below the %.1fx gate\n"
+      restart_speedup serve_gate_threshold;
+    exit 1
+  end;
+  if
+    overload_shed <> overload_pipelined - overload_capacity
+    || overload_tele <> overload_shed
+  then begin
+    Printf.eprintf
+      "FAIL: overload shed %d (telemetry %d), expected exactly %d\n"
+      overload_shed overload_tele
+      (overload_pipelined - overload_capacity);
     exit 1
   end
 

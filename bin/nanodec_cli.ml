@@ -744,18 +744,27 @@ let port_arg =
   Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
 
 let serve_cmd =
-  let run verbose socket port cache_capacity no_cache flags =
+  let run verbose socket port cache_capacity no_cache max_inflight max_queue
+      idle_timeout cache_file snapshot_interval flags =
     handle @@ fun () ->
     setup_logging verbose;
     let address = address_of ~socket ~port in
     E.check_int_range ~what:"--cache-capacity" ~min:1 ~max:1_000_000
       ~hint:"use --no-cache to disable caching instead" cache_capacity;
+    E.check_int_range ~what:"--max-inflight" ~min:1 ~max:1024 max_inflight;
+    E.check_int_range ~what:"--max-queue" ~min:1 ~max:1_000_000 max_queue;
+    Option.iter (E.check_timeout_s ~what:"--idle-timeout") idle_timeout;
+    E.check_timeout_s ~what:"--snapshot-interval" snapshot_interval;
     Ctx_flags.with_ctx flags @@ fun ctx ->
     let state =
       Serve.Protocol.make_state ~cache_enabled:(not no_cache)
         ~cache_capacity ~base:ctx ()
     in
-    let server = Serve.Server.create ~state address in
+    let server =
+      Serve.Server.create ~state ~max_inflight ~max_queue
+        ?idle_timeout_s:idle_timeout ?cache_file
+        ~snapshot_interval_s:snapshot_interval address
+    in
     (match Serve.Server.address server with
     | `Unix path -> Format.eprintf "nanodec serve: listening on %s@." path
     | `Tcp p -> Format.eprintf "nanodec serve: listening on 127.0.0.1:%d@." p);
@@ -769,9 +778,54 @@ let serve_cmd =
     let doc = "Disable the artifact cache: every request executes cold." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let max_inflight_arg =
+    let doc = "Worker threads executing requests concurrently." in
+    Arg.(value
+         & opt int Serve.Server.default_max_inflight
+         & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Requests allowed to wait beyond the workers; excess load is \
+       shed with structured $(i,overloaded) errors (exit code 6 \
+       semantics on the wire)."
+    in
+    Arg.(value
+         & opt int Serve.Server.default_max_queue
+         & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Close connections idle (or drip-feeding one request line) for \
+       more than SECONDS.  Off by default."
+    in
+    Arg.(value
+         & opt (some float) None
+         & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let cache_file_arg =
+    let doc =
+      "Persist the artifact cache to PATH (checksummed snapshots, \
+       atomic replace): restored on startup, written every \
+       $(b,--snapshot-interval) seconds and on graceful shutdown, so \
+       warm-cache hits survive restarts and crashes.  A corrupt \
+       snapshot is ignored with a warning."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-file" ] ~docv:"PATH" ~doc)
+  in
+  let snapshot_interval_arg =
+    let doc = "Seconds between cache snapshots (with --cache-file)." in
+    Arg.(value
+         & opt float 5.0
+         & info [ "snapshot-interval" ] ~docv:"SECONDS" ~doc)
+  in
   let term =
     Term.(const run $ verbose_arg $ socket_arg $ port_arg $ cache_capacity_arg
-          $ no_cache_arg $ Ctx_flags.term)
+          $ no_cache_arg $ max_inflight_arg $ max_queue_arg
+          $ idle_timeout_arg $ cache_file_arg $ snapshot_interval_arg
+          $ Ctx_flags.term)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -779,10 +833,11 @@ let serve_cmd =
     term
 
 let client_cmd =
-  let run socket port requests =
+  let run socket port timeout requests =
     handle @@ fun () ->
     let address = address_of ~socket ~port in
-    Serve.Client.with_connection address @@ fun conn ->
+    Option.iter (E.check_timeout_s ~what:"--timeout") timeout;
+    Serve.Client.with_connection ?timeout_s:timeout address @@ fun conn ->
     let send line =
       if String.trim line <> "" then
         print_endline (Serve.Client.request conn line)
@@ -802,10 +857,20 @@ let client_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
   in
+  let timeout_arg =
+    let doc =
+      "Give up on connecting or on an unfinished response after \
+       SECONDS (exit code 3).  Without it, a wedged daemon blocks \
+       forever."
+    in
+    Arg.(value
+         & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send requests to a running serve daemon and print the responses.")
-    Term.(const run $ socket_arg $ port_arg $ requests_arg)
+    Term.(const run $ socket_arg $ port_arg $ timeout_arg $ requests_arg)
 
 let main_cmd =
   let doc = "MSPT nanowire-decoder design flow (DAC 2009 reproduction)." in

@@ -3,16 +3,18 @@ type t =
   | Timeout of { site : string; seconds : float option }
   | Worker_crash of { site : string; detail : string; injected : bool }
   | Degraded of { site : string; reason : string }
+  | Overloaded of { site : string; pending : int; limit : int }
   | Internal of { detail : string }
 
 exception Error of t
 
-(* 2..5 are free below the shells' 126/127 and cmdliner's 124/125;
+(* 2..6 are free below the shells' 126/127 and cmdliner's 124/125;
    70 is sysexits' EX_SOFTWARE, the conventional "internal error". *)
 let exit_invalid_input = 2
 let exit_timeout = 3
 let exit_worker_crash = 4
 let exit_degraded = 5
+let exit_overloaded = 6
 let exit_internal = 70
 
 let exit_code = function
@@ -20,6 +22,7 @@ let exit_code = function
   | Timeout _ -> exit_timeout
   | Worker_crash _ -> exit_worker_crash
   | Degraded _ -> exit_degraded
+  | Overloaded _ -> exit_overloaded
   | Internal _ -> exit_internal
 
 let label = function
@@ -27,6 +30,7 @@ let label = function
   | Timeout _ -> "timeout"
   | Worker_crash _ -> "worker-crash"
   | Degraded _ -> "degraded"
+  | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
 
 let pp ppf t =
@@ -48,6 +52,11 @@ let pp ppf t =
     Format.fprintf ppf
       "[%s] %s was poisoned and degradation is disabled: %s" (label t) site
       reason
+  | Overloaded { site; pending; limit } ->
+    Format.fprintf ppf
+      "[%s] %s shed the request: %d already pending (limit %d) — retry \
+       once the daemon drains"
+      (label t) site pending limit
   | Internal { detail } ->
     Format.fprintf ppf "[%s] %s (this is a bug in nanodec)" (label t) detail);
   match t with

@@ -1,7 +1,7 @@
 (** The structured error taxonomy of the nanodec runtime.
 
     Every failure a user (or a supervising service) can observe is one
-    of five shapes, each with its own process exit code, so scripts and
+    of six shapes, each with its own process exit code, so scripts and
     orchestrators can react to {e what kind} of failure happened rather
     than parsing message text:
 
@@ -19,6 +19,9 @@
     {- {!Degraded} (exit {!exit_degraded}) — the pool was poisoned and
        degradation to sequential execution was disabled, so the run
        refused to continue.}
+    {- {!Overloaded} (exit {!exit_overloaded}) — the daemon's admission
+       control shed the request because its bounded work queue was
+       full.  The work was never started; retry after a drain.}
     {- {!Internal} (exit {!exit_internal}) — an invariant violation; a
        bug in nanodec itself, never the user's fault.}}
 
@@ -31,6 +34,7 @@ type t =
   | Timeout of { site : string; seconds : float option }
   | Worker_crash of { site : string; detail : string; injected : bool }
   | Degraded of { site : string; reason : string }
+  | Overloaded of { site : string; pending : int; limit : int }
   | Internal of { detail : string }
 
 exception Error of t
@@ -44,6 +48,8 @@ val exit_worker_crash : int  (** 4 *)
 
 val exit_degraded : int  (** 5 *)
 
+val exit_overloaded : int  (** 6 *)
+
 val exit_internal : int  (** 70, sysexits' EX_SOFTWARE *)
 
 val exit_code : t -> int
@@ -51,7 +57,8 @@ val exit_code : t -> int
 
 val label : t -> string
 (** Short kebab-case tag ([invalid-input], [timeout], [worker-crash],
-    [degraded], [internal]) used in rendered messages and logs. *)
+    [degraded], [overloaded], [internal]) used in rendered messages and
+    logs. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line message followed by an indented [hint:] line when the

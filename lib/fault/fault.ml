@@ -23,7 +23,8 @@ let () =
     | _ -> None)
 
 let known_sites =
-  [ "pool.chunk"; "mc.sample_batch"; "cave.window"; "telemetry.flush" ]
+  [ "pool.chunk"; "mc.sample_batch"; "cave.window"; "telemetry.flush";
+    "serve.dispatch"; "serve.snapshot" ]
 
 let default_seed = 2009
 let env_var = "NANODEC_FAULT_PLAN"

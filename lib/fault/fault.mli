@@ -9,7 +9,11 @@
     {- [mc.sample_batch] — before a Monte-Carlo chunk draws its batch
        (keyed by chunk index);}
     {- [cave.window] — before a cave window-yield estimate fans out;}
-    {- [telemetry.flush] — before a telemetry sink is exported.}}
+    {- [telemetry.flush] — before a telemetry sink is exported;}
+    {- [serve.dispatch] — before a daemon worker executes a request
+       (keyed by the request's arrival sequence number);}
+    {- [serve.snapshot] — before the daemon writes an artifact-cache
+       snapshot (keyed by the snapshot ordinal).}}
 
     A {e plan} is a seed plus a list of rules, written in a compact
     spec accepted by {!parse} and by the [NANODEC_FAULT_PLAN]

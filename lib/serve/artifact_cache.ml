@@ -163,6 +163,25 @@ let stats t =
         saved_s = t.saved_s;
       })
 
+let dump t =
+  locked t (fun () ->
+      let rec walk acc = function
+        | None -> acc
+        | Some node ->
+          walk ((node.key, node.cost_s, node.value) :: acc) node.next
+      in
+      (* Walking MRU→LRU while consing reverses the order, so the
+         result is LRU-first: replaying it through {!restore} in list
+         order rebuilds the exact recency chain. *)
+      walk [] t.mru)
+
+let restore t entries =
+  if t.enabled then
+    locked t (fun () ->
+        List.iter
+          (fun (key, cost_s, value) -> insert t ~key ~cost_s value)
+          entries)
+
 let digest key = Digest.to_hex (Digest.string key)
 
 let clear t =

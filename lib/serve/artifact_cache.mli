@@ -68,6 +68,21 @@ val keys : 'v t -> string list
 
 val stats : 'v t -> stats
 
+val dump : 'v t -> (string * float * 'v) list
+(** Every entry as [(key, build-cost seconds, value)], least recently
+    used first, so replaying the list through {!restore} in order
+    reproduces the recency chain exactly.  The snapshot writer's view
+    of the cache; counters are not included (a restarted daemon starts
+    its accounting fresh). *)
+
+val restore : 'v t -> (string * float * 'v) list -> unit
+(** Insert entries verbatim (preserving their recorded build costs)
+    without touching the hit/miss/build counters — warming a cache from
+    a snapshot is not a workload.  Entries are inserted in list order,
+    each becoming most recently used in turn; over-capacity inserts
+    evict as usual, so restoring a dump into a smaller cache keeps the
+    most recently used tail.  No-op on a disabled cache. *)
+
 val digest : string -> string
 (** MD5 hex of a key — the short display handle used in logs and the
     [stats] verb; never used for addressing. *)

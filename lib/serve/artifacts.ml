@@ -15,6 +15,12 @@ type value =
 
 type t = value Artifact_cache.t
 
+(* Bump the version whenever [value] (or anything reachable from it)
+   changes shape: the snapshot loader refuses mismatched schemas, so a
+   stale on-disk cache degrades to a cold start instead of feeding
+   [Marshal] bytes of the wrong type. *)
+let snapshot_schema = "nanodec-artifacts-v1"
+
 let create ?enabled ~capacity () = Artifact_cache.create ?enabled ~capacity ()
 
 (* Key prefixes keep the kinds disjoint, so a key can only ever map to

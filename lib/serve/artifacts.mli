@@ -34,6 +34,13 @@ type value =
 
 type t = value Artifact_cache.t
 
+val snapshot_schema : string
+(** The {!Snapshot} schema tag for caches of {!value} entries — bumped
+    whenever the artifact shapes change, so stale snapshot files load
+    as cold caches rather than as misinterpreted bytes.  Every [value]
+    constructor holds pure data (arrays, floats, lists — no closures),
+    which is what makes the marshalled snapshot well-defined. *)
+
 val create : ?enabled:bool -> capacity:int -> unit -> t
 
 val words :

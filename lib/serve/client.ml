@@ -1,6 +1,10 @@
 module E = Nanodec_error
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read past the last returned line *)
+  timeout_s : float option;
+}
 
 let sockaddr_of = function
   | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -10,17 +14,22 @@ let describe = function
   | `Unix path -> Printf.sprintf "unix socket %S" path
   | `Tcp port -> Printf.sprintf "127.0.0.1:%d" port
 
-let connect ?(attempts = 40) address =
+let connect ?(attempts = 40) ?timeout_s address =
+  Option.iter (E.check_timeout_s ~what:"timeout") timeout_s;
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
   let domain, addr = sockaddr_of address in
   let rec attempt left =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () ->
-      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | () -> { fd; buf = Buffer.create 256; timeout_s }
     | exception
         Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
       when left > 1 ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match deadline with
+      | Some dl when Unix.gettimeofday () +. 0.05 >= dl ->
+        E.fail (E.Timeout { site = "client.connect"; seconds = timeout_s })
+      | Some _ | None -> ());
       Unix.sleepf 0.05;
       attempt (left - 1)
     | exception Unix.Unix_error (err, _, _) ->
@@ -30,14 +39,57 @@ let connect ?(attempts = 40) address =
   in
   attempt (max 1 attempts)
 
+let write_all fd s =
+  let len = String.length s in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write_substring fd s !sent (len - !sent)
+  done
+
+(* Pop the first buffered line, keeping the tail (pipelined responses
+   arrive together). *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
+
+let read_chunk = 65536
+
 let request t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc;
-  match input_line t.ic with
-  | line -> line
-  | exception End_of_file ->
-    E.fail (E.internal "daemon closed the connection before responding")
+  write_all t.fd line;
+  write_all t.fd "\n";
+  (* One deadline for the whole response, not per read: a daemon
+     dribbling bytes forever is exactly the wedge this guards. *)
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) t.timeout_s in
+  let timed_out () =
+    E.fail (E.Timeout { site = "client.read"; seconds = t.timeout_s })
+  in
+  let bytes = Bytes.create read_chunk in
+  let rec next () =
+    match take_line t with
+    | Some l -> l
+    | None ->
+      (match deadline with
+      | None -> ()
+      | Some dl -> (
+        let remaining = dl -. Unix.gettimeofday () in
+        if remaining <= 0. then timed_out ();
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> timed_out ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+      (match Unix.read t.fd bytes 0 read_chunk with
+      | 0 ->
+        E.fail (E.internal "daemon closed the connection before responding")
+      | n -> Buffer.add_subbytes t.buf bytes 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      next ()
+  in
+  next ()
 
 let request_json t json =
   match Json.parse (request t (Json.to_string json)) with
@@ -45,12 +97,8 @@ let request_json t json =
   | Error msg ->
     E.fail (E.internal (Printf.sprintf "unparsable response from daemon: %s" msg))
 
-let close t =
-  (* Closing the channels closes the shared fd; ignore double-closes. *)
-  (try close_out_noerr t.oc with _ -> ());
-  (try close_in_noerr t.ic with _ -> ());
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection ?attempts address f =
-  let t = connect ?attempts address in
+let with_connection ?attempts ?timeout_s address f =
+  let t = connect ?attempts ?timeout_s address in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

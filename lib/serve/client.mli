@@ -1,29 +1,41 @@
-(** Blocking line-protocol client for the serve daemon.
+(** Line-protocol client for the serve daemon.
 
-    One connection, blocking I/O, one response line per request line —
-    the counterpart the CLI's [nanodec client] command, the tests and
-    the bench closed loop all use.  Responses come back in request
-    order (the daemon executes serially), so pipelining [request]
-    calls from one connection is safe. *)
+    One connection, one response line per request line — the
+    counterpart of the CLI's [nanodec client] command, the tests and
+    the bench closed loop.  Responses come back in request order (the
+    daemon writes each connection's responses in arrival order however
+    it schedules them), so pipelining {!request} calls from one
+    connection is safe.
+
+    With [?timeout_s] set, a wedged daemon cannot hang the client:
+    connect retries stop at the deadline and a response that does not
+    complete within it raises [Nanodec_error.Error (Timeout _)] —
+    exit code {!Nanodec_error.exit_timeout} through the CLI.  The
+    deadline covers the whole response, so a daemon dribbling bytes
+    forever times out too.  Without it, reads block indefinitely (the
+    pre-hardening behaviour). *)
 
 type t
 
-val connect : ?attempts:int -> Server.address -> t
+val connect : ?attempts:int -> ?timeout_s:float -> Server.address -> t
 (** Connect, retrying a refused/missing socket [attempts] times
     (default 40) at 50 ms intervals — the daemon may still be binding
     when a test or bench races it up.  Raises
     [Nanodec_error.Error (Invalid_input _)] once the attempts are
-    exhausted. *)
+    exhausted, [Error (Timeout _)] when [timeout_s] expires first. *)
 
 val request : t -> string -> string
 (** Send one line (the newline is appended) and block for the response
     line.  Raises [Nanodec_error.Error (Internal _)] if the daemon
-    closes the connection first. *)
+    closes the connection first, [Error (Timeout _)] if the
+    connection's [timeout_s] elapses before the response line is
+    complete. *)
 
 val request_json : t -> Json.t -> Json.t
 (** {!request} through the JSON writer/parser. *)
 
 val close : t -> unit
 
-val with_connection : ?attempts:int -> Server.address -> (t -> 'a) -> 'a
+val with_connection :
+  ?attempts:int -> ?timeout_s:float -> Server.address -> (t -> 'a) -> 'a
 (** [connect] + [f] + [close], exception-safe. *)

@@ -6,28 +6,59 @@ module E = Nanodec_error
 module Run_ctx = Nanodec_parallel.Run_ctx
 module Fault = Nanodec_fault.Fault
 
+(* A live view of the server's dispatch queue and snapshot clock,
+   installed by the concurrent server so the [stats] and [shutdown]
+   verbs can report scheduling state.  [None] (direct [handle_line]
+   callers: tests, a hypothetical inline runner) reports zeros. *)
+type scheduler = {
+  max_inflight : int;
+  max_queue : int;
+  inflight : int;
+  queued : int;
+  shed : int;
+  snapshot_age_s : float option;
+}
+
 type state = {
   artifacts : Artifacts.t;
   base : Run_ctx.t;
-  mutable requests : int;
-  mutable errors : int;
-  mutable stopping : bool;
+  (* Requests execute on worker threads, so the counters and the
+     stopping latch are atomics rather than plain mutable fields. *)
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  stopping : bool Atomic.t;
+  mutable scheduler_probe : (unit -> scheduler) option;
 }
 
 let make_state ?(cache_enabled = true) ?(cache_capacity = 256) ~base () =
   {
     artifacts = Artifacts.create ~enabled:cache_enabled ~capacity:cache_capacity ();
     base;
-    requests = 0;
-    errors = 0;
-    stopping = false;
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
+    stopping = Atomic.make false;
+    scheduler_probe = None;
   }
 
 let artifacts state = state.artifacts
 let base state = state.base
-let requests state = state.requests
-let errors state = state.errors
-let stopping state = state.stopping
+let requests state = Atomic.get state.requests
+let errors state = Atomic.get state.errors
+let stopping state = Atomic.get state.stopping
+let set_scheduler_probe state probe = state.scheduler_probe <- probe
+
+let scheduler_view state =
+  match state.scheduler_probe with
+  | Some probe -> probe ()
+  | None ->
+    {
+      max_inflight = 1;
+      max_queue = 0;
+      inflight = 1;
+      queued = 0;
+      shed = 0;
+      snapshot_age_s = None;
+    }
 
 let known_verbs =
   [ "ping"; "evaluate"; "yield"; "sweep"; "codes"; "check"; "stats"; "shutdown" ]
@@ -301,6 +332,9 @@ let error_response ~id err =
               detail
           | E.Degraded { site; reason } ->
             Printf.sprintf "%s refused to degrade: %s" site reason
+          | E.Overloaded { site; pending; limit } ->
+            Printf.sprintf "%s shed the request: %d pending (limit %d)"
+              site pending limit
           | E.Internal { detail } -> detail) );
       ( "hint",
         match err with
@@ -472,10 +506,24 @@ let run_check params =
 
 let run_stats state =
   let s = Artifact_cache.stats state.artifacts in
+  let sched = scheduler_view state in
   Json.Obj
     [
-      ("requests", Json.Int state.requests);
-      ("errors", Json.Int state.errors);
+      ("requests", Json.Int (Atomic.get state.requests));
+      ("errors", Json.Int (Atomic.get state.errors));
+      ( "serve",
+        Json.Obj
+          [
+            ("max_inflight", Json.Int sched.max_inflight);
+            ("max_queue", Json.Int sched.max_queue);
+            ("inflight", Json.Int sched.inflight);
+            ("queued", Json.Int sched.queued);
+            ("shed", Json.Int sched.shed);
+            ( "snapshot_age_s",
+              match sched.snapshot_age_s with
+              | Some a -> Json.Float a
+              | None -> Json.Null );
+          ] );
       ( "cache",
         Json.Obj
           [
@@ -517,8 +565,20 @@ let dispatch state ~id json =
     | "check" -> (run_check params, false)
     | "stats" -> (run_stats state, false)
     | "shutdown" ->
-      state.stopping <- true;
-      (Json.Obj [ ("stopping", Json.Bool true) ], false)
+      Atomic.set state.stopping true;
+      (* What the drain will have to finish: every other in-flight
+         request plus everything still queued (this request is the
+         [- 1]).  [shed] is the admission-control reject count so far —
+         the split between served-before-stopping and refused load. *)
+      let sched = scheduler_view state in
+      ( Json.Obj
+          [
+            ("stopping", Json.Bool true);
+            ( "draining",
+              Json.Int (max 0 (sched.inflight - 1) + sched.queued) );
+            ("shed", Json.Int sched.shed);
+          ],
+        false )
     | v ->
       E.invalid_inputf
         ~hint:("known verbs: " ^ String.concat ", " known_verbs)
@@ -529,7 +589,7 @@ let dispatch state ~id json =
 let error_line err = Json.to_string (error_response ~id:Json.Null err)
 
 let handle_line state line =
-  state.requests <- state.requests + 1;
+  Atomic.incr state.requests;
   let id, response =
     match Json.parse line with
     | Error msg ->
@@ -560,5 +620,5 @@ let handle_line state line =
   match response with
   | Ok r -> Json.to_string r
   | Error err ->
-    state.errors <- state.errors + 1;
+    Atomic.incr state.errors;
     Json.to_string (error_response ~id err)

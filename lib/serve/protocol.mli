@@ -40,7 +40,24 @@
 
 type state
 (** One daemon's protocol state: the artifact cache, the shared base
-    context and the request/error counters of the [stats] verb. *)
+    context and the request/error counters of the [stats] verb.  The
+    counters and the stopping latch are atomic — {!handle_line} is safe
+    to call from concurrent worker threads (responses stay pure
+    functions of their requests; only the [stats] counters observe the
+    interleaving). *)
+
+(** A live view of the server's dispatch scheduler, reported by the
+    [stats] verb and (as drained-vs-shed counts) by [shutdown]. *)
+type scheduler = {
+  max_inflight : int;  (** worker-thread count *)
+  max_queue : int;  (** admission bound beyond the workers *)
+  inflight : int;  (** requests executing right now *)
+  queued : int;  (** requests waiting for a worker *)
+  shed : int;  (** requests refused with [Overloaded] so far *)
+  snapshot_age_s : float option;
+      (** seconds since the last successful cache snapshot; [None]
+          when persistence is off or nothing was written yet *)
+}
 
 val make_state :
   ?cache_enabled:bool ->
@@ -66,6 +83,12 @@ val errors : state -> int
 val stopping : state -> bool
 (** Set once a [shutdown] request has been answered; the server loop
     drains and exits when it sees this. *)
+
+val set_scheduler_probe : state -> (unit -> scheduler) option -> unit
+(** Install the server's scheduler view (called once, before any
+    worker runs).  Without a probe the [stats]/[shutdown] scheduling
+    fields report the serial picture: one in-flight request (the one
+    being answered), nothing queued, nothing shed. *)
 
 val known_verbs : string list
 (** ping, evaluate, yield, sweep, codes, check, stats, shutdown. *)

@@ -1,18 +1,52 @@
 module E = Nanodec_error
 module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
+module Fault = Nanodec_fault.Fault
+module Errors = Nanodec.Errors
 
 type address = [ `Unix of string | `Tcp of int ]
 
 let default_max_line_bytes = 1024 * 1024
+let default_max_inflight = 4
+let default_max_queue = 64
 
 type conn = {
+  id : int;  (* completions address connections by id, not fd *)
   fd : Unix.file_descr;
   inbuf : Buffer.t;  (* bytes of the current incomplete line *)
   mutable out : string;  (* pending response bytes *)
   mutable sent : int;
   mutable discarding : bool;  (* inside an oversized line, until '\n' *)
-  mutable closing : bool;  (* close once [out] drains *)
+  mutable closing : bool;  (* EOF seen: close once everything is answered *)
+  mutable next_seq : int;  (* arrival index of the next submitted line *)
+  mutable next_write : int;  (* arrival index the output is waiting for *)
+  pending : (int, string) Hashtbl.t;
+      (* responses that finished ahead of an earlier request — held
+         until the arrival-order prefix is contiguous, which is what
+         keeps concurrent execution invisible on the wire *)
+  mutable last_activity : float;
+  mutable line_started : float option;
+      (* when the current incomplete line began — the slow-read guard *)
+}
+
+type job = { conn_id : int; seq : int; line : string; key : int }
+
+(* The dispatch scheduler: worker threads pull jobs from a bounded
+   queue; the select loop is the only producer and the only consumer
+   of [completions].  [outstanding] counts queued + in-flight jobs —
+   admission control sheds at [max_inflight + max_queue] so the
+   decision depends only on submissions and completions, never on how
+   quickly a worker happens to pop the queue. *)
+type sched = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  mutable inflight : int;
+  mutable outstanding : int;
+  mutable shed : int;
+  mutable stop : bool;
+  mutable completions : (int * int * string) list;  (* (conn id, seq, line) *)
+  mutable workers : Thread.t list;
 }
 
 type t = {
@@ -21,14 +55,170 @@ type t = {
   bound : address;
   unlink_on_close : string option;
   max_line_bytes : int;
+  max_inflight : int;
+  max_queue : int;
+  idle_timeout_s : float option;
+  cache_file : string option;
+  snapshot_interval_s : float;
+  sched : sched;
+  wake_r : Unix.file_descr;  (* self-pipe: workers wake the select loop *)
+  wake_w : Unix.file_descr;
   mutable conns : conn list;
   mutable open_ : bool;
+  mutable next_conn_id : int;
+  mutable next_key : int;  (* serve.dispatch fault key: global arrival index *)
+  mutable term_requested : bool;
+  mutable last_snapshot_check : float;
+  mutable last_snapshot_mark : int;  (* cache (misses+evictions) at last write *)
+  mutable snapshot_time : float option;
+  mutable snapshot_ordinal : int;  (* serve.snapshot fault key *)
 }
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let sink t = Run_ctx.telemetry (Protocol.base t.state)
+let fault t = Run_ctx.fault (Protocol.base t.state)
 
-let create ?(backlog = 16) ?(max_line_bytes = default_max_line_bytes) ~state
-    address =
+let warn fmt =
+  Format.kasprintf (fun msg -> Format.eprintf "nanodec serve: %s@." msg) fmt
+
+(* --- crash-safe cache persistence --- *)
+
+let load_snapshot ~state path =
+  match Snapshot.load ~path ~schema:Artifacts.snapshot_schema with
+  | Ok [] -> ()
+  | Ok entries ->
+    Artifact_cache.restore (Protocol.artifacts state) entries;
+    warn "restored %d cached artifacts from %s" (List.length entries) path
+  | Error msg ->
+    (* Corruption costs the warm cache, never the daemon. *)
+    warn "ignoring corrupt snapshot (starting cold): %s" msg
+
+let cache_mark t =
+  let s = Artifact_cache.stats (Protocol.artifacts t.state) in
+  (* Any insert into an enabled cache is a miss, and contents only
+     change through inserts and the evictions they cause — so this
+     pair moves exactly when the cache does. *)
+  s.Artifact_cache.misses + s.Artifact_cache.evictions
+
+let write_snapshot t path ~now =
+  let ordinal = t.snapshot_ordinal in
+  t.snapshot_ordinal <- ordinal + 1;
+  let mark = cache_mark t in
+  match
+    Fault.hit (fault t) ~key:ordinal "serve.snapshot";
+    Snapshot.save ~path ~schema:Artifacts.snapshot_schema
+      (Artifact_cache.dump (Protocol.artifacts t.state))
+  with
+  | Ok () ->
+    t.last_snapshot_mark <- mark;
+    t.snapshot_time <- Some now;
+    Telemetry.count (sink t) "serve.snapshots" 1
+  | Error msg -> warn "snapshot failed (will retry): %s" msg
+  | exception exn ->
+    (* An injected serve.snapshot crash (or any other surprise): skip
+       this cycle; the previous on-disk snapshot stays intact. *)
+    warn "snapshot skipped: %s" (Printexc.to_string exn)
+
+let maybe_snapshot t ~now ~force =
+  match t.cache_file with
+  | None -> ()
+  | Some path ->
+    if force || now -. t.last_snapshot_check >= t.snapshot_interval_s then begin
+      t.last_snapshot_check <- now;
+      if cache_mark t <> t.last_snapshot_mark then write_snapshot t path ~now
+    end
+
+(* --- scheduler --- *)
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "!" 0 1)
+  with Unix.Unix_error _ -> ()
+(* EAGAIN: a wake byte is already pending, which is all we need;
+   EBADF/EPIPE: [close] raced us, the loop is gone anyway. *)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.sched.mutex;
+    while Queue.is_empty t.sched.jobs && not t.sched.stop do
+      Condition.wait t.sched.nonempty t.sched.mutex
+    done;
+    if Queue.is_empty t.sched.jobs then Mutex.unlock t.sched.mutex
+    else begin
+      let job = Queue.pop t.sched.jobs in
+      t.sched.inflight <- t.sched.inflight + 1;
+      Mutex.unlock t.sched.mutex;
+      let t0 = Unix.gettimeofday () in
+      let response =
+        match
+          Fault.hit (fault t) ~key:job.key "serve.dispatch";
+          Protocol.handle_line t.state job.line
+        with
+        | response -> response
+        | exception exn -> (
+          (* [handle_line] is total, so only the dispatch probe lands
+             here — render it like any classified failure and keep
+             serving. *)
+          match Errors.classify exn with
+          | Some err -> Protocol.error_line err
+          | None -> Protocol.error_line (E.internal (Printexc.to_string exn)))
+      in
+      Telemetry.record (sink t) "serve.request_s"
+        (Unix.gettimeofday () -. t0);
+      Telemetry.count (sink t) "serve.requests" 1;
+      Mutex.lock t.sched.mutex;
+      t.sched.inflight <- t.sched.inflight - 1;
+      t.sched.outstanding <- t.sched.outstanding - 1;
+      t.sched.completions <- (job.conn_id, job.seq, response) :: t.sched.completions;
+      Mutex.unlock t.sched.mutex;
+      wake t;
+      loop ()
+    end
+  in
+  loop ()
+
+let start_workers t =
+  t.sched.workers <-
+    List.init t.max_inflight (fun _ -> Thread.create worker_loop t)
+
+let stop_workers t ~join =
+  Mutex.lock t.sched.mutex;
+  t.sched.stop <- true;
+  Condition.broadcast t.sched.nonempty;
+  Mutex.unlock t.sched.mutex;
+  if join then begin
+    List.iter Thread.join t.sched.workers;
+    t.sched.workers <- []
+  end
+
+let scheduler_view t () =
+  Mutex.lock t.sched.mutex;
+  let inflight = t.sched.inflight in
+  let queued = Queue.length t.sched.jobs in
+  let shed = t.sched.shed in
+  Mutex.unlock t.sched.mutex;
+  {
+    Protocol.max_inflight = t.max_inflight;
+    max_queue = t.max_queue;
+    inflight;
+    queued;
+    shed;
+    snapshot_age_s =
+      Option.map (fun ts -> Unix.gettimeofday () -. ts) t.snapshot_time;
+  }
+
+(* --- lifecycle --- *)
+
+let create ?(backlog = 16) ?(max_line_bytes = default_max_line_bytes)
+    ?(max_inflight = default_max_inflight) ?(max_queue = default_max_queue)
+    ?idle_timeout_s ?cache_file
+    ?(snapshot_interval_s = 5.0) ~state address =
+  if max_inflight < 1 then
+    E.invalid_inputf "max-inflight must be >= 1 (got %d)" max_inflight;
+  if max_queue < 1 then
+    E.invalid_inputf "max-queue must be >= 1 (got %d)" max_queue;
+  Option.iter (E.check_timeout_s ~what:"idle-timeout") idle_timeout_s;
+  E.check_timeout_s ~what:"snapshot-interval" snapshot_interval_s;
+  Option.iter (load_snapshot ~state) cache_file;
   let fd, bound, unlink_on_close =
     match address with
     | `Unix path ->
@@ -65,15 +255,49 @@ let create ?(backlog = 16) ?(max_line_bytes = default_max_line_bytes) ~state
   in
   Unix.listen fd backlog;
   Unix.set_nonblock fd;
-  {
-    state;
-    listen_fd = fd;
-    bound;
-    unlink_on_close;
-    max_line_bytes;
-    conns = [];
-    open_ = true;
-  }
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      state;
+      listen_fd = fd;
+      bound;
+      unlink_on_close;
+      max_line_bytes;
+      max_inflight;
+      max_queue;
+      idle_timeout_s;
+      cache_file;
+      snapshot_interval_s;
+      sched =
+        {
+          mutex = Mutex.create ();
+          nonempty = Condition.create ();
+          jobs = Queue.create ();
+          inflight = 0;
+          outstanding = 0;
+          shed = 0;
+          stop = false;
+          completions = [];
+          workers = [];
+        };
+      wake_r;
+      wake_w;
+      conns = [];
+      open_ = true;
+      next_conn_id = 0;
+      next_key = 0;
+      term_requested = false;
+      last_snapshot_check = Unix.gettimeofday ();
+      last_snapshot_mark = 0;
+      snapshot_time = None;
+      snapshot_ordinal = 0;
+    }
+  in
+  Protocol.set_scheduler_probe state (Some (scheduler_view t));
+  start_workers t;
+  t
 
 let address t = t.bound
 
@@ -84,29 +308,90 @@ let drop_conn t conn =
 let close t =
   if t.open_ then begin
     t.open_ <- false;
+    stop_workers t ~join:false;
     close_fd t.listen_fd;
     List.iter (fun c -> close_fd c.fd) t.conns;
     t.conns <- [];
+    close_fd t.wake_r;
+    close_fd t.wake_w;
     Option.iter
       (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
       t.unlink_on_close
   end
 
-(* --- request execution --- *)
+(* --- response ordering --- *)
 
-let enqueue conn response =
-  conn.out <- conn.out ^ response ^ "\n"
+(* Append every response whose arrival-order predecessors are already
+   out; later completions wait in [conn.pending]. *)
+let flush_ready conn =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt conn.pending conn.next_write with
+    | Some response ->
+      Hashtbl.remove conn.pending conn.next_write;
+      conn.next_write <- conn.next_write + 1;
+      conn.out <- conn.out ^ response ^ "\n"
+    | None -> continue := false
+  done
 
-let answer t conn line =
-  let sink = Run_ctx.telemetry (Protocol.base t.state) in
-  let t0 = Unix.gettimeofday () in
-  let response = Protocol.handle_line t.state line in
-  Telemetry.record sink "serve.request_s" (Unix.gettimeofday () -. t0);
-  Telemetry.count sink "serve.requests" 1;
-  enqueue conn response
+let complete t conn_id seq response =
+  match List.find_opt (fun c -> c.id = conn_id) t.conns with
+  | Some conn ->
+    Hashtbl.replace conn.pending seq response;
+    flush_ready conn
+  | None -> ()  (* the client left before its answer was ready *)
+
+let drain_completions t =
+  Mutex.lock t.sched.mutex;
+  let completions = t.sched.completions in
+  t.sched.completions <- [];
+  Mutex.unlock t.sched.mutex;
+  (* Arrival order is restored by the per-connection sequence numbers,
+     so the list order (newest first) does not matter. *)
+  List.iter (fun (conn_id, seq, r) -> complete t conn_id seq r) completions
+
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with 0 -> () | _ -> go ()
+  in
+  try go ()
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+
+(* --- admission --- *)
+
+let submit t conn line =
+  let seq = conn.next_seq in
+  conn.next_seq <- seq + 1;
+  let key = t.next_key in
+  t.next_key <- key + 1;
+  let capacity = t.max_inflight + t.max_queue in
+  Mutex.lock t.sched.mutex;
+  let outstanding = t.sched.outstanding in
+  if outstanding >= capacity then begin
+    t.sched.shed <- t.sched.shed + 1;
+    Mutex.unlock t.sched.mutex;
+    Telemetry.count (sink t) "serve.shed" 1;
+    complete t conn.id seq
+      (Protocol.error_line
+         (E.Overloaded
+            { site = "serve.dispatch"; pending = outstanding; limit = capacity }))
+  end
+  else begin
+    t.sched.outstanding <- outstanding + 1;
+    Queue.push { conn_id = conn.id; seq; line; key } t.sched.jobs;
+    Condition.signal t.sched.nonempty;
+    Mutex.unlock t.sched.mutex;
+    Telemetry.record (sink t) "serve.queue_depth" (float_of_int (outstanding + 1))
+  end
 
 let oversized t conn =
-  enqueue conn
+  (* Answered locally (never dispatched), but through the same
+     sequence numbering so it lands in arrival order. *)
+  let seq = conn.next_seq in
+  conn.next_seq <- seq + 1;
+  complete t conn.id seq
     (Protocol.error_line
        (E.Invalid_input
           {
@@ -115,7 +400,7 @@ let oversized t conn =
             hint = Some "one JSON object per line";
           }))
 
-(* Split freshly read bytes into complete lines (executing each) and
+(* Split freshly read bytes into complete lines (dispatching each) and
    stash the incomplete tail back into [conn.inbuf], honouring the
    oversized-line resync state. *)
 let feed t conn data =
@@ -135,11 +420,14 @@ let feed t conn data =
         let line = Buffer.contents conn.inbuf in
         Buffer.clear conn.inbuf;
         if String.length line > t.max_line_bytes then oversized t conn
-        else if String.trim line <> "" then answer t conn line
+        else if String.trim line <> "" then submit t conn line
       end;
+      conn.line_started <- None;
       pos := nl + 1
     | None ->
       if not conn.discarding then begin
+        if Buffer.length conn.inbuf = 0 && !pos < n then
+          conn.line_started <- Some (Unix.gettimeofday ());
         Buffer.add_substring conn.inbuf data !pos (n - !pos);
         if Buffer.length conn.inbuf > t.max_line_bytes then begin
           oversized t conn;
@@ -150,16 +438,25 @@ let feed t conn data =
       pos := n
   done
 
+(* --- socket events --- *)
+
 let read_chunk = 65536
+
+(* Everything submitted has been answered and flushed. *)
+let settled conn =
+  conn.next_write = conn.next_seq && conn.out = "" && conn.sent = 0
 
 let handle_readable t conn =
   let bytes = Bytes.create read_chunk in
   match Unix.read conn.fd bytes 0 read_chunk with
   | 0 ->
     (* EOF: an incomplete trailing line is dropped by design (the
-       client never finished sending it). *)
-    if conn.out = "" then drop_conn t conn else conn.closing <- true
-  | n -> feed t conn (Bytes.sub_string bytes 0 n)
+       client never finished sending it), but everything already
+       dispatched is still answered before the close. *)
+    if settled conn then drop_conn t conn else conn.closing <- true
+  | n ->
+    conn.last_activity <- Unix.gettimeofday ();
+    feed t conn (Bytes.sub_string bytes 0 n)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | exception Unix.Unix_error _ -> drop_conn t conn
@@ -167,15 +464,13 @@ let handle_readable t conn =
 let handle_writable t conn =
   let pending = String.length conn.out - conn.sent in
   if pending > 0 then
-    match
-      Unix.write_substring conn.fd conn.out conn.sent pending
-    with
+    match Unix.write_substring conn.fd conn.out conn.sent pending with
     | n ->
       conn.sent <- conn.sent + n;
       if conn.sent = String.length conn.out then begin
         conn.out <- "";
         conn.sent <- 0;
-        if conn.closing then drop_conn t conn
+        if conn.closing && settled conn then drop_conn t conn
       end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       -> ()
@@ -185,79 +480,136 @@ let handle_accept t =
   match Unix.accept t.listen_fd with
   | fd, _ ->
     Unix.set_nonblock fd;
+    let id = t.next_conn_id in
+    t.next_conn_id <- id + 1;
     t.conns <-
       {
+        id;
         fd;
         inbuf = Buffer.create 256;
         out = "";
         sent = 0;
         discarding = false;
         closing = false;
+        next_seq = 0;
+        next_write = 0;
+        pending = Hashtbl.create 8;
+        last_activity = Unix.gettimeofday ();
+        line_started = None;
       }
       :: t.conns
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | exception Unix.Unix_error _ -> ()
 
-(* After a shutdown request: no new connections, no new reads — just
-   flush every pending response, then close.  Complete lines that had
-   already been read were answered before we got here ([feed] executes
-   eagerly), so nothing fully received is dropped. *)
+(* Idle deadline + slowloris guard: a connection with no outstanding
+   work that has been silent past the deadline — or that has been
+   drip-feeding one incomplete line past it, however chatty the drip —
+   is closed.  Connections still owed a response are never reaped. *)
+let check_idle t ~now =
+  match t.idle_timeout_s with
+  | None -> ()
+  | Some idle ->
+    let victims =
+      List.filter
+        (fun c ->
+          settled c
+          && (now -. c.last_activity > idle
+             ||
+             match c.line_started with
+             | Some started -> now -. started > idle
+             | None -> false))
+        t.conns
+    in
+    List.iter (fun c -> drop_conn t c) victims
+
+(* --- drain & main loop --- *)
+
+(* Graceful exit (shutdown verb or SIGTERM): no new connections, no
+   new reads — every request already dispatched or queued is finished
+   and its response flushed, the cache is snapshotted, the workers are
+   joined.  Complete lines that were read before the stop are all
+   answered; only unread bytes are abandoned. *)
 let drain t =
-  let deadline = Unix.gettimeofday () +. 5.0 in
-  let rec flush () =
-    let pending =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec settle () =
+    drain_completions t;
+    let waiting = List.exists (fun c -> c.next_write < c.next_seq) t.conns in
+    let unflushed =
       List.filter (fun c -> String.length c.out > c.sent) t.conns
     in
-    if pending <> [] && Unix.gettimeofday () < deadline then begin
-      match Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.5 with
-      | _, w, _ ->
+    if (waiting || unflushed <> []) && Unix.gettimeofday () < deadline then begin
+      match
+        Unix.select [ t.wake_r ] (List.map (fun c -> c.fd) unflushed) [] 0.5
+      with
+      | r, w, _ ->
+        if r <> [] then drain_wake t;
         List.iter
           (fun fd ->
             match List.find_opt (fun c -> c.fd = fd) t.conns with
             | Some conn -> handle_writable t conn
             | None -> ())
           w;
-        flush ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush ()
+        settle ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> settle ()
     end
   in
-  flush ();
+  settle ();
+  maybe_snapshot t ~now:(Unix.gettimeofday ()) ~force:true;
+  stop_workers t ~join:true;
   close t
 
 let serve t =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> t.term_requested <- true))
+   with Invalid_argument _ -> ());
   let rec loop () =
     if not t.open_ then ()
-    else if Protocol.stopping t.state then drain t
     else begin
-      let reads = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-      let writes =
-        List.filter_map
-          (fun c -> if String.length c.out > c.sent then Some c.fd else None)
-          t.conns
-      in
-      match Unix.select reads writes [] 1.0 with
-      | r, w, _ ->
-        if List.mem t.listen_fd r then handle_accept t;
-        List.iter
-          (fun fd ->
-            if fd <> t.listen_fd then
+      drain_completions t;
+      if Protocol.stopping t.state || t.term_requested then drain t
+      else begin
+        let now = Unix.gettimeofday () in
+        check_idle t ~now;
+        maybe_snapshot t ~now ~force:false;
+        let reads =
+          t.listen_fd :: t.wake_r :: List.map (fun c -> c.fd) t.conns
+        in
+        let writes =
+          List.filter_map
+            (fun c -> if String.length c.out > c.sent then Some c.fd else None)
+            t.conns
+        in
+        match Unix.select reads writes [] 1.0 with
+        | r, w, _ ->
+          if List.mem t.wake_r r then begin
+            drain_wake t;
+            drain_completions t
+          end;
+          if List.mem t.listen_fd r then handle_accept t;
+          List.iter
+            (fun fd ->
+              if fd <> t.listen_fd && fd <> t.wake_r then
+                match List.find_opt (fun c -> c.fd = fd) t.conns with
+                | Some conn -> handle_readable t conn
+                | None -> ())
+            r;
+          List.iter
+            (fun fd ->
               match List.find_opt (fun c -> c.fd = fd) t.conns with
-              | Some conn -> handle_readable t conn
+              | Some conn -> handle_writable t conn
               | None -> ())
-          r;
-        List.iter
-          (fun fd ->
-            match List.find_opt (fun c -> c.fd = fd) t.conns with
-            | Some conn -> handle_writable t conn
-            | None -> ())
-          w;
-        loop ()
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> loop ()
-      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
-        (* [close] raced us from another thread. *)
-        ()
+            w;
+          loop ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+          loop ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* [close] raced us from another thread. *)
+          ()
+      end
     end
   in
   loop ()

@@ -1,29 +1,62 @@
-(** The daemon's socket loop: accept, frame lines, answer, never die.
+(** The daemon's socket loop: accept, frame lines, dispatch, survive.
 
-    One single-threaded [select] loop multiplexes any number of client
-    connections over a Unix-domain or loopback TCP socket.  Complete
-    request lines are executed {e serially}, in arrival order, through
-    {!Protocol.handle_line} — concurrency is interleaved connections,
-    not interleaved execution, which keeps every response a pure
-    function of its request (the concurrent-soak determinism test's
-    contract).  Socket-level hazards are handled at this layer:
+    One [select] loop multiplexes any number of client connections
+    over a Unix-domain or loopback TCP socket and owns all socket
+    state; complete request lines are dispatched onto a bounded queue
+    served by [max_inflight] worker threads.  Concurrent execution is
+    invisible on the wire: each connection's responses are written
+    back in arrival order (later completions wait for earlier ones),
+    so every response stream is byte-identical to the serial daemon's
+    — the contract behind the CI smoke goldens and the concurrent-soak
+    determinism test.
+
+    {2 Admission control}
+
+    At most [max_inflight + max_queue] requests are outstanding
+    (executing or queued).  Beyond that the daemon sheds
+    deterministically: the excess request is answered immediately with
+    a structured [Overloaded] error ({!Nanodec_error.exit_overloaded})
+    and counted in the [serve.shed] telemetry counter; accepted
+    requests record the post-admission depth in the
+    [serve.queue_depth] histogram.  Because the bound counts
+    submissions minus completions, the shed decision never depends on
+    how quickly a worker thread happens to be scheduled.
+
+    {2 Robustness}
 
     {ul
     {- a line longer than [max_line_bytes] is answered with an
        [invalid-input] error and the connection resynchronises at the
-       next newline — the daemon neither buffers the flood nor drops
-       the client;}
+       next newline;}
     {- client disconnects, [EPIPE]/[ECONNRESET] and half-written
-       responses only ever close that one connection;}
-    {- a [shutdown] request stops the accept loop, drains the complete
-       lines already buffered on every connection (answering each),
-       flushes pending responses and returns — no request that fully
-       arrived before the shutdown response is dropped.}}
+       responses only ever close that one connection — requests it
+       already submitted still execute, their responses are discarded;}
+    {- with [idle_timeout_s] set, a connection that has been silent
+       past the deadline — or drip-feeding a single incomplete line
+       past it (slowloris) — is closed, but never while it is owed a
+       response;}
+    {- a [shutdown] request or SIGTERM triggers a graceful drain:
+       no new connects, no new reads, every dispatched or queued
+       request finishes and flushes, a final cache snapshot is
+       written, the workers are joined;}
+    {- an injected [serve.dispatch] crash is answered as a classified
+       error response; an injected [serve.snapshot] crash skips that
+       snapshot cycle with a warning — neither kills the daemon.}}
+
+    {2 Crash-safe cache persistence}
+
+    With [cache_file] set, the artifact cache is restored from the
+    snapshot at startup (any corrupt, truncated or mismatched file is
+    ignored with a warning — a cold cache, never a crash loop) and
+    re-snapshotted every [snapshot_interval_s] seconds whenever its
+    contents changed, plus once on graceful drain.  Snapshots are
+    checksummed and published atomically ({!Snapshot}), so [kill -9]
+    at any instant leaves a loadable file and warm-cache hits survive
+    the restart byte-identically.
 
     When the protocol state's base context carries a telemetry sink,
     every request records its latency in the [serve.request_s]
-    histogram and bumps [serve.requests] — the source of the bench's
-    p50/p99. *)
+    histogram and bumps [serve.requests]. *)
 
 type address =
   [ `Unix of string  (** filesystem path of a Unix-domain socket *)
@@ -34,19 +67,38 @@ type t
 val default_max_line_bytes : int
 (** 1 MiB. *)
 
+val default_max_inflight : int
+(** 4 worker threads. *)
+
+val default_max_queue : int
+(** 64 queued requests beyond the workers. *)
+
 val create :
-  ?backlog:int -> ?max_line_bytes:int -> state:Protocol.state -> address -> t
-(** Bind and listen (unlinking a pre-existing Unix socket path).  TCP
-    binds loopback only.  Raises [Nanodec_error.Error (Invalid_input _)]
-    when the address cannot be bound. *)
+  ?backlog:int ->
+  ?max_line_bytes:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?idle_timeout_s:float ->
+  ?cache_file:string ->
+  ?snapshot_interval_s:float ->
+  state:Protocol.state ->
+  address ->
+  t
+(** Bind and listen (unlinking a pre-existing Unix socket path), load
+    the [cache_file] snapshot if one is given, install the scheduler
+    probe into [state] and start the worker threads.  TCP binds
+    loopback only.  [idle_timeout_s] defaults to off;
+    [snapshot_interval_s] to 5 s (meaningful only with [cache_file]).
+    Raises [Nanodec_error.Error (Invalid_input _)] when the address
+    cannot be bound or a knob is out of range. *)
 
 val address : t -> address
 (** The bound address — for [`Tcp 0], the port the kernel picked. *)
 
 val serve : t -> unit
-(** Run the loop until a [shutdown] request completes the drain.
-    Idempotent with {!close}: the socket is closed (and a Unix path
-    unlinked) on return. *)
+(** Run the loop until a [shutdown] request or SIGTERM completes the
+    graceful drain.  The socket is closed (and a Unix path unlinked)
+    on return. *)
 
 val close : t -> unit
 (** Close the listening socket and every connection without draining.

@@ -189,6 +189,159 @@ let test_artifacts_hit_equiv_cold () =
   Alcotest.(check bool) "cached estimate ≡ cold estimate" true
     (e1 = cold_estimate && e2 = cold_estimate)
 
+(* --- dump/restore + snapshot persistence --- *)
+
+let test_dump_restore_roundtrip () =
+  let cache = Artifact_cache.create ~capacity:4 () in
+  let get k = Artifact_cache.find_or_build cache ~key:k (fun () -> k ^ "!") in
+  ignore (get "a");
+  ignore (get "b");
+  ignore (get "c");
+  ignore (get "a");
+  (* recency now: a (MRU), c, b (LRU) — dump is LRU-first *)
+  let dumped = List.map (fun (k, _, v) -> (k, v)) (Artifact_cache.dump cache) in
+  Alcotest.(check (list (pair string string)))
+    "dump is LRU-first with the stored values"
+    [ ("b", "b!"); ("c", "c!"); ("a", "a!") ]
+    dumped;
+  let fresh = Artifact_cache.create ~capacity:4 () in
+  Artifact_cache.restore fresh (Artifact_cache.dump cache);
+  Alcotest.(check (list string)) "restore reproduces the recency chain"
+    (Artifact_cache.keys cache) (Artifact_cache.keys fresh);
+  let s = Artifact_cache.stats fresh in
+  Alcotest.(check (pair int int)) "restore is not a workload" (0, 0)
+    (s.Artifact_cache.hits, s.Artifact_cache.misses);
+  (* The restored chain behaves: one more insert evicts the restored
+     LRU, not anything recent. *)
+  let tight = Artifact_cache.create ~capacity:3 () in
+  Artifact_cache.restore tight (Artifact_cache.dump cache);
+  ignore (Artifact_cache.find_or_build tight ~key:"d" (fun () -> "d!"));
+  Alcotest.(check bool) "restored LRU evicted first" false
+    (Artifact_cache.mem tight "b")
+
+let test_restore_into_smaller_cache_keeps_mru () =
+  let cache = Artifact_cache.create ~capacity:4 () in
+  let get k = Artifact_cache.find_or_build cache ~key:k (fun () -> k) in
+  List.iter (fun k -> ignore (get k)) [ "a"; "b"; "c"; "d" ];
+  let small = Artifact_cache.create ~capacity:2 () in
+  Artifact_cache.restore small (Artifact_cache.dump cache);
+  Alcotest.(check (list string)) "keeps the most recently used tail"
+    [ "d"; "c" ] (Artifact_cache.keys small)
+
+let with_tmp_snapshot k =
+  let path = Filename.temp_file "nanodec-test-snapshot" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> k path)
+
+let entries_testable =
+  Alcotest.(list (triple string (float 0.) string))
+
+let test_snapshot_save_load_roundtrip () =
+  with_tmp_snapshot @@ fun path ->
+  let entries =
+    [ ("alpha", 0.5, "payload one"); ("beta\nwith newline", 0., "\x00binary\xff") ]
+  in
+  (match Snapshot.save ~path ~schema:"test-v1" entries with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  (match Snapshot.load ~path ~schema:"test-v1" with
+  | Ok got -> Alcotest.check entries_testable "load ≡ save" entries got
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  match Snapshot.load ~path ~schema:"test-v2" with
+  | Ok (_ : (string * float * string) list) ->
+    Alcotest.fail "schema mismatch must not load"
+  | Error msg ->
+    Alcotest.(check bool) "schema mismatch is reported" true
+      (String.length msg > 0)
+
+let test_snapshot_missing_file_is_cold () =
+  match Snapshot.load ~path:"/nonexistent/nanodec.snap" ~schema:"test-v1" with
+  | Ok ([] : (string * float * string) list) -> ()
+  | Ok _ -> Alcotest.fail "a missing file cannot hold entries"
+  | Error msg -> Alcotest.failf "missing file must be a cold start, got: %s" msg
+
+let test_snapshot_rejects_every_corruption () =
+  (* Exhaustive single-byte battery: whatever byte is mutilated —
+     header, count, lengths, keys, payload, checksum — the loader must
+     return [Error], never entries and never a crash.  Plus the whole-
+     file mutilations the daemon test exercises end to end. *)
+  with_tmp_snapshot @@ fun path ->
+  let entries = [ ("key-a", 1.5, "value-a"); ("key-b", 0.25, "value-b") ] in
+  (match Snapshot.save ~path ~schema:"test-v1" entries with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  let ic = open_in_bin path in
+  let pristine = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let reload bytes =
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    (Snapshot.load ~path ~schema:"test-v1"
+      : ((string * float * string) list, string) result)
+  in
+  String.iteri
+    (fun i c ->
+      let mutated = Bytes.of_string pristine in
+      Bytes.set mutated i (Char.chr (Char.code c lxor 0x01));
+      match reload (Bytes.to_string mutated) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bit flip at byte %d went undetected" i)
+    pristine;
+  List.iter
+    (fun (what, bytes) ->
+      match reload bytes with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s went undetected" what)
+    [
+      ("truncation", String.sub pristine 0 (String.length pristine / 2));
+      ("zero fill", String.make (String.length pristine) '\000');
+      ("trailing garbage", pristine ^ "x");
+      ("empty file", "");
+    ];
+  (* And the pristine bytes still load after all that. *)
+  match reload pristine with
+  | Ok got -> Alcotest.check entries_testable "pristine still loads" entries got
+  | Error msg -> Alcotest.failf "pristine bytes rejected: %s" msg
+
+(* --- oracle: snapshot save→load ≡ identity --- *)
+
+let snapshot_roundtrip_prop =
+  let gen =
+    let open Gen in
+    let key =
+      let+ chars = list (elements [ 'a'; 'b'; 'z'; '0'; '\n'; '\000'; '|' ]) in
+      String.init (List.length chars) (List.nth chars)
+    in
+    (* Exactly representable costs, so structural equality is exact. *)
+    let cost = elements [ 0.; 0.5; 1.25; 1e9 ] in
+    let value =
+      let+ words = list (elements [ "yield"; "\x00\xff"; ""; "mspt" ]) in
+      String.concat "/" words
+    in
+    list (triple key cost value)
+  in
+  let print entries =
+    String.concat ";"
+      (List.map (fun (k, c, v) -> Printf.sprintf "(%S,%g,%S)" k c v) entries)
+  in
+  Property.make ~name:"serve: snapshot save→load ≡ identity" ~print gen
+    (fun entries ->
+      let path = Filename.temp_file "nanodec-prop-snapshot" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          match Snapshot.save ~path ~schema:"prop-v1" entries with
+          | Error _ -> false
+          | Ok () -> (
+            match Snapshot.load ~path ~schema:"prop-v1" with
+            | Ok got -> got = entries
+            | Error _ -> false)))
+
+let test_snapshot_roundtrip_oracle () =
+  check_outcome (Property.run ~seed:2009 ~count:100 snapshot_roundtrip_prop)
+
 (* --- oracle: cache keys are injective on design parameters --- *)
 
 let config_gen =
@@ -270,6 +423,18 @@ let suite =
       test_hit_equiv_miss_oracle;
     Alcotest.test_case "artifacts: hit = cold, bit for bit" `Quick
       test_artifacts_hit_equiv_cold;
+    Alcotest.test_case "dump/restore round trip" `Quick
+      test_dump_restore_roundtrip;
+    Alcotest.test_case "restore into a smaller cache keeps the MRU tail"
+      `Quick test_restore_into_smaller_cache_keeps_mru;
+    Alcotest.test_case "snapshot save/load round trip" `Quick
+      test_snapshot_save_load_roundtrip;
+    Alcotest.test_case "snapshot: missing file is a cold start" `Quick
+      test_snapshot_missing_file_is_cold;
+    Alcotest.test_case "snapshot rejects every corruption" `Quick
+      test_snapshot_rejects_every_corruption;
+    Alcotest.test_case "oracle: snapshot save→load ≡ identity" `Quick
+      test_snapshot_roundtrip_oracle;
     Alcotest.test_case "oracle: config_key injective" `Quick
       test_key_injective_oracle;
     Alcotest.test_case "component keys injective" `Quick

@@ -17,6 +17,9 @@
 
 open Nanodec_serve
 module Run_ctx = Nanodec_parallel.Run_ctx
+module Telemetry = Nanodec_telemetry.Telemetry
+module Fault = Nanodec_fault.Fault
+module E = Nanodec_error
 
 let with_state ?cache_enabled ?(domains = 2) f =
   Run_ctx.with_ctx ~domains @@ fun ctx ->
@@ -240,7 +243,13 @@ let test_stats_counts () =
   Alcotest.(check int) "errors counted" 1 (int_member "errors" result);
   let cache = member "cache" result in
   Alcotest.(check bool) "evaluate populated the cache" true
-    (int_member "entries" cache > 0)
+    (int_member "entries" cache > 0);
+  (* Without a server attached the scheduler view is the serial
+     picture: this very request in flight, nothing queued or shed. *)
+  let serve = member "serve" result in
+  Alcotest.(check int) "serial inflight" 1 (int_member "inflight" serve);
+  Alcotest.(check int) "serial queued" 0 (int_member "queued" serve);
+  Alcotest.(check int) "serial shed" 0 (int_member "shed" serve)
 
 let test_shutdown_flag () =
   with_state @@ fun state ->
@@ -389,10 +398,15 @@ let test_no_degrade_mapping () =
 
 (* --- sockets --- *)
 
-let serve_in_thread ?max_line_bytes ?(domains = 2) ?cache_enabled address k =
-  Run_ctx.with_ctx ~domains @@ fun ctx ->
+let serve_in_thread ?max_line_bytes ?max_inflight ?max_queue ?idle_timeout_s
+    ?cache_file ?snapshot_interval_s ?sink ?fault ?(domains = 2) ?cache_enabled
+    address k =
+  Run_ctx.with_ctx ?telemetry:sink ?fault ~domains @@ fun ctx ->
   let state = Protocol.make_state ?cache_enabled ~base:ctx () in
-  let server = Server.create ?max_line_bytes ~state address in
+  let server =
+    Server.create ?max_line_bytes ?max_inflight ?max_queue ?idle_timeout_s
+      ?cache_file ?snapshot_interval_s ~state address
+  in
   let thread = Thread.create Server.serve server in
   Fun.protect
     ~finally:(fun () ->
@@ -400,6 +414,29 @@ let serve_in_thread ?max_line_bytes ?(domains = 2) ?cache_enabled address k =
       Server.close server;
       Thread.join thread)
     (fun () -> k (Server.address server))
+
+(* One daemon lifetime, joined to completion: create, run one client
+   session, shut down over the wire and wait for the graceful drain to
+   finish — so anything the drain promises (the final cache snapshot
+   in particular) is on disk before this returns. *)
+let daemon_session ?cache_file ?snapshot_interval_s ?(domains = 2) k =
+  Run_ctx.with_ctx ~domains @@ fun ctx ->
+  let state = Protocol.make_state ~base:ctx () in
+  let server = Server.create ?cache_file ?snapshot_interval_s ~state (`Tcp 0) in
+  let thread = Thread.create Server.serve server in
+  match
+    Client.with_connection (Server.address server) @@ fun conn ->
+    let result = k conn in
+    ignore (Client.request conn {|{"verb":"shutdown"}|});
+    result
+  with
+  | result ->
+    Thread.join thread;
+    result
+  | exception exn ->
+    Server.close server;
+    Thread.join thread;
+    raise exn
 
 let tmp_socket_path () =
   Filename.concat
@@ -494,6 +531,218 @@ let test_partial_line_eof_dropped () =
     (bool_member "pong" (expect_ok r));
   ignore (Client.request conn {|{"verb":"shutdown"}|})
 
+(* --- admission control --- *)
+
+let raw_connect address =
+  match address with
+  | `Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+
+let test_overload_sheds_deterministically () =
+  (* Capacity max_inflight + max_queue = 2.  The injected stall parks
+     the single worker on the first request for 400 ms, so of five
+     lines landing in one write exactly two are admitted (one
+     executing, one queued) and three are shed — no matter how the
+     threads are scheduled, because admission counts submissions minus
+     completions and nothing can complete while the worker stalls. *)
+  let sink = Telemetry.create () in
+  let fault = Fault.create (Fault.parse_exn "seed=1;serve.dispatch:stall=400ms:key=0") in
+  serve_in_thread ~sink ~fault ~max_inflight:1 ~max_queue:1 (`Tcp 0)
+  @@ fun address ->
+  let fd = raw_connect address in
+  let payload =
+    String.concat ""
+      (List.init 5 (fun i ->
+           Printf.sprintf {|{"id":%d,"verb":"ping"}|} i ^ "\n"))
+  in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let ic = Unix.in_channel_of_descr fd in
+  let responses = List.init 5 (fun _ -> parse_response (input_line ic)) in
+  Unix.close fd;
+  (* Responses come back in arrival order: the stalled ping, the queued
+     ping, then the three rejects. *)
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "response %d is for request %d" i i)
+        i (int_member "id" r))
+    (List.filteri (fun i _ -> i < 2) responses);
+  List.iteri
+    (fun i r ->
+      if i < 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d admitted" i)
+          true
+          (bool_member "pong" (expect_ok r))
+      else begin
+        expect_error ~kind:"overloaded" ~exit_code:6 r;
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d names the limit" i)
+          true
+          (contains ~needle:"(limit 2)" (string_member "message" r))
+      end)
+    responses;
+  (* The scheduler view and the telemetry counter agree with the wire:
+     exactly three sheds. *)
+  Client.with_connection address @@ fun conn ->
+  let stats = parse_response (Client.request conn {|{"verb":"stats"}|}) in
+  let serve = member "serve" (expect_ok stats) in
+  Alcotest.(check int) "stats shed count" 3 (int_member "shed" serve);
+  Alcotest.(check int) "stats max_inflight" 1 (int_member "max_inflight" serve);
+  Alcotest.(check int) "stats max_queue" 1 (int_member "max_queue" serve);
+  Alcotest.(check (option int)) "serve.shed telemetry matches exactly"
+    (Some 3)
+    (List.assoc_opt "serve.shed" (Telemetry.counters sink));
+  let bye = parse_response (Client.request conn {|{"verb":"shutdown"}|}) in
+  let payload = expect_ok bye in
+  Alcotest.(check int) "shutdown reports the shed split" 3
+    (int_member "shed" payload);
+  Alcotest.(check bool) "shutdown reports a drain count" true
+    (int_member "draining" payload >= 0)
+
+let test_dispatch_fault_classified () =
+  (* An injected serve.dispatch crash (keyed by global arrival index,
+     so exactly the second request) must come back as a classified
+     worker-crash response and leave the daemon serving. *)
+  let fault = Fault.create (Fault.parse_exn "seed=1;serve.dispatch:crash:key=1") in
+  serve_in_thread ~fault (`Tcp 0) @@ fun address ->
+  Client.with_connection address @@ fun conn ->
+  let r0 = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "first request clean" true
+    (bool_member "pong" (expect_ok r0));
+  let r1 = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  expect_error ~kind:"worker-crash" ~exit_code:4 r1;
+  Alcotest.(check bool) "error names the site" true
+    (contains ~needle:"serve.dispatch" (string_member "message" r1));
+  let r2 = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "daemon survives the injected crash" true
+    (bool_member "pong" (expect_ok r2));
+  ignore (Client.request conn {|{"verb":"shutdown"}|})
+
+(* --- client deadlines & idle reaping --- *)
+
+let test_client_timeout_on_wedged_daemon () =
+  (* A listener that accepts and never answers: the pre-hardening
+     client would block forever; with a deadline it must raise the
+     taxonomy Timeout (exit 3). *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 1;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  Client.with_connection ~timeout_s:0.2 (`Tcp port) @@ fun conn ->
+  match Client.request conn {|{"verb":"ping"}|} with
+  | (_ : string) -> Alcotest.fail "expected the client deadline to fire"
+  | exception E.Error (E.Timeout { site; seconds } as err) ->
+    Alcotest.(check string) "timeout site" "client.read" site;
+    Alcotest.(check (option (float 0.))) "timeout carries the deadline"
+      (Some 0.2) seconds;
+    Alcotest.(check int) "timeout exit code" 3 (E.exit_code err)
+
+let test_idle_and_slowloris_reaped () =
+  serve_in_thread ~idle_timeout_s:0.2 (`Tcp 0) @@ fun address ->
+  (* A silent connection and one drip-feeding half a line both get
+     reaped once the deadline passes: the daemon closes them (read
+     returns EOF) instead of holding the fd forever. *)
+  let silent = raw_connect address in
+  let drip = raw_connect address in
+  let partial = {|{"verb":"pi|} in
+  ignore (Unix.write_substring drip partial 0 (String.length partial));
+  let eof fd what =
+    let b = Bytes.create 16 in
+    match Unix.read fd b 0 16 with
+    | 0 -> ()
+    | n -> Alcotest.failf "%s: expected EOF, got %d bytes" what n
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  eof silent "silent connection";
+  eof drip "slow-read connection";
+  Unix.close silent;
+  Unix.close drip;
+  (* An active client is untouched and the daemon still answers. *)
+  Client.with_connection address @@ fun conn ->
+  let r = parse_response (Client.request conn {|{"verb":"ping"}|}) in
+  Alcotest.(check bool) "daemon alive after reaping idlers" true
+    (bool_member "pong" (expect_ok r));
+  ignore (Client.request conn {|{"verb":"shutdown"}|})
+
+(* --- crash-safe cache persistence --- *)
+
+let persist_line =
+  {|{"verb":"yield","params":{"code":"BGC","length":8},"exec":{"seed":31,"mc_samples":200}}|}
+
+let with_cache_file k =
+  let path = Filename.temp_file "nanodec-test-snap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> k path)
+
+(* One daemon lifetime answering [persist_line]; the graceful drain
+   writes the snapshot before [daemon_session] returns. *)
+let persist_once ~cache_file =
+  daemon_session ~cache_file @@ fun conn ->
+  parse_response (Client.request conn persist_line)
+
+let test_snapshot_survives_restart () =
+  with_cache_file @@ fun cache_file ->
+  let cold = persist_once ~cache_file in
+  Alcotest.(check bool) "first daemon computes cold" false
+    (bool_member "cached" cold);
+  let warm = persist_once ~cache_file in
+  Alcotest.(check bool) "restarted daemon serves from the snapshot" true
+    (bool_member "cached" warm);
+  Alcotest.(check string) "warm result ≡ pre-restart bytes"
+    (Json.to_string (member "result" cold))
+    (Json.to_string (member "result" warm))
+
+let test_corrupt_snapshot_starts_cold () =
+  (* Truncation, bit flips and zero fill: every mutilation must cost
+     exactly the warm cache — the daemon starts cold, answers the same
+     bytes, and never crashes. *)
+  let corruptions =
+    [
+      ("truncated", fun bytes -> String.sub bytes 0 (String.length bytes / 2));
+      ( "bit-flipped",
+        fun bytes ->
+          let b = Bytes.of_string bytes in
+          let i = Bytes.length b / 2 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          Bytes.to_string b );
+      ("zero-filled", fun bytes -> String.make (String.length bytes) '\000');
+    ]
+  in
+  with_cache_file @@ fun cache_file ->
+  let reference = persist_once ~cache_file in
+  let reference_result = Json.to_string (member "result" reference) in
+  List.iter
+    (fun (what, mutilate) ->
+      (* Re-seed a valid snapshot, then mutilate it. *)
+      ignore (persist_once ~cache_file);
+      let ic = open_in_bin cache_file in
+      let bytes = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin cache_file in
+      output_string oc (mutilate bytes);
+      close_out oc;
+      let r = persist_once ~cache_file in
+      Alcotest.(check bool) (what ^ ": daemon starts cold") false
+        (bool_member "cached" r);
+      Alcotest.(check string) (what ^ ": cold recompute ≡ reference bytes")
+        reference_result
+        (Json.to_string (member "result" r)))
+    corruptions
+
 (* --- the 8-client soak ---
 
    Every client sends the same request list; the daemon executes
@@ -508,6 +757,15 @@ let soak_requests =
         {|{"verb":"yield","params":{"code":"BGC","length":8},"exec":{"seed":%d,"mc_samples":200}}|}
         seed)
     [ 1; 2; 3; 4 ]
+  @ [
+      (* An active fault plan bypasses the result cache, so all eight
+         clients execute this concurrently on private pools.  Injected
+         delays are byte-neutral by the transparency contract but
+         scramble chunk completion timing — the hardest regime for the
+         server's arrival-order response writer, which must keep the
+         concurrency invisible on the wire regardless. *)
+      {|{"verb":"yield","params":{"code":"BGC","length":8},"exec":{"seed":5,"mc_samples":200,"fault_plan":"seed=2009;pool.chunk:delay=2ms:p=0.5;mc.sample_batch:delay=1ms:p=0.3"}}|};
+    ]
 
 let run_soak ~domains =
   serve_in_thread ~domains (`Tcp 0) @@ fun address ->
@@ -586,6 +844,18 @@ let suite =
       test_oversized_line_resync;
     Alcotest.test_case "partial line at EOF dropped" `Quick
       test_partial_line_eof_dropped;
+    Alcotest.test_case "overload sheds deterministically" `Quick
+      test_overload_sheds_deterministically;
+    Alcotest.test_case "serve.dispatch fault classified, daemon survives"
+      `Quick test_dispatch_fault_classified;
+    Alcotest.test_case "client deadline on a wedged daemon" `Quick
+      test_client_timeout_on_wedged_daemon;
+    Alcotest.test_case "idle and slow-read connections reaped" `Quick
+      test_idle_and_slowloris_reaped;
+    Alcotest.test_case "snapshot survives a restart" `Quick
+      test_snapshot_survives_restart;
+    Alcotest.test_case "corrupt snapshot starts cold, never crashes" `Quick
+      test_corrupt_snapshot_starts_cold;
     Alcotest.test_case "8-client soak, domains 1 = domains 4" `Quick
       test_concurrent_soak_deterministic;
   ]
