@@ -20,8 +20,8 @@ let crossbar_yield cave =
 module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
 
-let sweep ?ctx ?pool ~parameter ~unit_name ~values ~apply () =
-  let ctx = Run_ctx.resolve ?ctx ?pool () in
+let sweep ?ctx ~parameter ~unit_name ~values ~apply () =
+  let ctx = Run_ctx.resolve ?ctx () in
   let base = { Cave.default_config with Cave.code_length = 8 } in
   let points =
     Telemetry.with_span (Run_ctx.telemetry ctx) ("ablation." ^ parameter)
@@ -40,40 +40,40 @@ let sweep ?ctx ?pool ~parameter ~unit_name ~values ~apply () =
   in
   { parameter; unit_name; points }
 
-let sigma_t ?ctx ?pool () =
-  sweep ?ctx ?pool ~parameter:"sigma_T" ~unit_name:"V"
+let sigma_t ?ctx () =
+  sweep ?ctx ~parameter:"sigma_T" ~unit_name:"V"
     ~values:[ 0.01; 0.03; 0.05; 0.08; 0.12 ]
     ~apply:(fun c sigma_t -> { c with Cave.sigma_t })
     ()
 
-let sigma_base ?ctx ?pool () =
-  sweep ?ctx ?pool ~parameter:"sigma_0" ~unit_name:"V"
+let sigma_base ?ctx () =
+  sweep ?ctx ~parameter:"sigma_0" ~unit_name:"V"
     ~values:[ 0.0; 0.05; 0.10; 0.15; 0.20 ]
     ~apply:(fun c v -> { c with Cave.sigma_base = v })
     ()
 
-let margin ?ctx ?pool () =
-  sweep ?ctx ?pool ~parameter:"window margin" ~unit_name:"x separation"
+let margin ?ctx () =
+  sweep ?ctx ~parameter:"window margin" ~unit_name:"x separation"
     ~values:[ 0.20; 0.30; 0.42; 0.50 ]
     ~apply:(fun c margin_fraction -> { c with Cave.margin_fraction })
     ()
 
-let overlay ?ctx ?pool () =
-  sweep ?ctx ?pool ~parameter:"pad overlay" ~unit_name:"nm"
+let overlay ?ctx () =
+  sweep ?ctx ~parameter:"pad overlay" ~unit_name:"nm"
     ~values:[ 0.; 8.; 16.; 24.; 28. ]
     ~apply:(fun c v ->
       { c with Cave.rules = { c.Cave.rules with Geometry.pad_overlap = v } })
     ()
 
-let cave_wires ?ctx ?pool () =
-  sweep ?ctx ?pool ~parameter:"wires per half cave" ~unit_name:"wires"
+let cave_wires ?ctx () =
+  sweep ?ctx ~parameter:"wires per half cave" ~unit_name:"wires"
     ~values:[ 10.; 20.; 30.; 40.; 60. ]
     ~apply:(fun c v -> { c with Cave.n_wires = int_of_float v })
     ()
 
-let all ?ctx ?pool () =
-  [ sigma_t ?ctx ?pool (); sigma_base ?ctx ?pool (); margin ?ctx ?pool ();
-    overlay ?ctx ?pool (); cave_wires ?ctx ?pool () ]
+let all ?ctx () =
+  [ sigma_t ?ctx (); sigma_base ?ctx (); margin ?ctx ();
+    overlay ?ctx (); cave_wires ?ctx () ]
 
 let conclusion_holds series =
   List.for_all (fun p -> p.bgc_yield >= p.tree_yield -. 1e-9) series.points

@@ -21,7 +21,6 @@ type series = {
 
 val sweep :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   parameter:string ->
   unit_name:string ->
   values:float list ->
@@ -30,58 +29,44 @@ val sweep :
   series
 (** Generic one-parameter ablation on the paper's platform (span
     [ablation.<parameter>]).  The swept values evaluate across the
-    context's pool with identical results for every domain count; the
-    deprecated [?pool] is folded in via [Run_ctx.resolve].
-    @deprecated [?pool] — pass the pool inside [?ctx]
-    ([Run_ctx.make ~pool ()]). *)
+    context's pool with identical results for every domain count.  The
+    pool rides inside [?ctx] ([Run_ctx.make ~pool ()]). *)
 
 val sigma_t :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Per-implant noise, 10–120 mV.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Per-implant noise, 10–120 mV. *)
 
 val sigma_base :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Intrinsic variability, 0–200 mV.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Intrinsic variability, 0–200 mV. *)
 
 val margin :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Addressability window fraction, 0.2–0.5.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Addressability window fraction, 0.2–0.5. *)
 
 val overlay :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Pad overlay margin, 0–28 nm.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Pad overlay margin, 0–28 nm. *)
 
 val cave_wires :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series
-(** Nanowires per half cave, 10–60.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Nanowires per half cave, 10–60. *)
 
 val all :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   unit ->
   series list
-(** Every ablation of the battery, in presentation order.
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** Every ablation of the battery, in presentation order. *)
 
 val conclusion_holds : series -> bool
 (** BGC yield ≥ TC yield at every swept point. *)

@@ -88,19 +88,19 @@ module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
 
 (* Every figure generator follows the same shape: resolve pool and sink
-   from the execution context (deprecated [?pool] folded in), wrap the
+   from the execution context, wrap the
    whole figure in a span, fan the points out in candidate order. *)
-let figure_points ?ctx ?pool name point candidates =
-  let ctx = Run_ctx.resolve ?ctx ?pool () in
+let figure_points ?ctx name point candidates =
+  let ctx = Run_ctx.resolve ?ctx () in
   Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
   Run_ctx.map_list ctx point candidates
 
-let fig7 ?ctx ?pool ?(spec = Design.default_spec) () =
+let fig7 ?ctx ?(spec = Design.default_spec) () =
   let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; crossbar_yield = r.Design.crossbar_yield }
   in
-  figure_points ?ctx ?pool "figures.fig7" point fig7_candidates
+  figure_points ?ctx "figures.fig7" point fig7_candidates
 
 type fig8_point = {
   code_type : Codebook.t;
@@ -108,7 +108,7 @@ type fig8_point = {
   bit_area : float;
 }
 
-let fig8 ?ctx ?pool ?(spec = Design.default_spec) () =
+let fig8 ?ctx ?(spec = Design.default_spec) () =
   let point (code_type, code_length) =
     let r = evaluate_design ~spec code_type code_length in
     { code_type; code_length; bit_area = r.Design.bit_area }
@@ -118,7 +118,7 @@ let fig8 ?ctx ?pool ?(spec = Design.default_spec) () =
       (fun ct -> List.map (fun m -> (ct, m)) [ 6; 8; 10 ])
       Codebook.all_types
   in
-  figure_points ?ctx ?pool "figures.fig8" point candidates
+  figure_points ?ctx "figures.fig8" point candidates
 
 (* Extension: multi-valued designs *)
 
@@ -131,7 +131,7 @@ type multivalued_point = {
   phi : int;
 }
 
-let multivalued_designs ?ctx ?pool ?(spec = Design.default_spec) () =
+let multivalued_designs ?ctx ?(spec = Design.default_spec) () =
   let point (radix, code_type, code_length) =
     let design =
       Design.spec ~base:spec ~radix ~code_type ~code_length ()
@@ -160,7 +160,7 @@ let multivalued_designs ?ctx ?pool ?(spec = Design.default_spec) () =
           [ minimal; minimal + 2 ])
       [ 2; 3; 4 ]
   in
-  figure_points ?ctx ?pool "figures.multivalued" point candidates
+  figure_points ?ctx "figures.multivalued" point candidates
 
 (* Headlines *)
 

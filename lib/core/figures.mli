@@ -52,16 +52,13 @@ val fig7_candidates : (Codebook.t * int) list
 
 val fig7 :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   unit ->
   fig7_point list
 (** TC/BGC at M ∈ 6,8,10 and HC/AHC at M ∈ 4,6,8, on the paper platform.
     The context's pool fans the points out across its domains (span
     [figures.fig7]); the result is identical for every domain count.
-    The deprecated [?pool] is folded in via [Run_ctx.resolve].
-    @deprecated [?pool] — pass the pool inside [?ctx]
-    ([Run_ctx.make ~pool ()]). *)
+    The pool rides inside [?ctx] ([Run_ctx.make ~pool ()]). *)
 
 (** {1 Fig. 8 — bit area vs code type and length} *)
 
@@ -73,12 +70,10 @@ type fig8_point = {
 
 val fig8 :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   unit ->
   fig8_point list
-(** All five families at M ∈ 6,8,10 (span [figures.fig8]).
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** All five families at M ∈ 6,8,10 (span [figures.fig8]). *)
 
 (** {1 Extension — multi-valued decoder designs}
 
@@ -99,13 +94,11 @@ type multivalued_point = {
 
 val multivalued_designs :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   unit ->
   multivalued_point list
 (** TC and GC at every radix in 2..4, at the two smallest valid lengths
-    covering the half cave (span [figures.multivalued]).
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+    covering the half cave (span [figures.multivalued]). *)
 
 (** {1 Headline numbers} *)
 

@@ -26,9 +26,9 @@ let valid ~spec { code_type; code_length } =
 module Telemetry = Nanodec_telemetry.Telemetry
 module Run_ctx = Nanodec_parallel.Run_ctx
 
-let sweep ?ctx ?pool ?(spec = Design.default_spec)
+let sweep ?ctx ?(spec = Design.default_spec)
     ?(candidates = default_candidates) () =
-  let ctx = Run_ctx.resolve ?ctx ?pool () in
+  let ctx = Run_ctx.resolve ?ctx () in
   let tel = Run_ctx.telemetry ctx in
   let evaluate { code_type; code_length } =
     Telemetry.with_span tel "optimizer.evaluate" @@ fun () ->
@@ -69,8 +69,8 @@ let score objective (r : Design.report) =
   | Min_variability ->
     r.Design.sigma_norm1 -. (r.Design.crossbar_yield /. 1000.)
 
-let best ?ctx ?pool ?spec ?candidates objective =
-  match sweep ?ctx ?pool ?spec ?candidates () with
+let best ?ctx ?spec ?candidates objective =
+  match sweep ?ctx ?spec ?candidates () with
   | [] -> invalid_arg "Optimizer.best: no valid candidate"
   | first :: rest ->
     let winner =

@@ -23,7 +23,6 @@ val default_candidates : candidate list
 
 val sweep :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   ?candidates:candidate list ->
   unit ->
@@ -35,21 +34,16 @@ val sweep :
     supplies the pool and telemetry (spans [optimizer.sweep] /
     [optimizer.evaluate], counter [optimizer.candidates]); candidates
     evaluate across the pool's domains and the report list (order
-    included) is identical for every domain count.  The deprecated
-    [?pool] is still honoured — [Run_ctx.resolve] folds it in, with
-    [?ctx] winning when both carry a pool.
-    @deprecated [?pool] — pass the pool inside [?ctx]
-    ([Run_ctx.make ~pool ()]). *)
+    included) is identical for every domain count.  The pool rides
+    inside [?ctx] ([Run_ctx.make ~pool ()]). *)
 
 val best :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Design.spec ->
   ?candidates:candidate list ->
   objective ->
   Design.report
-(** The sweep's winner under [objective].
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+(** The sweep's winner under [objective]. *)
 
 val score : objective -> Design.report -> float
 (** Scalar score (lower is better) used by {!best}; exposed for tests. *)

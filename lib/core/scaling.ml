@@ -61,21 +61,21 @@ let best_point ?ctx node raw_bits =
    chunk while the pool is busy, those sweeps run inline on the
    submitting domain — same results, and the pool's inline-submission
    counter now makes that path visible. *)
-let sweep_grid ?ctx ?pool name point items =
-  let ctx = Run_ctx.resolve ?ctx ?pool () in
+let sweep_grid ?ctx name point items =
+  let ctx = Run_ctx.resolve ?ctx () in
   Telemetry.with_span (Run_ctx.telemetry ctx) name @@ fun () ->
   Run_ctx.map_list ctx (point ctx) items
 
-let sweep_nodes ?ctx ?pool ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes)
+let sweep_nodes ?ctx ?(raw_bits = 16 * 1024 * 8) ?(nodes = default_nodes)
     () =
-  sweep_grid ?ctx ?pool "scaling.nodes"
+  sweep_grid ?ctx "scaling.nodes"
     (fun ctx node -> best_point ~ctx node raw_bits)
     nodes
 
 let paper_node = { label = "32nm-class (paper)"; litho_pitch = 32.; nanowire_pitch = 10. }
 
-let sweep_memory_sizes ?ctx ?pool ?(sizes = [ 4; 16; 64; 256 ]) () =
-  sweep_grid ?ctx ?pool "scaling.memory_sizes"
+let sweep_memory_sizes ?ctx ?(sizes = [ 4; 16; 64; 256 ]) () =
+  sweep_grid ?ctx "scaling.memory_sizes"
     (fun ctx kb -> best_point ~ctx paper_node (kb * 1024 * 8))
     sizes
 

@@ -29,7 +29,6 @@ type point = {
 
 val sweep_nodes :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?raw_bits:int ->
   ?nodes:node list ->
   unit ->
@@ -39,19 +38,15 @@ val sweep_nodes :
     receives the context, so while the grid is fanned out it runs
     inline on the submitting domain (counted by
     {!Nanodec_parallel.Pool.inline_submissions}).  Results are
-    identical for every domain count; the deprecated [?pool] is folded
-    in via [Run_ctx.resolve].
-    @deprecated [?pool] — pass the pool inside [?ctx]
+    identical for every domain count.  The pool rides inside [?ctx]
     ([Run_ctx.make ~pool ()]). *)
 
 val sweep_memory_sizes :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?sizes:int list ->
   unit ->
   point list
 (** Minimum-bit-area design per raw density (default 4 kB – 256 kB) on
-    the paper's 32 nm node (span [scaling.memory_sizes]).
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+    the paper's 32 nm node (span [scaling.memory_sizes]). *)
 
 val pp_point : Format.formatter -> point -> unit

@@ -173,14 +173,14 @@ let kernel_of_analysis analysis =
     ~usable:(Array.map is_usable analysis.layout.Geometry.statuses)
     (passes_of_analysis analysis)
 
-let mc_yield_window_par ?ctx ?pool ?spec ?kernel rng ~samples analysis =
+let mc_yield_window_par ?ctx ?spec ?kernel rng ~samples analysis =
   (* Everything the chunk bodies share — here, the whole compiled pass
      program — is computed before the fan-out; the bodies only read it
      (and mutate their own stream and domain-local scratch).  [?kernel]
      lets a caller holding the compiled program (the serve artifact
      cache) skip the per-call compile; the kernel is pure, so the
      estimate is identical either way. *)
-  let ctx = Nanodec_parallel.Run_ctx.resolve ?ctx ?pool () in
+  let ctx = Nanodec_parallel.Run_ctx.resolve ?ctx () in
   let tel = Nanodec_parallel.Run_ctx.telemetry ctx in
   let kernel =
     match kernel with
@@ -210,10 +210,10 @@ let mc_yield_window_par ?ctx ?pool ?spec ?kernel rng ~samples analysis =
     e.Montecarlo.samples;
   e
 
-let mc_yield_window_reference ?ctx ?pool rng ~samples analysis =
+let mc_yield_window_reference ?ctx rng ~samples analysis =
   let passes = passes_of_analysis analysis in
   let w = window analysis.config in
-  Montecarlo.estimate_par ?ctx ?pool rng ~samples
+  Montecarlo.estimate_par ?ctx rng ~samples
     (mc_window_draw analysis ~passes ~w)
 
 let mc_yield_window ?spec rng ~samples analysis =

@@ -92,7 +92,6 @@ val mc_yield_functional :
 
 val mc_yield_window_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   ?spec:Montecarlo.spec ->
   ?kernel:Kernel.t ->
   Rng.t ->
@@ -118,13 +117,11 @@ val mc_yield_window_par :
     after} the run, since adaptive stopping makes the spent count an
     output).  [?kernel] supplies a pre-compiled {!kernel_of_analysis}
     of the same analysis (the serve artifact cache holds one), skipping
-    the per-call compile; the estimate is identical either way.
-    @deprecated [?pool] — pass the pool inside [?ctx]
-    ([Run_ctx.make ~pool ()]). *)
+    the per-call compile; the estimate is identical either way.  The
+    pool rides inside [?ctx] ([Run_ctx.make ~pool ()]). *)
 
 val mc_yield_window_reference :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   Rng.t ->
   samples:int ->
   analysis ->

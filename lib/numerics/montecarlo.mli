@@ -154,6 +154,24 @@ val run :
     samples, strata < 2, non-positive importance shift, rel_error
     outside (0, 0.5], [max_samples < min_samples]). *)
 
+val run_many :
+  ?ctx:Nanodec_parallel.Run_ctx.t ->
+  (spec * Rng.t * target) array ->
+  estimate array
+(** [run_many ?ctx items] — the serve batch-fusion entry point: K
+    independent fixed-stopping estimates executed as {e one} pool
+    fan-out.  Requests are laid out contiguously on a global sample
+    axis for scheduling only; each item keeps its own
+    {!Rng.split_n} stream family, evaluator, result slots and in-order
+    merge, so [run_many [|(s0,r0,t0); ...|]].(i) is bit-for-bit
+    [run ?ctx s_i r_i t_i] — fusion moves wall-clock time, never a
+    result bit.  Chunk bodies restart cleanly, so the pool's
+    retry/degradation recovery applies to fused jobs unchanged.
+
+    Raises [Invalid_argument] if any item is malformed or uses
+    {!Until_rel_error} stopping (adaptive rounds cannot share a
+    fan-out). *)
+
 (** {1 Sequential estimators} *)
 
 val estimate : Rng.t -> samples:int -> (Rng.t -> float) -> estimate
@@ -185,27 +203,22 @@ val default_chunks : int
 
 val estimate_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   Rng.t ->
   samples:int ->
   (Rng.t -> float) ->
   estimate
-(** Chunked {!estimate}.  [samples] must be at least 2.
-    @deprecated [?pool] — pass the pool inside [?ctx]
-    ([Run_ctx.make ~pool ()]); when both are given the context wins
-    unless it has no pool of its own. *)
+(** Chunked {!estimate}.  [samples] must be at least 2.  The pool (if
+    any) rides inside [?ctx] ([Run_ctx.make ~pool ()]). *)
 
 val estimate_proportion_par :
   ?ctx:Nanodec_parallel.Run_ctx.t ->
-  ?pool:Nanodec_parallel.Pool.t ->
   Rng.t ->
   samples:int ->
   (Rng.t -> bool) ->
   estimate
 (** Chunked {!estimate_proportion}; the per-sample hits are exact
     booleans, so the count is exact in any order (folded in sample
-    order anyway, for uniformity).
-    @deprecated [?pool] — pass the pool inside [?ctx]. *)
+    order anyway, for uniformity).  The pool rides inside [?ctx]. *)
 
 val within : estimate -> float -> bool
 (** [within e x] tests whether [x] lies inside the 95 % interval of [e]. *)

@@ -1,18 +1,22 @@
-(** Domain-local workspaces for preallocated hot-loop scratch.
+(** Thread-and-domain-local workspaces for preallocated hot-loop
+    scratch.
 
-    A workspace maps each domain to its own lazily-initialised instance
-    of some mutable scratch value (a buffer, a generator mirror, …).
-    {!Pool} workers are long-lived domains, so the instance is built once
-    per domain and then reused by every task that domain executes — the
-    steady-state cost of {!get} is a domain-local lookup, with no
-    allocation and no synchronisation.
+    A workspace maps each execution context — each (domain, systhread)
+    pair — to its own lazily-initialised instance of some mutable
+    scratch value (a buffer, a generator mirror, …).  {!Pool} workers
+    are long-lived single-threaded domains, so a worker's instance is
+    built once and reused by every chunk it runs; the serve daemon's
+    worker {e threads}, which all share the main domain, each get their
+    own instance too — two threads preempting each other mid-draw can
+    never corrupt each other's scratch, which is what keeps concurrent
+    inline Monte-Carlo execution bit-deterministic.
 
     Lifetime rules:
     {ul
-    {- an instance belongs to one domain forever; it is never handed to
-       another domain, so unsynchronised mutation is safe;}
-    {- a task must not keep the instance across a yield point that could
-       run another task on the same domain mid-use — in practice: obtain
+    {- an instance belongs to one (domain, thread) forever; it is never
+       handed to another context, so unsynchronised mutation is safe;}
+    {- a task must not keep the instance across a point that could run
+       another task in the same context mid-use — in practice: obtain
        the scratch at the top of a draw/chunk body, use it, drop it;}
     {- instances live as long as their domain, so anything cached inside
        must be safe to reuse across unrelated tasks (reset or overwrite
@@ -20,11 +24,12 @@
        buffer).}} *)
 
 type 'a t
-(** A domain-indexed family of ['a] scratch instances. *)
+(** A context-indexed family of ['a] scratch instances. *)
 
 val create : (unit -> 'a) -> 'a t
-(** [create init] declares a workspace; [init] runs once per domain, on
-    that domain, the first time it calls {!get}. *)
+(** [create init] declares a workspace; [init] runs once per (domain,
+    thread), in that context, the first time it calls {!get}. *)
 
 val get : 'a t -> 'a
-(** This domain's instance (created on first use). *)
+(** This context's instance (created on first use).  Cost: one
+    uncontended mutexed table lookup. *)

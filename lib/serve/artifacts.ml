@@ -89,49 +89,50 @@ let report cache spec =
   | Report r, hit -> (r, hit)
   | _ -> unwrap_error ~key ~wanted:"report"
 
-let estimate cache ~ctx ~seed ~samples config =
-  let key =
-    Printf.sprintf "estimate|seed=%d|samples=%d|%s" seed samples
-      (Cave.config_key config)
-  in
+let estimate_key ~seed ~samples config =
+  Printf.sprintf "estimate|seed=%d|samples=%d|%s" seed samples
+    (Cave.config_key config)
+
+(* The spec key replaces the plain [samples=] component: strategy and
+   stopping rule are part of the estimate's identity, and the
+   serialization is injective, so distinct specs never collide — with
+   each other or with the legacy plain keys. *)
+let estimate_spec_key ~seed ~spec config =
+  Printf.sprintf "estimate|seed=%d|%s|%s" seed
+    (Montecarlo.spec_key spec)
+    (Cave.config_key config)
+
+(* One cache round for a precomputed (or about-to-be-computed) estimate:
+   [find_or_build] keeps the hit/miss accounting — and therefore the
+   [cached] flags of batched responses — exactly what serial unbatched
+   execution would produce. *)
+let estimate_with cache ~key ~build =
   match
-    Artifact_cache.find_or_build cache ~key (fun () ->
-        let a, _ = analysis cache config in
-        let k, _ = kernel cache config in
-        Estimate
-          (Cave.mc_yield_window_par ~ctx ~kernel:k
-             (Rng.create ~seed)
-             ~samples a))
+    Artifact_cache.find_or_build cache ~key (fun () -> Estimate (build ()))
   with
   | Estimate e, hit -> (e, hit)
   | _ -> unwrap_error ~key ~wanted:"estimate"
 
+let estimate cache ~ctx ~seed ~samples config =
+  estimate_with cache ~key:(estimate_key ~seed ~samples config)
+    ~build:(fun () ->
+      let a, _ = analysis cache config in
+      let k, _ = kernel cache config in
+      Cave.mc_yield_window_par ~ctx ~kernel:k (Rng.create ~seed) ~samples a)
+
 let estimate_spec cache ~ctx ~seed ~spec config =
-  (* The spec key replaces the plain [samples=] component: strategy and
-     stopping rule are part of the estimate's identity, and the
-     serialization is injective, so distinct specs never collide — with
-     each other or with the legacy plain keys. *)
-  let key =
-    Printf.sprintf "estimate|seed=%d|%s|%s" seed
-      (Montecarlo.spec_key spec)
-      (Cave.config_key config)
-  in
   let samples =
     match spec.Montecarlo.stopping with
     | Montecarlo.Fixed_samples n -> n
     | Montecarlo.Until_rel_error { max_samples; _ } -> max_samples
   in
-  match
-    Artifact_cache.find_or_build cache ~key (fun () ->
-        let a, _ = analysis cache config in
-        let k, _ = kernel cache config in
-        Estimate
-          (Cave.mc_yield_window_par ~ctx ~spec ~kernel:k
-             (Rng.create ~seed)
-             ~samples a))
-  with
-  | Estimate e, hit -> (e, hit)
-  | _ -> unwrap_error ~key ~wanted:"estimate"
+  estimate_with cache ~key:(estimate_spec_key ~seed ~spec config)
+    ~build:(fun () ->
+      let a, _ = analysis cache config in
+      let k, _ = kernel cache config in
+      Cave.mc_yield_window_par ~ctx ~spec ~kernel:k
+        (Rng.create ~seed)
+        ~samples a)
 
 let sweep cache spec =
   let key =

@@ -57,6 +57,26 @@ val kernel : t -> Cave.config -> Kernel.t * bool
 
 val report : t -> Design.spec -> Design.report * bool
 
+val estimate_key : seed:int -> samples:int -> Cave.config -> string
+(** The canonical cache key of a plain fixed-count estimate — exposed
+    so the batch-fusion layer can group and overlay requests by the
+    exact identity the cache uses. *)
+
+val estimate_spec_key :
+  seed:int -> spec:Montecarlo.spec -> Cave.config -> string
+(** The canonical cache key of a spec'd estimate (injective
+    {!Montecarlo.spec_key} component, disjoint from the plain keys). *)
+
+val estimate_with :
+  t ->
+  key:string ->
+  build:(unit -> Montecarlo.estimate) ->
+  Montecarlo.estimate * bool
+(** One cache round at [key]: return the cached estimate, or install
+    [build ()].  The batch fuser passes the fused-run result as
+    [build], so hit/miss accounting — and the [cached] flag of every
+    response — stays identical to serial unbatched execution. *)
+
 val estimate :
   t ->
   ctx:Nanodec_parallel.Run_ctx.t ->

@@ -138,8 +138,9 @@ let test_mc_yield_window_invariance () =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
+          let ctx = Run_ctx.make ~pool () in
           let e =
-            Nanodec_crossbar.Cave.mc_yield_window_par ~pool
+            Nanodec_crossbar.Cave.mc_yield_window_par ~ctx
               (Rng.create ~seed:2009) ~samples analysis
           in
           Alcotest.check estimate
@@ -165,8 +166,9 @@ let test_sweep_invariance () =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
+          let ctx = Run_ctx.make ~pool () in
           let reports =
-            Nanodec.Optimizer.sweep ~pool ~candidates:small_candidates ()
+            Nanodec.Optimizer.sweep ~ctx ~candidates:small_candidates ()
           in
           Alcotest.(check bool)
             (Printf.sprintf "sweep identical, domains=%d" domains)
@@ -180,26 +182,28 @@ let test_figures_invariance () =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
+          let ctx = Run_ctx.make ~pool () in
           Alcotest.(check bool)
             (Printf.sprintf "fig7 identical, domains=%d" domains)
             true
-            (Nanodec.Figures.fig7 ~pool () = fig7);
+            (Nanodec.Figures.fig7 ~ctx () = fig7);
           Alcotest.(check bool)
             (Printf.sprintf "fig8 identical, domains=%d" domains)
             true
-            (Nanodec.Figures.fig8 ~pool () = fig8)))
+            (Nanodec.Figures.fig8 ~ctx () = fig8)))
     [ 1; 4 ]
 
 let test_scaling_ablation_invariance () =
   let nodes = Nanodec.Scaling.sweep_nodes () in
   let ablation = Nanodec.Ablation.sigma_t () in
   Pool.with_pool ~domains:4 (fun pool ->
+      let ctx = Run_ctx.make ~pool () in
       Alcotest.(check bool)
         "scaling nodes identical" true
-        (Nanodec.Scaling.sweep_nodes ~pool () = nodes);
+        (Nanodec.Scaling.sweep_nodes ~ctx () = nodes);
       Alcotest.(check bool)
         "sigma_t ablation identical" true
-        (Nanodec.Ablation.sigma_t ~pool () = ablation))
+        (Nanodec.Ablation.sigma_t ~ctx () = ablation))
 
 (* --- pool robustness --- *)
 
